@@ -1,0 +1,69 @@
+"""Approximate query answering: the paper's future-work direction (§5).
+
+Not a figure of this paper (it previews the authors' follow-up line of
+work on approximate answering with quality guarantees): measures
+recall/approximation-error of the approximate-only mode vs the leaf
+budget, and of the ε-approximate mode vs ε, on the Deep analog.
+"""
+
+from __future__ import annotations
+
+from repro.core import HerculesIndex
+from repro.eval.methods import hercules_config
+from repro.eval.quality import evaluate_approximate
+from repro.eval.report import format_table
+from repro.workloads.datasets import make_analog
+from repro.workloads.generators import make_query_workloads
+
+from .conftest import _TABLES, scaled
+
+
+def test_approximate_quality(benchmark):
+    raw = make_analog("Deep", scaled(5_000), seed=81)
+    indexable, query_sets = make_query_workloads(
+        raw, queries_per_workload=10, seed=82
+    )
+    config = hercules_config(indexable.shape[0])
+    index = HerculesIndex.build(indexable, config)
+    queries = query_sets["5%"].queries
+
+    def sweep():
+        rows = []
+        for l_max in (1, 2, 4, 8, 16):
+            summary = evaluate_approximate(index, queries, k=10, l_max=l_max)
+            rows.append(
+                [
+                    f"l_max={l_max}",
+                    summary.mean_recall,
+                    summary.mean_approximation_error,
+                    summary.worst_approximation_error,
+                ]
+            )
+        for epsilon in (0.0, 0.1, 0.5, 1.0):
+            summary = evaluate_approximate(index, queries, k=10, epsilon=epsilon)
+            rows.append(
+                [
+                    f"epsilon={epsilon}",
+                    summary.mean_recall,
+                    summary.mean_approximation_error,
+                    summary.worst_approximation_error,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    _TABLES.append(
+        "\nApproximate answering quality (Deep analog, 5% workload, k=10)\n"
+        + format_table(
+            ["mode", "mean_recall", "mean_error", "worst_error"], rows
+        )
+    )
+
+    by_mode = {row[0]: row for row in rows}
+    # Recall grows with the leaf budget; ε=0 stays exact; every ε row
+    # respects its guarantee.
+    assert by_mode["l_max=16"][1] >= by_mode["l_max=1"][1]
+    assert by_mode["epsilon=0.0"][3] <= 1.0 + 1e-9
+    assert by_mode["epsilon=0.5"][3] <= 1.5 + 1e-9
+    assert by_mode["epsilon=1.0"][3] <= 2.0 + 1e-9
+    index.close()

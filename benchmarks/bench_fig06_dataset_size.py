@@ -1,0 +1,44 @@
+"""Figure 6: scalability with increasing dataset size.
+
+Paper: combined index-construction + query-answering time for 100 (6a)
+and 10K (6b, extrapolated) exact 1NN queries over synthetic datasets of
+25-250 GB.  Scaled here to 2K-16K series; the printed table carries both
+combined columns.
+
+Shape reproduced: Hercules builds ~3-4x faster than DSTree* and its
+combined time wins on the large query workload; ParIS+ builds far faster
+than both (summaries only) and is competitive when only a handful of
+queries amortize construction — the paper's one non-win scenario (6a,
+largest dataset).
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments import figure6_dataset_size
+
+from .conftest import record_table, scaled
+
+
+def test_figure6_dataset_size(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure6_dataset_size(
+            sizes=(scaled(2_000), scaled(4_000), scaled(8_000), scaled(16_000)),
+            length=64,
+            num_queries=20,
+            verbose=False,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    record_table("Figure 6: scalability with dataset size (1NN, synth)", result)
+
+    # Structural sanity: every (size, method) pair produced a row.
+    assert len(result.rows) == 4 * 4
+
+    # Shape check (robust direction only): Hercules constructs faster
+    # than DSTree* on every dataset size (paper: 3-4x).
+    for size in {row[0] for row in result.rows}:
+        hercules = result.raw[(size, "Hercules")]
+        dstree = result.raw[(size, "DSTree*")]
+        assert hercules.build_seconds < dstree.build_seconds

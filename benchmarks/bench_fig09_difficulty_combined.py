@@ -1,0 +1,50 @@
+"""Figure 9: combined indexing + query time vs query difficulty.
+
+Paper: for SALD, Seismic, and Deep, the total of index construction plus
+100/10K exact 1NN queries across the five workloads (1%-10%, ood),
+against the serial-scan reference line.  Hercules is the only method
+that builds its index *and* answers the whole workload before the
+sequential scan finishes on every dataset.
+
+Scaled here to the dataset analogs; the combined column in the printed
+table is build + measured workload time.
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments import difficulty_experiment
+
+from .conftest import record_table, scaled
+
+
+def test_figure9_difficulty_combined(benchmark):
+    result = benchmark.pedantic(
+        lambda: difficulty_experiment(
+            datasets=("SALD", "Seismic", "Deep"),
+            size=scaled(5_000),
+            num_queries=15,
+            workloads=("1%", "2%", "5%", "10%", "ood"),
+            verbose=False,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    record_table(
+        "Figure 9: combined indexing + query time vs query difficulty", result
+    )
+
+    # 3 datasets x 5 workloads x (4 indexes + serial scan).
+    assert len(result.rows) == 3 * 5 * 5
+
+    # The serial-scan reference accesses everything on every workload.
+    for row in result.rows:
+        if row[2] == "SerialScan":
+            assert row[7] == 1.0
+
+    # Difficulty gradient: on every dataset, Hercules touches at least
+    # as much data on ood as on the easy 1% workload.
+    for dataset in ("SALD", "Seismic", "Deep"):
+        easy = result.raw[(dataset, "1%", "Hercules")].avg_data_accessed
+        hard = result.raw[(dataset, "ood", "Hercules")].avg_data_accessed
+        assert hard >= easy * 0.9

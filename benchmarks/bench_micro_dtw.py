@@ -1,0 +1,51 @@
+"""Micro-benchmarks of the DTW substrate.
+
+Not a paper figure: measures the banded batch DTW kernel, the envelope
+construction, and the LB_Keogh filter that carries the DTW scan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distance.dtw import dtw_distance_batch, dtw_envelope, lb_keogh
+from repro.workloads.generators import random_walks
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return random_walks(500, 128, seed=5)
+
+
+@pytest.fixture(scope="module")
+def query():
+    return random_walks(1, 128, seed=6)[0]
+
+
+def test_dtw_envelope(benchmark, query):
+    benchmark(dtw_envelope, query, 12)
+
+
+def test_lb_keogh_batch(benchmark, corpus, query):
+    lower, upper = dtw_envelope(query, 12)
+    benchmark(lb_keogh, lower, upper, corpus)
+
+
+def test_dtw_batch_no_cutoff(benchmark, corpus, query):
+    benchmark.pedantic(
+        lambda: dtw_distance_batch(query, corpus[:100], 12),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_dtw_batch_with_cutoff(benchmark, corpus, query):
+    # A realistic cutoff (the true 1-NN) lets rows abandon early.
+    full = dtw_distance_batch(query, corpus[:100], 12)
+    cutoff = float(np.partition(full, 5)[5])
+    benchmark.pedantic(
+        lambda: dtw_distance_batch(query, corpus[:100], 12, cutoff=cutoff),
+        rounds=3,
+        iterations=1,
+    )

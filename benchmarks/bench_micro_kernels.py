@@ -1,0 +1,91 @@
+"""Micro-benchmarks of the substrate kernels.
+
+Not a paper figure: these measure the building blocks every experiment
+rests on (batch ED, early abandoning, LB_EAPCA, LB_SAX/MINDIST, PAA,
+SAX symbolization, EAPCA segment statistics) so kernel regressions are
+visible independently of the end-to-end harnesses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distance.euclidean import (
+    batch_squared_euclidean,
+    early_abandon_squared,
+)
+from repro.distance.lower_bounds import lb_eapca
+from repro.summarization.eapca import Segmentation, SeriesSketch, segment_stats
+from repro.summarization.paa import paa
+from repro.summarization.sax import SaxSpace
+from repro.workloads.generators import random_walks
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return random_walks(10_000, 128, seed=1)
+
+
+@pytest.fixture(scope="module")
+def query(corpus):
+    return random_walks(1, 128, seed=2)[0]
+
+
+def test_batch_squared_euclidean(benchmark, corpus, query):
+    benchmark(batch_squared_euclidean, query, corpus)
+
+
+def test_early_abandon_squared(benchmark, corpus, query):
+    full = batch_squared_euclidean(query, corpus)
+    cutoff = float(np.quantile(full, 0.01))
+    benchmark(early_abandon_squared, query, corpus, cutoff)
+
+
+def test_paa_16_segments(benchmark, corpus):
+    benchmark(paa, corpus, 16)
+
+
+def test_sax_symbolize(benchmark, corpus):
+    space = SaxSpace(16, 256)
+    values = paa(corpus, 16)
+    benchmark(space.symbolize, values)
+
+
+def test_sax_mindist_batch(benchmark, corpus, query):
+    space = SaxSpace(16, 256)
+    words = space.symbolize(paa(corpus, 16))
+    q_paa = paa(query, 16)
+    benchmark(space.mindist, q_paa, words, 128)
+
+
+def test_eapca_segment_stats(benchmark, corpus):
+    seg = Segmentation.uniform(128, 16)
+    benchmark(segment_stats, corpus, seg)
+
+
+def test_lb_eapca_per_node(benchmark, corpus, query):
+    seg = Segmentation([16, 40, 80, 128])
+    means, stds = segment_stats(corpus, seg)
+    synopsis = np.empty((4, 4))
+    synopsis[:, 0] = means.min(axis=0)
+    synopsis[:, 1] = means.max(axis=0)
+    synopsis[:, 2] = stds.min(axis=0)
+    synopsis[:, 3] = stds.max(axis=0)
+    sketch = SeriesSketch(query)
+    q_means, q_stds = sketch.stats(seg)
+    benchmark(lb_eapca, q_means, q_stds, synopsis, seg.lengths)
+
+
+def test_series_sketch_stats(benchmark, query):
+    sketch = SeriesSketch(query)
+    segmentations = [
+        Segmentation.uniform(128, m) for m in (2, 4, 8, 16)
+    ]
+
+    def evaluate():
+        fresh = SeriesSketch(query)
+        for seg in segmentations:
+            fresh.stats(seg)
+
+    benchmark(evaluate)

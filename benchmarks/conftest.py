@@ -1,0 +1,57 @@
+"""Shared configuration of the benchmark suite.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each ``bench_figXX_*.py`` regenerates one figure of the paper's
+evaluation (Section 4.2) at laptop scale and prints the same rows the
+figure plots; ``bench_micro_*.py`` cover the substrate kernels.  Scales
+can be raised with the ``REPRO_BENCH_SCALE`` environment variable
+(a float multiplier on dataset sizes, default 1.0).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.eval.report import format_table
+
+#: Tables recorded by figure benchmarks, printed after the run (stdout
+#: during tests is captured by pytest; the terminal summary is not).
+_TABLES: list[str] = []
+
+
+def record_table(title: str, result) -> None:
+    """Queue an ExperimentResult's table for the end-of-run summary."""
+    _TABLES.append(f"\n{title}\n" + format_table(result.headers, result.rows))
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config) -> None:
+    if not _TABLES:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line("=" * 72)
+    terminalreporter.write_line("Reproduced paper figures (scaled workloads)")
+    terminalreporter.write_line("=" * 72)
+    for table in _TABLES:
+        terminalreporter.write_line(table)
+
+
+def bench_scale() -> float:
+    """Dataset-size multiplier taken from REPRO_BENCH_SCALE."""
+    try:
+        return max(float(os.environ.get("REPRO_BENCH_SCALE", "1.0")), 0.01)
+    except ValueError:
+        return 1.0
+
+
+def scaled(size: int) -> int:
+    return max(int(size * bench_scale()), 50)
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Bake-off: every method of the paper on one dataset, one table.
+
+Builds Hercules and all four baselines (DSTree*, ParIS+, VA+file, PSCAN,
+plus the serial-scan reference) over the same on-disk dataset, runs the
+same query workload through each, and prints construction time, query
+time, modeled disk time (the measured I/O pattern priced at the paper's
+RAID0 hardware), and the fraction of raw data each method touched —
+a miniature of Figures 9-10.
+
+    python examples/method_comparison.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.eval.methods import ALL_METHODS, build_methods
+from repro.eval.metrics import run_workload
+from repro.eval.report import print_table
+from repro.storage.dataset import Dataset
+from repro.workloads.generators import make_query_workloads, random_walks
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="hercules-bakeoff-"))
+    print("Generating and materializing a 15,000 x 128 random-walk dataset ...")
+    raw = random_walks(15_000, 128, seed=31)
+    indexable, workloads = make_query_workloads(
+        raw, queries_per_workload=10, seed=32
+    )
+    dataset = Dataset.write(workdir / "dataset.bin", indexable)
+
+    print("Building all methods (watch the construction-cost spread) ...")
+    methods = build_methods(dataset, names=ALL_METHODS, directory=workdir)
+
+    for label in ("2%", "ood"):
+        queries = workloads[label].queries
+        rows = []
+        for name in ALL_METHODS:
+            built = methods[name]
+            result = run_workload(built.method, queries, k=1, workload=label)
+            rows.append(
+                [
+                    name,
+                    f"{built.build_seconds:.2f}",
+                    f"{result.avg_query_seconds * 1e3:.2f}",
+                    f"{result.avg_modeled_io_seconds * 1e3:.1f}",
+                    f"{result.avg_data_accessed:.1%}",
+                ]
+            )
+        print_table(
+            f"Workload {label} — 1NN, per-query averages",
+            ["method", "build (s)", "query (ms)", "modeled disk (ms)", "data accessed"],
+            rows,
+        )
+
+    for built in methods.values():
+        built.close()
+    dataset.close()
+    print(
+        "\nShape to look for (paper, Figures 9-10): Hercules touches the"
+        "\nleast data among the tree indexes, its modeled disk time stays"
+        "\nlowest on both workloads, and on the hard (ood) workload the"
+        "\nnon-adaptive indexes fall behind the scans while Hercules does not."
+    )
+
+
+if __name__ == "__main__":
+    main()

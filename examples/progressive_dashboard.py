@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Progressive search: answers that improve while the user watches.
+
+The paper's workloads model interactive analysis — "the queries are not
+known in advance" (Section 4.1) — and its lineage includes progressive
+similarity search (its refs [27, 28]), where an analyst sees improving
+answers immediately instead of waiting for the exact result.
+
+``HerculesIndex.knn_progressive`` is that interaction model: a generator
+yielding a refined answer after every leaf the best-first search visits,
+ending with the exact answer.  This example simulates a dashboard that
+renders each improvement and reports how early the stream converged.
+
+    python examples/progressive_dashboard.py
+"""
+
+import numpy as np
+
+from repro import HerculesConfig, HerculesIndex
+from repro.workloads.generators import make_noise_queries, random_walks
+
+
+def main() -> None:
+    print("Building an index over 20,000 random walks ...")
+    data = random_walks(20_000, 128, seed=91)
+    config = HerculesConfig(
+        leaf_capacity=200,
+        num_build_threads=4,
+        db_size=1024,
+        flush_threshold=1,
+        num_query_threads=2,
+    )
+    index = HerculesIndex.build(data, config)
+
+    query = make_noise_queries(data, 1, 0.05, seed=92)[0]
+    print("\nStreaming improvements for one 5-NN query:\n")
+    print(f"{'leaves':>6}  {'best':>8}  {'5th':>8}  {'elapsed':>9}")
+
+    last_kth = None
+    convergence_leaf = None
+    final = None
+    for answer in index.knn_progressive(query, k=5):
+        if answer.k < 5:
+            continue
+        kth = float(answer.distances[-1])
+        marker = ""
+        if last_kth is None or kth < last_kth - 1e-12:
+            marker = "  ← improved"
+            convergence_leaf = answer.profile.approx_leaves
+        last_kth = kth
+        print(
+            f"{answer.profile.approx_leaves:>6}  "
+            f"{answer.distances[0]:>8.3f}  {kth:>8.3f}  "
+            f"{answer.profile.time_total * 1e3:>7.1f}ms{marker}"
+        )
+        final = answer
+
+    assert final is not None
+    exact = index.knn(query, k=5)
+    np.testing.assert_allclose(final.distances, exact.distances, atol=1e-9)
+    print(
+        f"\nThe stream converged after {convergence_leaf} leaf visit(s) of "
+        f"{final.profile.approx_leaves} examined; the final answer equals "
+        f"the exact 4-phase result (verified)."
+    )
+    print(
+        "An analyst consuming this stream could have acted on the correct "
+        "answer long before the exactness proof completed — the value of "
+        "progressive answering the paper's lineage argues for."
+    )
+    index.close()
+
+
+if __name__ == "__main__":
+    main()

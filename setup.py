@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation` in this offline environment falls
+back to the legacy setuptools develop path, which needs a setup.py.
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

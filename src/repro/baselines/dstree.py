@@ -1,0 +1,382 @@
+"""DSTree* — the optimized DSTree (Wang et al., 2013) baseline.
+
+DSTree intertwines EAPCA segmentation and indexing in an unbalanced binary
+tree.  The two structural differences from Hercules that this module keeps
+faithful, because they drive the paper's comparisons:
+
+* **Internal synopses are maintained during building.**  Every insert
+  updates the statistics of each node on the root-to-leaf path.  In the
+  parallel variant DSTree*P (Figure 12a) workers must lock those nodes,
+  which is exactly the synchronization cost Hercules' deferred
+  index-writing phase removes.
+
+* **Leaf data lives in per-leaf files.**  We emulate that with one heap
+  file holding each leaf's series as a contiguous extent *in leaf-creation
+  order* — visiting leaves during search therefore seeks all over the
+  file, unlike Hercules' inorder LRDFile.
+
+Query answering is the classic DSTree exact search: descend to the query's
+own leaf for an initial best-so-far, then a best-first priority-queue
+search over LB_EAPCA, reading each surviving leaf's file.  Single-threaded
+(DSTree* is the best single-core method in the paper's taxonomy).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import shutil
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.config import HerculesConfig
+from repro.core.node import Node, synopsis_from_stats
+from repro.core.query import QueryAnswer, QueryProfile
+from repro.core.results import ResultSet
+from repro.core.split import choose_split
+from repro.distance.euclidean import batch_squared_euclidean
+from repro.errors import ConfigError, StorageError
+from repro.storage.dataset import Dataset
+from repro.storage.files import SeriesFile
+from repro.storage.iostats import IOStats
+from repro.summarization.eapca import Segmentation, SeriesSketch
+from repro.types import SERIES_DTYPE
+
+
+@dataclass(frozen=True)
+class DSTreeConfig:
+    """Tunables of the DSTree* baseline (paper defaults, scaled)."""
+
+    leaf_capacity: int = 100
+    initial_segments: int = 4
+    #: DSTree*P: number of parallel insert threads (1 = DSTree*).
+    num_build_threads: int = 1
+
+    def __post_init__(self) -> None:
+        if self.leaf_capacity < 2:
+            raise ConfigError(f"leaf_capacity must be >= 2, got {self.leaf_capacity}")
+        if self.initial_segments < 1:
+            raise ConfigError(
+                f"initial_segments must be >= 1, got {self.initial_segments}"
+            )
+        if self.num_build_threads < 1:
+            raise ConfigError(
+                f"num_build_threads must be >= 1, got {self.num_build_threads}"
+            )
+
+
+class DSTreeIndex:
+    """A built DSTree* index ready for exact k-NN queries."""
+
+    name = "DSTree*"
+
+    def __init__(
+        self,
+        root: Node,
+        config: DSTreeConfig,
+        heap: SeriesFile,
+        num_series: int,
+        build_seconds: float,
+        directory: Path,
+        owns_directory: bool,
+    ) -> None:
+        self.root = root
+        self.config = config
+        self._heap = heap
+        self.num_series = num_series
+        self.build_seconds = build_seconds
+        self.directory = directory
+        self._owns_directory = owns_directory
+        self.num_leaves = sum(1 for _ in root.iter_leaves_inorder())
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        data: Union[np.ndarray, Dataset],
+        config: Optional[DSTreeConfig] = None,
+        directory: Optional[Union[str, Path]] = None,
+        stats: Optional[IOStats] = None,
+    ) -> "DSTreeIndex":
+        dataset = data if isinstance(data, Dataset) else Dataset.from_array(data)
+        if dataset.num_series == 0:
+            raise ConfigError("cannot index an empty dataset")
+        config = config if config is not None else DSTreeConfig()
+        owns_directory = directory is None
+        directory = (
+            Path(tempfile.mkdtemp(prefix="dstree-"))
+            if directory is None
+            else Path(directory)
+        )
+        directory.mkdir(parents=True, exist_ok=True)
+
+        started = time.perf_counter()
+        root = Node(0, Segmentation.uniform(dataset.series_length, config.initial_segments))
+        builder = _Builder(root, config, dataset.series_length)
+        if config.num_build_threads == 1:
+            for _, batch in dataset.iter_batches(4096):
+                for row in batch:
+                    builder.insert(row)
+        else:
+            builder.insert_parallel(dataset, config.num_build_threads)
+
+        # Materialize per-leaf "files": one heap file, leaf extents in
+        # creation order.
+        build_stats = stats if stats is not None else IOStats()
+        heap = SeriesFile(
+            directory / "dstree-heap.bin", dataset.series_length, stats=build_stats
+        )
+        for leaf in sorted(root.iter_leaves_inorder(), key=lambda n: n.node_id):
+            rows = builder.leaf_rows(leaf)
+            leaf.file_position = heap.append_batch(rows) if rows.shape[0] else 0
+        heap.flush()
+        build_seconds = time.perf_counter() - started
+
+        query_stats = IOStats()
+        heap.close()
+        heap = SeriesFile(
+            directory / "dstree-heap.bin",
+            dataset.series_length,
+            stats=query_stats,
+            read_only=True,
+        )
+        return cls(
+            root=root,
+            config=config,
+            heap=heap,
+            num_series=dataset.num_series,
+            build_seconds=build_seconds,
+            directory=directory,
+            owns_directory=owns_directory,
+        )
+
+    @classmethod
+    def open(cls, directory: Union[str, Path]) -> "DSTreeIndex":
+        """Reopen a DSTree* index persisted by :meth:`save`.
+
+        DSTree shares Hercules' node structure, so the tree rides the
+        same HTree binary format; leaf ``file_position`` values address
+        the heap file (creation-order extents).
+        """
+        from repro.storage import htree as htree_module
+
+        directory = Path(directory)
+        tree_path = directory / "dstree-tree.bin"
+        if not tree_path.exists():
+            raise StorageError(f"no DSTree tree file at {tree_path}")
+        root, settings = htree_module.load_tree(tree_path)
+        config = DSTreeConfig(**settings["config"])
+        heap = SeriesFile(
+            directory / "dstree-heap.bin",
+            settings["series_length"],
+            stats=IOStats(),
+            read_only=True,
+        )
+        return cls(
+            root=root,
+            config=config,
+            heap=heap,
+            num_series=settings["num_series"],
+            build_seconds=0.0,
+            directory=directory,
+            owns_directory=False,
+        )
+
+    def save(self) -> Path:
+        """Persist the tree next to the heap file; returns the directory."""
+        from dataclasses import asdict
+
+        from repro.storage import htree as htree_module
+
+        settings = {
+            "config": asdict(self.config),
+            "num_series": self.num_series,
+            "series_length": self._heap.series_length,
+        }
+        htree_module.save_tree(
+            self.directory / "dstree-tree.bin", self.root, settings
+        )
+        return self.directory
+
+    # -- querying --------------------------------------------------------------
+
+    def knn(self, query: np.ndarray, k: int = 1) -> QueryAnswer:
+        """Exact k-NN: approximate descent, then best-first LB_EAPCA search."""
+        started = time.perf_counter()
+        sketch = SeriesSketch(np.asarray(query, dtype=np.float64))
+        results = ResultSet(k)
+        profile = QueryProfile()
+
+        # Initial answers from the query's own leaf.
+        node = self.root
+        while not node.is_leaf:
+            node = node.route(sketch)
+        self._scan_leaf(node, sketch, results, profile)
+        first_leaf = node
+
+        # Best-first search over the whole tree.
+        pq: list[tuple[float, int, Node]] = []
+        tiebreak = itertools.count()
+        heapq.heappush(pq, (self.root.lower_bound(sketch), next(tiebreak), self.root))
+        while pq:
+            bound, _, node = heapq.heappop(pq)
+            if bound > results.bsf:
+                break
+            if node.is_leaf:
+                if node is not first_leaf:
+                    self._scan_leaf(node, sketch, results, profile)
+            else:
+                for child in (node.left, node.right):
+                    child_bound = child.lower_bound(sketch)
+                    if child_bound < results.bsf:
+                        heapq.heappush(pq, (child_bound, next(tiebreak), child))
+
+        distances, positions = results.items()
+        profile.path = "dstree-exact"
+        profile.time_total = time.perf_counter() - started
+        return QueryAnswer(distances, positions, profile)
+
+    def _scan_leaf(
+        self,
+        leaf: Node,
+        sketch: SeriesSketch,
+        results: ResultSet,
+        profile: QueryProfile,
+    ) -> None:
+        if leaf.size == 0:
+            return
+        data = self._heap.read_range(leaf.file_position, leaf.size)
+        profile.series_accessed += leaf.size
+        distances = np.sqrt(batch_squared_euclidean(sketch.series, data))
+        profile.distance_computations += leaf.size
+        positions = leaf.file_position + np.arange(leaf.size, dtype=np.int64)
+        results.update_batch(distances, positions)
+
+    def get_series(self, position: int) -> np.ndarray:
+        return self._heap.read_series(position)
+
+    @property
+    def query_io(self) -> IOStats:
+        return self._heap.stats
+
+    def close(self) -> None:
+        self._heap.close()
+        if self._owns_directory:
+            shutil.rmtree(self.directory, ignore_errors=True)
+
+    def __enter__(self) -> "DSTreeIndex":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class _Builder:
+    """In-memory DSTree construction with path-wide synopsis updates."""
+
+    def __init__(self, root: Node, config: DSTreeConfig, series_length: int) -> None:
+        self.root = root
+        self.config = config
+        self.series_length = series_length
+        #: node_id -> list of raw series rows (the per-leaf memory buffer).
+        self._buffers: dict[int, list[np.ndarray]] = {root.node_id: []}
+        self._next_id = itertools.count(1)
+        self._id_lock = threading.Lock()
+
+    def insert(self, series: np.ndarray) -> None:
+        """One insert: lock-step descent updating every node on the path.
+
+        This is the DSTree cost model the paper contrasts with Hercules:
+        "insert workers need to lock entire paths (from the root to a
+        leaf) for updating node statistics" (Section 4.2, Figure 12a).
+        """
+        row = np.asarray(series, dtype=SERIES_DTYPE)
+        sketch = SeriesSketch(row)
+        node = self.root
+        while True:
+            with node.lock:
+                means, stds = sketch.stats(node.segmentation)
+                node.update_synopsis(means, stds)
+                node.size += 1
+                if node.is_leaf:
+                    buffer = self._buffers[node.node_id]
+                    buffer.append(row.copy())
+                    if len(buffer) > self.config.leaf_capacity:
+                        self._split(node, buffer)
+                    return
+            # Re-read after releasing: the node cannot un-become internal.
+            node = node.route(sketch)
+
+    def insert_parallel(self, dataset: Dataset, num_threads: int) -> None:
+        """DSTree*P: the same inserts from several threads."""
+        counter = itertools.count()
+        counter_lock = threading.Lock()
+        errors: list[BaseException] = []
+        batch_size = 1024
+        total = dataset.num_series
+
+        def worker() -> None:
+            try:
+                while True:
+                    with counter_lock:
+                        start = next(counter) * batch_size
+                    if start >= total:
+                        return
+                    batch = dataset.read_batch(
+                        start, min(batch_size, total - start)
+                    )
+                    for row in batch:
+                        self.insert(row)
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, daemon=True)
+            for _ in range(num_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if errors:
+            raise errors[0]
+
+    def _split(self, node: Node, buffer: list[np.ndarray]) -> None:
+        """Split an over-capacity leaf (caller holds the node lock)."""
+        data = np.stack(buffer)
+        decision = choose_split(node.segmentation, data)
+        if decision is None:
+            return
+        policy = decision.policy
+        with self._id_lock:
+            left_id, right_id = next(self._next_id), next(self._next_id)
+        left = Node(left_id, policy.child_segmentation, parent=node)
+        right = Node(right_id, policy.child_segmentation, parent=node)
+        mask = decision.left_mask
+        for child, child_mask in ((left, mask), (right, ~mask)):
+            child.synopsis = synopsis_from_stats(
+                decision.child_means[child_mask], decision.child_stds[child_mask]
+            )
+            child.size = int(child_mask.sum())
+        self._buffers[left.node_id] = [row for row, m in zip(buffer, mask) if m]
+        self._buffers[right.node_id] = [
+            row for row, m in zip(buffer, mask) if not m
+        ]
+        del self._buffers[node.node_id]
+        node.left = left
+        node.right = right
+        node.policy = policy
+        node.is_leaf = False
+
+    def leaf_rows(self, leaf: Node) -> np.ndarray:
+        rows = self._buffers.get(leaf.node_id, [])
+        if not rows:
+            return np.empty((0, self.series_length), dtype=SERIES_DTYPE)
+        return np.stack(rows)

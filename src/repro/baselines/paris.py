@@ -1,0 +1,530 @@
+"""ParIS+ — the iSAX-family multi-core baseline (Peng et al., TKDE 2021).
+
+ParIS+ builds its tree over iSAX *summaries* only: raw series are touched
+once to compute their words, inserts and node splits never move raw data,
+and leaves store positions into the original dataset file.  That makes
+index construction very cheap — and query answering expensive on hard
+workloads, because the raw data of a query's neighbors is scattered
+anywhere in the dataset file (Figure 11's discussion).
+
+The index tree has a large root fanout: one child per cardinality-1 iSAX
+word (up to 2^16 subtrees, materialized on demand), below which a node
+splits by refining one segment's cardinality one bit at a time.
+
+Query answering follows the parallel ADS+SIMS scheme the paper describes
+(Section 2): an approximate tree probe seeds the best-so-far with real
+distances from one leaf, then worker threads scan the complete in-memory
+summary array with LB_SAX, and surviving candidates are refined
+skip-sequentially against the raw file in position order.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.query import QueryAnswer, QueryProfile
+from repro.core.results import ResultSet
+from repro.distance.euclidean import batch_squared_euclidean
+from repro.errors import ConfigError
+from repro.storage.dataset import Dataset
+from repro.summarization.paa import paa
+from repro.summarization.sax import SaxSpace
+from repro.types import DISTANCE_DTYPE
+
+
+@dataclass(frozen=True)
+class ParisConfig:
+    """Tunables of the ParIS+ baseline (paper defaults, scaled)."""
+
+    #: Leaf size (paper uses 2K at 100M-series scale).
+    leaf_capacity: int = 20
+    sax_segments: int = 16
+    sax_alphabet: int = 256
+    #: Threads building root subtrees in parallel (the iSAX-family trick
+    #: the paper contrasts with Hercules: each root subtree is built by a
+    #: single thread, so no synchronization is needed).
+    num_build_threads: int = 4
+    num_query_threads: int = 4
+
+    def __post_init__(self) -> None:
+        if self.leaf_capacity < 1:
+            raise ConfigError(f"leaf_capacity must be >= 1, got {self.leaf_capacity}")
+        if self.num_build_threads < 1:
+            raise ConfigError(
+                f"num_build_threads must be >= 1, got {self.num_build_threads}"
+            )
+        if self.sax_segments < 1:
+            raise ConfigError(f"sax_segments must be >= 1, got {self.sax_segments}")
+        if not 2 <= self.sax_alphabet <= 256:
+            raise ConfigError(
+                f"sax_alphabet must be in [2, 256], got {self.sax_alphabet}"
+            )
+        if self.num_query_threads < 1:
+            raise ConfigError(
+                f"num_query_threads must be >= 1, got {self.num_query_threads}"
+            )
+
+
+class _IsaxNode:
+    """A node of the ParIS+ tree, identified by per-segment (value, bits)."""
+
+    __slots__ = ("values", "bits", "positions", "left", "right", "split_segment")
+
+    def __init__(self, values: np.ndarray, bits: np.ndarray) -> None:
+        self.values = values
+        self.bits = bits
+        self.positions: list[int] = []  # leaf payload: dataset positions
+        self.left: Optional[_IsaxNode] = None
+        self.right: Optional[_IsaxNode] = None
+        self.split_segment: int = -1
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+    def route_bit(self, word: np.ndarray) -> int:
+        """Next bit of the split segment for a full-resolution word."""
+        seg = self.split_segment
+        b = self.bits[seg]
+        return (int(word[seg]) >> (8 - (b + 1))) & 1
+
+
+class ParisIndex:
+    """A built ParIS+ index answering exact k-NN queries."""
+
+    name = "ParIS+"
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        config: ParisConfig,
+        roots: dict[tuple, _IsaxNode],
+        words: np.ndarray,
+        build_seconds: float,
+    ) -> None:
+        self.dataset = dataset
+        self.config = config
+        self.sax_space = SaxSpace(config.sax_segments, config.sax_alphabet)
+        self._roots = roots
+        self.words = words  # (N, segments) uint8, in dataset order
+        self.num_series = dataset.num_series
+        self.build_seconds = build_seconds
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        data: Union[np.ndarray, Dataset],
+        config: Optional[ParisConfig] = None,
+    ) -> "ParisIndex":
+        dataset = data if isinstance(data, Dataset) else Dataset.from_array(data)
+        if dataset.num_series == 0:
+            raise ConfigError("cannot index an empty dataset")
+        config = config if config is not None else ParisConfig()
+        space = SaxSpace(config.sax_segments, config.sax_alphabet)
+
+        started = time.perf_counter()
+        words = np.empty(
+            (dataset.num_series, config.sax_segments), dtype=np.uint8
+        )
+        for start, batch in dataset.iter_batches(8192):
+            words[start : start + batch.shape[0]] = space.symbolize(
+                paa(batch, config.sax_segments)
+            )
+
+        # Partition by cardinality-1 root word: each group is one root
+        # subtree, independent of every other — the parallelization unit.
+        top_bits = (words >> 7).astype(np.int64)
+        weights = 1 << np.arange(config.sax_segments, dtype=np.int64)
+        packed = top_bits @ weights
+        order = np.argsort(packed, kind="stable")
+        boundaries = np.nonzero(np.diff(packed[order]))[0] + 1
+        groups = np.split(order, boundaries)
+
+        roots: dict[tuple, _IsaxNode] = {}
+        group_nodes: list[tuple[_IsaxNode, np.ndarray]] = []
+        for group in groups:
+            first = words[group[0]]
+            key = tuple(int(v) for v in first >> 7)
+            node = _IsaxNode(
+                values=np.asarray(key, dtype=np.int64),
+                bits=np.ones(config.sax_segments, dtype=np.int64),
+            )
+            roots[key] = node
+            group_nodes.append((node, group))
+
+        def build_subtree(node: _IsaxNode, positions: np.ndarray) -> None:
+            for position in positions:
+                _insert_word(
+                    node, words[position], int(position), words,
+                    config.leaf_capacity,
+                )
+
+        if config.num_build_threads == 1 or len(group_nodes) <= 1:
+            for node, group in group_nodes:
+                build_subtree(node, group)
+        else:
+            claim = itertools.count()
+            claim_lock = threading.Lock()
+            errors: list[BaseException] = []
+
+            def worker() -> None:
+                try:
+                    while True:
+                        with claim_lock:
+                            index = next(claim)
+                        if index >= len(group_nodes):
+                            return
+                        node, group = group_nodes[index]
+                        build_subtree(node, group)
+                except BaseException as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=worker, daemon=True)
+                for _ in range(config.num_build_threads)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            if errors:
+                raise errors[0]
+
+        build_seconds = time.perf_counter() - started
+        return cls(dataset, config, roots, words, build_seconds)
+
+    # -- persistence -----------------------------------------------------------
+
+    def save(self, directory: Union[str, Path]) -> Path:
+        """Persist the summary array and tree next to nothing else.
+
+        ParIS+ owns no raw data (queries refine against the original
+        dataset file), so a saved index is just the words matrix and the
+        struct-packed tree; ``open`` re-binds it to a dataset.
+        """
+        import json
+        import struct
+        from dataclasses import asdict
+
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        np.save(directory / "paris-words.npy", self.words)
+
+        header = json.dumps(
+            {
+                "config": asdict(self.config),
+                "num_series": self.num_series,
+                "series_length": self.dataset.series_length,
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+        chunks = [struct.pack("<8sI", b"PARISTRE", len(header)), header]
+        chunks.append(struct.pack("<I", len(self._roots)))
+
+        def pack_node(node: _IsaxNode) -> None:
+            chunks.append(
+                struct.pack("<Bh", int(node.is_leaf), node.split_segment)
+            )
+            chunks.append(node.values.astype("<i2").tobytes())
+            chunks.append(node.bits.astype("<u1").tobytes())
+            if node.is_leaf:
+                positions = np.asarray(node.positions, dtype="<u4")
+                chunks.append(struct.pack("<I", positions.shape[0]))
+                chunks.append(positions.tobytes())
+            else:
+                pack_node(node.left)
+                pack_node(node.right)
+
+        for node in self._roots.values():
+            pack_node(node)
+        (directory / "paris-tree.bin").write_bytes(b"".join(chunks))
+        return directory
+
+    @classmethod
+    def open(
+        cls, directory: Union[str, Path], data: Union[np.ndarray, Dataset]
+    ) -> "ParisIndex":
+        """Reopen a saved ParIS+ index over its (caller-provided) dataset."""
+        import json
+        import struct
+
+        from repro.errors import StorageError
+
+        directory = Path(directory)
+        tree_path = directory / "paris-tree.bin"
+        if not tree_path.exists():
+            raise StorageError(f"no ParIS+ tree file at {tree_path}")
+        blob = tree_path.read_bytes()
+        try:
+            magic, header_len = struct.unpack_from("<8sI", blob, 0)
+            if magic != b"PARISTRE":
+                raise StorageError(f"{tree_path}: bad magic {magic!r}")
+            offset = struct.calcsize("<8sI")
+            meta = json.loads(blob[offset : offset + header_len].decode("utf-8"))
+            offset += header_len
+            config = ParisConfig(**meta["config"])
+            m = config.sax_segments
+            (num_roots,) = struct.unpack_from("<I", blob, offset)
+            offset += 4
+
+            def unpack_node(offset: int) -> tuple[_IsaxNode, int]:
+                is_leaf, split_segment = struct.unpack_from("<Bh", blob, offset)
+                offset += struct.calcsize("<Bh")
+                values = np.frombuffer(blob, "<i2", m, offset).astype(np.int64)
+                offset += 2 * m
+                bits = np.frombuffer(blob, "<u1", m, offset).astype(np.int64)
+                offset += m
+                node = _IsaxNode(values, bits)
+                node.split_segment = int(split_segment)
+                if is_leaf:
+                    (count,) = struct.unpack_from("<I", blob, offset)
+                    offset += 4
+                    node.positions = [
+                        int(p)
+                        for p in np.frombuffer(blob, "<u4", count, offset)
+                    ]
+                    offset += 4 * count
+                else:
+                    node.left, offset = unpack_node(offset)
+                    node.right, offset = unpack_node(offset)
+                return node, offset
+
+            roots: dict[tuple, _IsaxNode] = {}
+            for _ in range(num_roots):
+                node, offset = unpack_node(offset)
+                roots[tuple(int(v) for v in node.values)] = node
+            if offset != len(blob):
+                raise StorageError(f"{tree_path}: trailing bytes")
+        except StorageError:
+            raise
+        except (struct.error, ValueError, KeyError, json.JSONDecodeError) as exc:
+            raise StorageError(f"{tree_path}: corrupt ParIS+ tree") from exc
+
+        words = np.load(directory / "paris-words.npy")
+        dataset = data if isinstance(data, Dataset) else Dataset.from_array(data)
+        if dataset.num_series != meta["num_series"]:
+            raise StorageError(
+                f"dataset holds {dataset.num_series} series, index was "
+                f"built over {meta['num_series']}"
+            )
+        return cls(dataset, config, roots, words, build_seconds=0.0)
+
+    # -- querying --------------------------------------------------------------
+
+    def knn(self, query: np.ndarray, k: int = 1) -> QueryAnswer:
+        started = time.perf_counter()
+        query64 = np.asarray(query, dtype=DISTANCE_DTYPE)
+        results = ResultSet(k)
+        profile = QueryProfile()
+        space = self.sax_space
+
+        query_paa = paa(query64, space.segments)
+        query_word = space.symbolize(query_paa)
+
+        # Phase 1 (approximate): probe the leaf matching the query's word.
+        leaf = self._probe_leaf(query_word, query_paa)
+        if leaf is not None and leaf.positions:
+            self._refine_positions(
+                query64, np.sort(np.asarray(leaf.positions)), results, profile
+            )
+        profile.approx_leaves = 1 if leaf is not None else 0
+
+        # Phase 2 (SIMS): parallel LB_SAX over the whole summary array.
+        bsf = results.bsf
+        n = self.num_series
+        bounds = np.empty(n, dtype=DISTANCE_DTYPE)
+        num_threads = self.config.num_query_threads
+        ranges = np.array_split(np.arange(n), num_threads)
+        errors: list[BaseException] = []
+
+        def sims_worker(rows: np.ndarray) -> None:
+            try:
+                if rows.shape[0]:
+                    bounds[rows] = space.mindist(
+                        query_paa, self.words[rows], query64.shape[0]
+                    )
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        if num_threads == 1:
+            sims_worker(ranges[0])
+        else:
+            threads = [
+                threading.Thread(target=sims_worker, args=(rows,), daemon=True)
+                for rows in ranges
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        if errors:
+            raise errors[0]
+
+        candidates = np.nonzero(bounds < bsf)[0]
+        profile.candidate_series = int(candidates.shape[0])
+        profile.sax_pruning = 1.0 - candidates.shape[0] / n if n else 1.0
+
+        # Phase 3: skip-sequential refinement — visit candidates in file
+        # position order, re-checking each block's LB against the
+        # improving BSF first.
+        self._refine_filtered(
+            query64, np.sort(candidates), bounds, results, profile
+        )
+
+        distances, positions = results.items()
+        profile.path = "paris-sims"
+        profile.time_total = time.perf_counter() - started
+        return QueryAnswer(distances, positions, profile)
+
+    def _probe_leaf(
+        self, query_word: np.ndarray, query_paa: np.ndarray
+    ) -> Optional[_IsaxNode]:
+        key = tuple((query_word >> 7).tolist())
+        node = self._roots.get(key)
+        if node is None:
+            # Out-of-dataset queries can land on an unmaterialized root
+            # word; probe the root subtree with the smallest LB_SAX to
+            # the query so the approximate phase still seeds a useful
+            # best-so-far, as ADS's approximate search does.
+            node = min(
+                self._roots.values(),
+                key=lambda root: self._node_mindist(root, query_paa),
+                default=None,
+            )
+            if node is None:
+                return None
+        while not node.is_leaf:
+            node = node.right if node.route_bit(query_word) else node.left
+        return node
+
+    def _node_mindist(self, node: _IsaxNode, query_paa: np.ndarray) -> float:
+        """LB_SAX between the query and a tree node's iSAX region."""
+        space = self.sax_space
+        edges = np.concatenate(([-np.inf], space.breakpoints, [np.inf]))
+        full = space.alphabet_size
+        width = full >> node.bits  # region width per segment
+        lower = edges[node.values * width]
+        upper = edges[(node.values + 1) * width]
+        gap = np.maximum(np.maximum(lower - query_paa, query_paa - upper), 0.0)
+        scale = self.dataset.series_length / space.segments
+        return float(np.sqrt(scale * np.dot(gap, gap)))
+
+    def _refine_positions(
+        self,
+        query: np.ndarray,
+        positions: np.ndarray,
+        results: ResultSet,
+        profile: QueryProfile,
+    ) -> None:
+        """Real distances for the given sorted dataset positions."""
+        if positions.shape[0] == 0:
+            return
+        rows = self.dataset.read_positions(positions)
+        profile.series_accessed += positions.shape[0]
+        distances = np.sqrt(batch_squared_euclidean(query, rows))
+        profile.distance_computations += positions.shape[0]
+        results.update_batch(distances, positions)
+
+    def _refine_filtered(
+        self,
+        query: np.ndarray,
+        positions: np.ndarray,
+        bounds: np.ndarray,
+        results: ResultSet,
+        profile: QueryProfile,
+        block: int = 64,
+    ) -> None:
+        """Skip-sequential refinement with per-block BSF re-checks."""
+        for start in range(0, positions.shape[0], block):
+            chunk = positions[start : start + block]
+            alive = chunk[bounds[chunk] < results.bsf]
+            if alive.shape[0] == 0:
+                continue
+            self._refine_positions(query, alive, results, profile)
+
+    @property
+    def query_io(self):
+        """I/O counters of the raw file this index refines against."""
+        return self.dataset.stats
+
+    @property
+    def num_leaves(self) -> int:
+        count = 0
+        for root in self._roots.values():
+            stack = [root]
+            while stack:
+                node = stack.pop()
+                if node.is_leaf:
+                    count += 1
+                else:
+                    stack.extend((node.left, node.right))
+        return count
+
+    def close(self) -> None:
+        """ParIS+ owns no files; the dataset is managed by the caller."""
+
+
+def _insert_word(
+    node: _IsaxNode,
+    word: np.ndarray,
+    position: int,
+    words: np.ndarray,
+    leaf_capacity: int,
+) -> None:
+    while not node.is_leaf:
+        node = node.right if node.route_bit(word) else node.left
+    node.positions.append(position)
+    if len(node.positions) > leaf_capacity:
+        _split_leaf(node, words, leaf_capacity)
+
+
+def _split_leaf(node: _IsaxNode, words: np.ndarray, leaf_capacity: int) -> None:
+    """Refine one segment's cardinality by a bit and redistribute.
+
+    The segment is chosen as the refinable one whose next bit best
+    balances the two children (the iSAX2.0 heuristic distils to this).
+    If every refinable segment sends all words to one side, refinement
+    recurses one level deeper; fully-refined leaves stay over capacity.
+    """
+    leaf_words = words[np.asarray(node.positions)]
+    best_segment = -1
+    best_balance = -1.0
+    for segment in range(node.bits.shape[0]):
+        b = node.bits[segment]
+        if b >= 8:
+            continue
+        bit = (leaf_words[:, segment].astype(np.int64) >> (8 - (b + 1))) & 1
+        ones = int(bit.sum())
+        balance = min(ones, leaf_words.shape[0] - ones)
+        if balance > best_balance:
+            best_balance = balance
+            best_segment = segment
+    if best_segment < 0 or best_balance == 0:
+        return  # cannot separate (identical words): oversized leaf
+
+    node.split_segment = best_segment
+    b = node.bits[best_segment]
+    child_bits = node.bits.copy()
+    child_bits[best_segment] = b + 1
+    left_values = node.values.copy()
+    left_values[best_segment] = node.values[best_segment] << 1
+    right_values = left_values.copy()
+    right_values[best_segment] += 1
+    node.left = _IsaxNode(left_values, child_bits)
+    node.right = _IsaxNode(right_values, child_bits)
+
+    positions = node.positions
+    node.positions = []
+    for position in positions:
+        _insert_word(node, words[position], position, words, leaf_capacity)
+
+

@@ -1,0 +1,361 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Mirrors the workflow of the original Hercules tooling (a dataset file in,
+an index directory out, queries against it), plus dataset generation and
+method comparison for experimentation:
+
+* ``generate`` — write a synthetic dataset (synth / sald / seismic /
+  deep) as a raw float32 binary file;
+* ``build``    — build and materialize a Hercules index over a dataset;
+* ``query``    — answer exact (or ε-approximate) k-NN queries from a
+  query file against a materialized index;
+* ``inspect``  — print structural statistics of a materialized index;
+* ``compare``  — run every method over one dataset and print the
+  comparison table.
+
+Dataset files are headerless float32 series (the format of the original
+artifacts), so ``--length`` must accompany every dataset path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import HerculesConfig, HerculesIndex
+from repro.core.stats import tree_statistics
+from repro.errors import ReproError
+from repro.storage.dataset import Dataset
+from repro.workloads.datasets import DATASET_ANALOGS, make_analog
+from repro.workloads.generators import random_walks
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "synth":
+        data = random_walks(args.count, args.length, seed=args.seed)
+    else:
+        name = {"sald": "SALD", "seismic": "Seismic", "deep": "Deep"}[args.kind]
+        data = make_analog(name, args.count, length=args.length, seed=args.seed)
+    Dataset.write(args.output, data).close()
+    print(
+        f"wrote {args.count} x {data.shape[1]} float32 series "
+        f"({data.nbytes / 1e6:.1f} MB) to {args.output}"
+    )
+    return 0
+
+
+def _cmd_generate_workload(args: argparse.Namespace) -> int:
+    from repro.workloads.generators import make_query_workloads
+    from repro.workloads.io import save_workload_bundle
+
+    if args.kind == "synth":
+        data = random_walks(args.count, args.length, seed=args.seed)
+    else:
+        name = {"sald": "SALD", "seismic": "Seismic", "deep": "Deep"}[args.kind]
+        data = make_analog(name, args.count, length=args.length, seed=args.seed)
+    indexable, workloads = make_query_workloads(
+        data, queries_per_workload=args.queries, seed=args.seed
+    )
+    save_workload_bundle(
+        args.output,
+        indexable,
+        workloads,
+        metadata={"kind": args.kind, "seed": args.seed},
+    )
+    labels = ", ".join(workloads)
+    print(
+        f"wrote bundle to {args.output}: {indexable.shape[0]} indexable "
+        f"series plus workloads [{labels}] x {args.queries} queries"
+    )
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    config = HerculesConfig(
+        leaf_capacity=args.leaf_capacity,
+        initial_segments=args.initial_segments,
+        num_build_threads=args.threads,
+        flush_threshold=max((args.threads - 1) // 2, 1),
+        num_write_threads=max(args.threads // 2, 1),
+        num_query_threads=args.threads,
+        l_max=args.l_max,
+    )
+    with Dataset.open(args.dataset, args.length) as dataset:
+        index = HerculesIndex.build(dataset, config, directory=args.output)
+    report = index.build_report
+    print(
+        f"built index over {report.num_series} series: "
+        f"{report.num_leaves} leaves, {report.splits} splits, "
+        f"{report.flushes} flushes"
+    )
+    print(
+        f"building {report.build_seconds:.2f}s + "
+        f"writing {report.write_seconds:.2f}s = {report.total_seconds:.2f}s"
+    )
+    print(f"index materialized in {index.directory}")
+    index.close()
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    index = HerculesIndex.open(args.index)
+    config = index.config.with_options(epsilon=args.epsilon)
+    with Dataset.open(args.queries, index.series_length) as queries:
+        count = queries.num_series if args.count is None else min(
+            args.count, queries.num_series
+        )
+        total = 0.0
+        for i in range(count):
+            query = queries.read_series(i)
+            if args.approximate:
+                answer = index.knn_approx(query, k=args.k)
+            else:
+                answer = index.knn(query, k=args.k, config=config)
+            total += answer.profile.time_total
+            distances = ", ".join(f"{d:.4f}" for d in answer.distances)
+            positions = ", ".join(str(int(p)) for p in answer.positions)
+            print(
+                f"query {i}: d=[{distances}] pos=[{positions}] "
+                f"path={answer.profile.path} "
+                f"accessed={answer.profile.data_accessed_fraction(index.num_series):.2%} "
+                f"({answer.profile.time_total * 1e3:.1f} ms)"
+            )
+    print(f"answered {count} queries in {total:.3f}s")
+    index.close()
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    index = HerculesIndex.open(args.index)
+    stats = tree_statistics(index.root, index.config.leaf_capacity)
+    print(f"index at {index.directory}")
+    print(f"series length      {index.series_length}")
+    print(stats.format())
+    index.close()
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.eval.methods import ALL_METHODS, build_methods
+    from repro.eval.verify import verify_epsilon, verify_exactness
+    from repro.workloads.generators import make_noise_queries
+
+    with Dataset.open(args.dataset, args.length) as dataset:
+        data = dataset.load_all()
+        queries = make_noise_queries(
+            data, args.num_queries, args.noise, seed=args.seed
+        )
+        methods = build_methods(dataset, names=ALL_METHODS)
+        all_passed = True
+        for name in ALL_METHODS:
+            report = verify_exactness(
+                methods[name].method, data, queries, k=args.k
+            )
+            print(report.format())
+            all_passed &= report.passed
+        hercules = methods["Hercules"].method
+        for epsilon in (0.1, 0.5):
+            report = verify_epsilon(hercules, data, queries, epsilon, k=args.k)
+            print(report.format())
+            all_passed &= report.passed
+        for built in methods.values():
+            built.close()
+    return 0 if all_passed else 1
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.eval.metrics import run_workload
+    from repro.eval.methods import ALL_METHODS, build_methods
+    from repro.eval.report import print_table
+    from repro.workloads.generators import make_noise_queries
+
+    started = time.perf_counter()
+    with Dataset.open(args.dataset, args.length) as dataset:
+        data = dataset.load_all()
+        queries = make_noise_queries(
+            data, args.num_queries, args.noise, seed=args.seed
+        )
+        methods = build_methods(dataset, names=ALL_METHODS)
+        rows = []
+        for name in ALL_METHODS:
+            built = methods[name]
+            result = run_workload(built.method, queries, k=args.k)
+            rows.append(
+                [
+                    name,
+                    built.build_seconds,
+                    result.avg_query_seconds * 1e3,
+                    result.avg_modeled_io_seconds * 1e3,
+                    f"{result.avg_data_accessed:.2%}",
+                ]
+            )
+            built.close()
+    print_table(
+        f"{args.dataset} — {args.num_queries} x {args.k}-NN "
+        f"(noise σ²={args.noise})",
+        ["method", "build_s", "query_ms", "modeled_io_ms", "data_accessed"],
+        rows,
+    )
+    print(f"\ncompare finished in {time.perf_counter() - started:.1f}s")
+    return 0
+
+
+_FIGURE_RUNNERS = {
+    "fig6": ("figure6_dataset_size", {}),
+    "fig7": ("figure7_large_datasets", {}),
+    "fig8": ("figure8_series_length", {}),
+    "fig9": ("difficulty_experiment", {}),
+    "fig10": ("difficulty_experiment", {"workloads": ("1%", "5%", "ood")}),
+    "fig11": ("figure11_knn_k", {}),
+    "fig12a": ("figure12_ablation_indexing", {}),
+    "fig12b": ("figure12_ablation_query", {}),
+}
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.figure == "all":
+        for figure in sorted(_FIGURE_RUNNERS):
+            print(f"\n=== {figure} ===")
+            sub_args = argparse.Namespace(
+                figure=figure, size=args.size, num_queries=args.num_queries
+            )
+            _run_figure(sub_args)
+        return 0
+    return _run_figure(args)
+
+
+def _run_figure(args: argparse.Namespace) -> int:
+    from repro.eval import experiments
+
+    import inspect
+
+    name, kwargs = _FIGURE_RUNNERS[args.figure]
+    kwargs = dict(kwargs)
+    runner = getattr(experiments, name)
+    accepted = inspect.signature(runner).parameters
+    if args.size is not None:
+        if "sizes" in accepted:
+            kwargs["sizes"] = (args.size,)
+        elif "size" in accepted:
+            kwargs["size"] = args.size
+    if args.num_queries is not None and "num_queries" in accepted:
+        kwargs["num_queries"] = args.num_queries
+    runner(verbose=True, **kwargs)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hercules data-series similarity search (PVLDB 2022 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="write a synthetic dataset file")
+    gen.add_argument("--kind", choices=("synth", "sald", "seismic", "deep"),
+                     default="synth")
+    gen.add_argument("--count", type=int, required=True)
+    gen.add_argument("--length", type=int, default=None,
+                     help="series length (defaults to the analog's paper length)")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--output", type=Path, required=True)
+    gen.set_defaults(func=_cmd_generate)
+
+    bundle = sub.add_parser(
+        "generate-workload",
+        help="write a dataset plus its five query workloads as a bundle",
+    )
+    bundle.add_argument("--kind", choices=("synth", "sald", "seismic", "deep"),
+                        default="synth")
+    bundle.add_argument("--count", type=int, required=True)
+    bundle.add_argument("--length", type=int, default=None)
+    bundle.add_argument("--queries", type=int, default=100)
+    bundle.add_argument("--seed", type=int, default=0)
+    bundle.add_argument("--output", type=Path, required=True)
+    bundle.set_defaults(func=_cmd_generate_workload)
+
+    build = sub.add_parser("build", help="build a Hercules index")
+    build.add_argument("--dataset", type=Path, required=True)
+    build.add_argument("--length", type=int, required=True)
+    build.add_argument("--output", type=Path, required=True)
+    build.add_argument("--leaf-capacity", type=int, default=100)
+    build.add_argument("--initial-segments", type=int, default=4)
+    build.add_argument("--threads", type=int, default=4)
+    build.add_argument("--l-max", type=int, default=8)
+    build.set_defaults(func=_cmd_build)
+
+    query = sub.add_parser("query", help="answer k-NN queries from a file")
+    query.add_argument("--index", type=Path, required=True)
+    query.add_argument("--queries", type=Path, required=True)
+    query.add_argument("--k", type=int, default=1)
+    query.add_argument("--count", type=int, default=None,
+                       help="number of queries to run (default: all)")
+    query.add_argument("--epsilon", type=float, default=0.0,
+                       help="epsilon-approximate search factor")
+    query.add_argument("--approximate", action="store_true",
+                       help="approximate-only search (phase 1)")
+    query.set_defaults(func=_cmd_query)
+
+    inspect = sub.add_parser("inspect", help="print index statistics")
+    inspect.add_argument("--index", type=Path, required=True)
+    inspect.set_defaults(func=_cmd_inspect)
+
+    bench = sub.add_parser(
+        "bench", help="run one paper-figure experiment and print its table"
+    )
+    bench.add_argument(
+        "--figure",
+        choices=sorted(_FIGURE_RUNNERS) + ["all"],
+        required=True,
+    )
+    bench.add_argument("--size", type=int, default=None,
+                       help="dataset size override (series)")
+    bench.add_argument("--num-queries", type=int, default=None)
+    bench.set_defaults(func=_cmd_bench)
+
+    verify = sub.add_parser(
+        "verify",
+        help="prove every method's answers against brute force on a dataset",
+    )
+    verify.add_argument("--dataset", type=Path, required=True)
+    verify.add_argument("--length", type=int, required=True)
+    verify.add_argument("--k", type=int, default=10)
+    verify.add_argument("--num-queries", type=int, default=10)
+    verify.add_argument("--noise", type=float, default=0.05)
+    verify.add_argument("--seed", type=int, default=0)
+    verify.set_defaults(func=_cmd_verify)
+
+    compare = sub.add_parser("compare", help="compare all methods on a dataset")
+    compare.add_argument("--dataset", type=Path, required=True)
+    compare.add_argument("--length", type=int, required=True)
+    compare.add_argument("--k", type=int, default=1)
+    compare.add_argument("--num-queries", type=int, default=10)
+    compare.add_argument("--noise", type=float, default=0.05)
+    compare.add_argument("--seed", type=int, default=0)
+    compare.set_defaults(func=_cmd_compare)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command in ("generate", "generate-workload") and args.length is None:
+        if args.kind == "synth":
+            args.length = 128
+        else:
+            name = {"sald": "SALD", "seismic": "Seismic", "deep": "Deep"}[args.kind]
+            args.length = DATASET_ANALOGS[name][1]
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""The Hercules index: the paper's primary contribution.
+
+Public entry points: :class:`HerculesIndex` (build/open/knn) and
+:class:`HerculesConfig` (all tunables including ablation switches).
+"""
+
+from repro.core.config import HerculesConfig
+from repro.core.index import BuildReport, HerculesIndex
+from repro.core.query import QueryAnswer, QueryProfile
+from repro.core.results import ResultSet
+
+__all__ = [
+    "HerculesConfig",
+    "HerculesIndex",
+    "BuildReport",
+    "QueryAnswer",
+    "QueryProfile",
+    "ResultSet",
+]

@@ -1,0 +1,90 @@
+"""Concurrency primitives mirroring the paper's synchronization vocabulary.
+
+The index-building protocol (Algorithms 1-4) is written in terms of
+FetchAdd counters, Barrier objects, and per-worker handshake bits.  This
+module provides those primitives on top of :mod:`threading` so the
+construction code reads like the paper's pseudocode.  The busy-wait
+handshake loop of Algorithm 3 is realized with events instead of spinning;
+the synchronization structure (who waits for whom, and when) is unchanged.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class FetchAdd:
+    """An integer counter with an atomic fetch-and-add operation."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self, initial: int = 0) -> None:
+        self._value = initial
+        self._lock = threading.Lock()
+
+    def fetch_add(self, amount: int = 1) -> int:
+        """Add ``amount`` and return the value *before* the addition."""
+        with self._lock:
+            old = self._value
+            self._value += amount
+            return old
+
+    def load(self) -> int:
+        with self._lock:
+            return self._value
+
+    def store(self, value: int) -> None:
+        with self._lock:
+            self._value = value
+
+
+class HandshakeBit:
+    """The per-worker ContinueHandShake bit of Algorithms 3-4.
+
+    A worker *raises* its bit to signal the flush coordinator; the
+    coordinator *awaits* all bits, makes its decision, and each worker
+    lowers its own bit afterwards.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def raise_bit(self) -> None:
+        self._event.set()
+
+    def lower_bit(self) -> None:
+        self._event.clear()
+
+    def await_raised(self, timeout: float | None = None) -> bool:
+        return self._event.wait(timeout)
+
+    @property
+    def is_raised(self) -> bool:
+        return self._event.is_set()
+
+
+class Flag:
+    """A boolean shared flag with locked access (FlushOrder, Finished[])."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self, initial: bool = False) -> None:
+        self._value = initial
+        self._lock = threading.Lock()
+
+    def set(self, value: bool = True) -> None:
+        with self._lock:
+            self._value = value
+
+    def clear(self) -> None:
+        self.set(False)
+
+    def get(self) -> bool:
+        with self._lock:
+            return self._value
+
+
+#: Re-export: the paper's Barrier object is exactly threading.Barrier.
+Barrier = threading.Barrier

@@ -1,0 +1,135 @@
+"""Configuration for the Hercules index.
+
+Defaults follow Section 4.2 ("Parameterization") scaled from the paper's
+100M-series datasets down to laptop scale: the paper uses a leaf size of
+100K series, a DBSize of 120K, 24 build threads with a flush threshold of
+12, 12 write threads, and — during query answering — 24 threads,
+``L_max = 80``, ``EAPCA_TH = 0.25`` and ``SAX_TH = 0.50``.  The two query
+thresholds and ``L_max`` are kept at the paper's values (they are ratios,
+not sizes); the capacity-like knobs default to values that produce trees
+of comparable depth on datasets three orders of magnitude smaller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class HerculesConfig:
+    """All tunables of index construction and query answering.
+
+    Ablation switches (Figure 12) are part of the configuration so the
+    NoSAX / NoPara / NoWPara / NoThresh variants are first-class:
+
+    * ``parallel_writing=False`` → NoWPara,
+    * ``use_sax=False`` → NoSAX,
+    * ``num_query_threads=1`` → NoPara,
+    * ``adaptive_thresholds=False`` → NoThresh.
+    """
+
+    # -- tree shape ---------------------------------------------------------
+    #: Leaf capacity τ: a leaf splits when it exceeds this many series.
+    leaf_capacity: int = 100
+    #: Number of segments in the root's (uniform) initial segmentation.
+    initial_segments: int = 4
+    #: Split-policy ablations (Section 3.2: EAPCA trees adapt resolution
+    #: both horizontally and vertically, routing on mean or stddev).
+    allow_vertical_splits: bool = True
+    allow_std_routing: bool = True
+
+    # -- iSAX summaries ------------------------------------------------------
+    sax_segments: int = 16
+    sax_alphabet: int = 256
+
+    # -- index building ------------------------------------------------------
+    #: Total threads during building: 1 coordinator + (N-1) InsertWorkers.
+    #: ``1`` selects the sequential building path (no worker threads).
+    num_build_threads: int = 4
+    #: Series per DBuffer half (the paper's DBSize).
+    db_size: int = 256
+    #: HBuffer capacity in series; ``None`` sizes it to hold the dataset.
+    buffer_capacity: int | None = None
+    #: Number of full worker regions that triggers a flush.
+    flush_threshold: int = 2
+
+    # -- index writing -------------------------------------------------------
+    num_write_threads: int = 2
+    #: NoWPara ablation: post-process leaves sequentially when False.
+    parallel_writing: bool = True
+
+    # -- query answering -----------------------------------------------------
+    #: Maximum leaves visited by the approximate search (paper default 80).
+    l_max: int = 80
+    #: EAPCA pruning-ratio threshold below which a skip-sequential scan of
+    #: LRDFile replaces phases 3-4 (paper default 0.25).
+    eapca_th: float = 0.25
+    #: SAX pruning-ratio threshold below which a skip-sequential scan of
+    #: LRDFile replaces phase 4 (paper default 0.50).
+    sax_th: float = 0.50
+    num_query_threads: int = 4
+    #: NoSAX ablation: prune with LB_EAPCA only when False.
+    use_sax: bool = True
+    #: NoThresh ablation: when False, phases 3-4 always run.
+    adaptive_thresholds: bool = True
+    #: ε-approximate search (the paper's stated future-work direction,
+    #: following its ref [22]): every pruning comparison is tightened by
+    #: (1 + ε), guaranteeing reported distances within (1 + ε) of the
+    #: exact answers.  0.0 (default) keeps search exact.
+    epsilon: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.leaf_capacity < 2:
+            raise ConfigError(f"leaf_capacity must be >= 2, got {self.leaf_capacity}")
+        if self.initial_segments < 1:
+            raise ConfigError(
+                f"initial_segments must be >= 1, got {self.initial_segments}"
+            )
+        if self.sax_segments < 1:
+            raise ConfigError(f"sax_segments must be >= 1, got {self.sax_segments}")
+        if not 2 <= self.sax_alphabet <= 256:
+            raise ConfigError(
+                f"sax_alphabet must be in [2, 256], got {self.sax_alphabet}"
+            )
+        if self.num_build_threads < 1:
+            raise ConfigError(
+                f"num_build_threads must be >= 1, got {self.num_build_threads}"
+            )
+        if self.db_size < 1:
+            raise ConfigError(f"db_size must be >= 1, got {self.db_size}")
+        if self.buffer_capacity is not None and self.buffer_capacity < 1:
+            raise ConfigError(
+                f"buffer_capacity must be positive, got {self.buffer_capacity}"
+            )
+        num_insert_workers = max(self.num_build_threads - 1, 1)
+        if not 1 <= self.flush_threshold <= num_insert_workers:
+            raise ConfigError(
+                f"flush_threshold must be in [1, {num_insert_workers}] "
+                f"(the InsertWorker count), got {self.flush_threshold}"
+            )
+        if self.num_write_threads < 1:
+            raise ConfigError(
+                f"num_write_threads must be >= 1, got {self.num_write_threads}"
+            )
+        if self.l_max < 1:
+            raise ConfigError(f"l_max must be >= 1, got {self.l_max}")
+        for name, value in (("eapca_th", self.eapca_th), ("sax_th", self.sax_th)):
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1], got {value}")
+        if self.num_query_threads < 1:
+            raise ConfigError(
+                f"num_query_threads must be >= 1, got {self.num_query_threads}"
+            )
+        if self.epsilon < 0.0:
+            raise ConfigError(f"epsilon must be >= 0, got {self.epsilon}")
+
+    @property
+    def num_insert_workers(self) -> int:
+        """InsertWorker count: total build threads minus the coordinator."""
+        return max(self.num_build_threads - 1, 1)
+
+    def with_options(self, **changes) -> "HerculesConfig":
+        """A copy of this configuration with the given fields replaced."""
+        return replace(self, **changes)

@@ -1,0 +1,430 @@
+"""Parallel index building (Section 3.3.2, Algorithms 1-5, Figure 3).
+
+A coordinator thread reads the dataset in batches into one half of the
+DBuffer while InsertWorker threads drain the other half into the tree,
+storing raw series in their HBuffer regions.  When enough regions fill
+up, the first InsertWorker becomes the FlushCoordinator and spills every
+leaf's in-memory series to the spill file while the other workers wait
+(Algorithms 3-4).  The synchronization objects — DBarrier,
+ContinueBarrier, FlushBarrier, handshake bits, FetchAdd counters — map
+one-to-one onto the paper's pseudocode.
+
+``num_build_threads == 1`` selects a sequential path that performs the
+same insertions and flushes without worker threads; the resulting tree is
+identical in distribution (thread interleaving only permutes insertion
+order, which the tree's splits do not depend on once all series arrive).
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.atomic import Barrier, FetchAdd, Flag, HandshakeBit
+from repro.core.buffers import DoubleBuffer, HBuffer
+from repro.core.config import HerculesConfig
+from repro.core.node import Node, SpillExtent, synopsis_from_stats
+from repro.core.split import choose_split
+from repro.errors import ConfigError
+from repro.storage.dataset import Dataset
+from repro.storage.files import SeriesFile
+from repro.summarization.eapca import Segmentation, SeriesSketch
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class BuildContext:
+    """Shared state of one index-building run."""
+
+    root: Node
+    hbuffer: HBuffer
+    spill: SeriesFile
+    config: HerculesConfig
+    node_ids: FetchAdd = field(default_factory=lambda: FetchAdd(1))
+    #: Number of leaf splits performed (reported by build statistics).
+    splits: FetchAdd = field(default_factory=lambda: FetchAdd(0))
+    #: Number of flush phases executed.
+    flushes: FetchAdd = field(default_factory=lambda: FetchAdd(0))
+
+    def next_node_id(self) -> int:
+        return self.node_ids.fetch_add(1)
+
+
+def new_build_context(
+    dataset: Dataset, config: HerculesConfig, spill: SeriesFile
+) -> BuildContext:
+    """Create the root node, HBuffer, and shared counters for a build."""
+    length = dataset.series_length
+    if config.initial_segments > length:
+        raise ConfigError(
+            f"initial_segments={config.initial_segments} exceeds the series "
+            f"length {length}"
+        )
+    root = Node(0, Segmentation.uniform(length, config.initial_segments))
+    workers = config.num_insert_workers
+    # A worker only processes a batch when its region can absorb it whole
+    # (Algorithm 2 line 6), so each region must fit one effective batch or
+    # the batch could find no worker at all.
+    effective_db = min(config.db_size, dataset.num_series)
+    capacity = config.buffer_capacity
+    if capacity is None:
+        capacity = max(dataset.num_series, workers * effective_db)
+    hbuffer = HBuffer(capacity, length, workers)
+    min_region = min(hbuffer.region_capacity(w) for w in range(workers))
+    if min_region < effective_db:
+        raise ConfigError(
+            f"HBuffer regions of {min_region} series cannot absorb DBuffer "
+            f"batches of {effective_db}; raise buffer_capacity or lower "
+            f"db_size/num_build_threads"
+        )
+    return BuildContext(root=root, hbuffer=hbuffer, spill=spill, config=config)
+
+
+# ---------------------------------------------------------------------------
+# Algorithm 5: InsertSeriesToNode
+# ---------------------------------------------------------------------------
+
+
+def route_to_leaf(node: Node, sketch: SeriesSketch) -> Node:
+    """Descend from ``node`` to the leaf a series belongs to (lock-free).
+
+    Split publication order (children and policy before ``is_leaf``)
+    makes the unlocked reads safe; the caller re-checks leafness under
+    the lock (Algorithm 5 lines 2-6).
+    """
+    while not node.is_leaf:
+        node = node.route(sketch)
+    return node
+
+
+def insert_series(ctx: BuildContext, worker: int, series: np.ndarray) -> None:
+    """Insert one raw series into the tree (Algorithm 5)."""
+    sketch = SeriesSketch(series)
+    node = route_to_leaf(ctx.root, sketch)
+    node.lock.acquire()
+    while not node.is_leaf:
+        # Another thread split this node while we were acquiring the lock.
+        node.lock.release()
+        node = route_to_leaf(node, sketch)
+        node.lock.acquire()
+    try:
+        means, stds = sketch.stats(node.segmentation)
+        node.update_synopsis(means, stds)
+        slot = ctx.hbuffer.store(worker, series)
+        node.sbuffer.append(slot)
+        node.size += 1
+        if node.size > ctx.config.leaf_capacity:
+            _split_leaf(ctx, node)
+    finally:
+        node.lock.release()
+
+
+def leaf_data(ctx: BuildContext, leaf: Node) -> np.ndarray:
+    """All series of a leaf: spilled extents first, then HBuffer rows.
+
+    Matches Algorithm 5 line 12 ("get all data series in N from memory
+    and disk").  The caller must hold the leaf lock or otherwise have
+    exclusive access.
+    """
+    parts: list[np.ndarray] = []
+    for extent in leaf.spill_extents:
+        parts.append(ctx.spill.read_range(extent.position, extent.count))
+    if leaf.sbuffer:
+        parts.append(ctx.hbuffer.get_rows(leaf.sbuffer))
+    if not parts:
+        return np.empty((0, ctx.hbuffer.series_length), dtype=ctx.hbuffer._data.dtype)
+    return np.concatenate(parts, axis=0)
+
+
+def _split_leaf(ctx: BuildContext, node: Node) -> None:
+    """Split an over-capacity leaf (Algorithm 5 lines 9-14).
+
+    The caller holds the node lock.  Series are fetched from memory and
+    disk, redistributed by the best split policy, and the node becomes an
+    internal node.  Children inherit the in-memory slots by reference;
+    spilled series are re-spilled into fresh per-child extents (the old
+    extents become dead space in the append-only spill file).
+    """
+    data = leaf_data(ctx, node)
+    decision = choose_split(
+        node.segmentation,
+        data,
+        allow_vertical=ctx.config.allow_vertical_splits,
+        allow_std=ctx.config.allow_std_routing,
+    )
+    if decision is None:
+        # Every candidate statistic is constant across the series (e.g. a
+        # degenerate dataset of identical series): the leaf is allowed to
+        # exceed its capacity.
+        return
+
+    policy = decision.policy
+    left = Node(ctx.next_node_id(), policy.child_segmentation, parent=node)
+    right = Node(ctx.next_node_id(), policy.child_segmentation, parent=node)
+
+    mask = decision.left_mask
+    for child, child_mask in ((left, mask), (right, ~mask)):
+        child.synopsis = synopsis_from_stats(
+            decision.child_means[child_mask], decision.child_stds[child_mask]
+        )
+        child.size = int(child_mask.sum())
+
+    # Rows [0, n_spilled) of ``data`` came from the spill file, the rest
+    # from HBuffer slots in sbuffer order.
+    n_spilled = sum(extent.count for extent in node.spill_extents)
+    slots = np.asarray(node.sbuffer, dtype=np.int64)
+    memory_mask = mask[n_spilled:]
+    left.sbuffer = [int(s) for s in slots[memory_mask]]
+    right.sbuffer = [int(s) for s in slots[~memory_mask]]
+
+    if n_spilled:
+        spill_mask = mask[:n_spilled]
+        for child, child_rows in (
+            (left, data[:n_spilled][spill_mask]),
+            (right, data[:n_spilled][~spill_mask]),
+        ):
+            if child_rows.shape[0]:
+                position = ctx.spill.append_batch(child_rows)
+                child.spill_extents.append(
+                    SpillExtent(position, child_rows.shape[0])
+                )
+
+    # Publish children and policy before flipping is_leaf so lock-free
+    # routing never observes an internal node without a policy.
+    node.left = left
+    node.right = right
+    node.policy = policy
+    node.sbuffer = []
+    node.spill_extents = []
+    node.is_leaf = False
+    ctx.splits.fetch_add(1)
+
+
+# ---------------------------------------------------------------------------
+# Flushing (Algorithms 3-4)
+# ---------------------------------------------------------------------------
+
+
+def materialize_flush(ctx: BuildContext) -> None:
+    """Spill every leaf's in-memory series and reset HBuffer regions.
+
+    Runs with all InsertWorkers quiescent (they are parked between the
+    ContinueBarrier and the FlushBarrier).
+    """
+    for leaf in ctx.root.iter_leaves_inorder():
+        if not leaf.sbuffer:
+            continue
+        rows = ctx.hbuffer.get_rows(leaf.sbuffer)
+        position = ctx.spill.append_batch(rows)
+        leaf.spill_extents.append(SpillExtent(position, rows.shape[0]))
+        leaf.sbuffer = []
+    ctx.hbuffer.reset_regions()
+    flush_number = ctx.flushes.fetch_add(1) + 1
+    logger.debug(
+        "flush %d: spill file now holds %d series",
+        flush_number,
+        ctx.spill.num_series,
+    )
+
+
+class _BuildShared:
+    """Synchronization objects shared by the coordinator and workers."""
+
+    def __init__(self, config: HerculesConfig, series_length: int) -> None:
+        workers = config.num_insert_workers
+        self.dbuffer = DoubleBuffer(config.db_size, series_length)
+        self.dbarrier = Barrier(workers + 1)
+        self.continue_barrier = Barrier(workers)
+        self.flush_barrier = Barrier(workers)
+        self.flush_counter = FetchAdd(0)
+        self.flush_order = Flag(False)
+        self.handshakes = [HandshakeBit() for _ in range(workers)]
+        self.errors: list[BaseException] = []
+        self.error_lock = threading.Lock()
+
+    def report_error(self, exc: BaseException) -> None:
+        with self.error_lock:
+            self.errors.append(exc)
+
+    def abort_barriers(self) -> None:
+        self.dbarrier.abort()
+        self.continue_barrier.abort()
+        self.flush_barrier.abort()
+
+
+def _insert_worker(
+    ctx: BuildContext, shared: _BuildShared, worker: int
+) -> None:
+    """Algorithm 2 (InsertWorker) with Algorithms 3-4 as its flush phase."""
+    is_flush_coordinator = worker == 0
+    toggle = 0
+    try:
+        while not shared.dbuffer[toggle].finished.get():
+            half = shared.dbuffer[toggle]
+            region_has_space = ctx.hbuffer.free_slots(worker) >= half.size
+            if region_has_space:
+                pos = half.counter.fetch_add(1)
+                while pos < half.size:
+                    insert_series(ctx, worker, half.data[pos])
+                    pos = half.counter.fetch_add(1)
+            shared.dbarrier.wait()
+            if is_flush_coordinator:
+                _flush_coordinator(ctx, shared, worker)
+            else:
+                _flush_worker(ctx, shared, worker)
+            toggle = 1 - toggle
+    except threading.BrokenBarrierError:
+        return  # another thread failed; its error is already recorded
+    except BaseException as exc:  # noqa: BLE001 - propagate to the caller
+        shared.report_error(exc)
+        shared.abort_barriers()
+
+
+def _flush_coordinator(
+    ctx: BuildContext, shared: _BuildShared, worker: int
+) -> None:
+    """Algorithm 3: decide whether to flush, then do it."""
+    config = ctx.config
+    shared.handshakes[worker].raise_bit()
+    for bit in shared.handshakes:
+        # Escape hatch: if a peer died before raising its bit, fail this
+        # worker too instead of waiting forever (its error is recorded).
+        while not bit.await_raised(timeout=0.5):
+            if shared.errors:
+                raise RuntimeError("flush handshake aborted: a worker failed")
+    my_region_full = ctx.hbuffer.free_slots(worker) < config.db_size
+    if my_region_full or shared.flush_counter.load() >= config.flush_threshold:
+        shared.flush_order.set(True)
+        shared.flush_counter.store(0)
+    shared.continue_barrier.wait()
+    shared.handshakes[worker].lower_bit()
+    if shared.flush_order.get():
+        materialize_flush(ctx)
+        shared.flush_barrier.wait()
+        shared.flush_order.clear()
+
+
+def _flush_worker(ctx: BuildContext, shared: _BuildShared, worker: int) -> None:
+    """Algorithm 4: hand-shake with the coordinator, wait out a flush."""
+    if ctx.hbuffer.free_slots(worker) < ctx.config.db_size:
+        shared.flush_counter.fetch_add(1)
+    shared.handshakes[worker].raise_bit()
+    shared.continue_barrier.wait()
+    shared.handshakes[worker].lower_bit()
+    if shared.flush_order.get():
+        shared.flush_barrier.wait()
+
+
+# ---------------------------------------------------------------------------
+# Algorithm 1: BuildHerculesIndex (the coordinator)
+# ---------------------------------------------------------------------------
+
+
+def build_tree(
+    dataset: Dataset,
+    config: HerculesConfig,
+    spill: SeriesFile,
+    context: Optional[BuildContext] = None,
+) -> BuildContext:
+    """Build the Hercules tree over ``dataset``; returns the build context.
+
+    Leaves hold their series as HBuffer slots plus spill extents; the
+    index-writing phase (:mod:`repro.core.writing`) turns this into
+    LRDFile/LSDFile/HTree.
+    """
+    ctx = context if context is not None else new_build_context(dataset, config, spill)
+    logger.info(
+        "building tree over %d series x %d points (%d thread(s), "
+        "HBuffer %d series)",
+        dataset.num_series,
+        dataset.series_length,
+        config.num_build_threads,
+        ctx.hbuffer.capacity,
+    )
+    if config.num_build_threads == 1:
+        _build_sequential(ctx, dataset)
+    else:
+        _build_parallel(ctx, dataset)
+    logger.info(
+        "tree built: %d splits, %d flushes",
+        ctx.splits.load(),
+        ctx.flushes.load(),
+    )
+    return ctx
+
+
+def _build_sequential(ctx: BuildContext, dataset: Dataset) -> None:
+    """Single-thread path: same inserts and flushes, no protocol."""
+    config = ctx.config
+    for _, batch in dataset.iter_batches(config.db_size):
+        if ctx.hbuffer.free_slots(0) < batch.shape[0]:
+            materialize_flush(ctx)
+        for row in batch:
+            insert_series(ctx, 0, row)
+
+
+def _build_parallel(ctx: BuildContext, dataset: Dataset) -> None:
+    """The coordinator of Algorithm 1 plus its InsertWorker threads."""
+    config = ctx.config
+    shared = _BuildShared(config, dataset.series_length)
+    total = dataset.num_series
+
+    toggle = 0
+    first = min(config.db_size, total)
+    shared.dbuffer[toggle].fill(dataset.read_batch(0, first))
+    toggle = 1 - toggle
+
+    threads = [
+        threading.Thread(
+            target=_insert_worker,
+            args=(ctx, shared, worker),
+            name=f"hercules-insert-{worker}",
+            daemon=True,
+        )
+        for worker in range(config.num_insert_workers)
+    ]
+    for thread in threads:
+        thread.start()
+
+    try:
+        position = first
+        while position < total:
+            count = min(config.db_size, total - position)
+            shared.dbuffer[toggle].fill(dataset.read_batch(position, count))
+            toggle = 1 - toggle
+            shared.dbarrier.wait()
+            # Workers just finished the half filled one iteration earlier,
+            # which after the flip is the current ``toggle`` half.
+            _check_batch_consumed(shared, toggle)
+            position += count
+        shared.dbuffer[toggle].finished.set(True)
+        shared.dbarrier.wait()
+        _check_batch_consumed(shared, 1 - toggle)
+    except threading.BrokenBarrierError:
+        pass
+    finally:
+        for thread in threads:
+            thread.join()
+    if shared.errors:
+        raise shared.errors[0]
+
+
+def _check_batch_consumed(shared: _BuildShared, toggle: int) -> None:
+    """Safety net: a batch left unconsumed would mean silent data loss.
+
+    Cannot happen while flush_threshold < num_insert_workers (at least one
+    worker always has room for a batch), but a violated invariant must
+    fail loudly rather than drop series.
+    """
+    half = shared.dbuffer[toggle]
+    if half.counter.load() < half.size:
+        shared.abort_barriers()
+        raise RuntimeError(
+            "index building dropped a batch: every InsertWorker region was "
+            "full; this indicates a flush-protocol bug"
+        )

@@ -1,0 +1,391 @@
+"""The Hercules index facade: build → write → query, plus persistence.
+
+Typical usage::
+
+    from repro import HerculesIndex, HerculesConfig
+
+    index = HerculesIndex.build(data, HerculesConfig(leaf_capacity=100),
+                                directory="./my_index")
+    answer = index.knn(query, k=10)
+    index.close()
+
+    index = HerculesIndex.open("./my_index")   # later, from disk
+
+``build`` runs the two construction stages of Section 3.3 (index building
+and index writing); the returned object is immediately queryable.  ``open``
+reconstructs a queryable index from the three materialized files (HTree,
+LRDFile, LSDFile).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import logging
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.config import HerculesConfig
+from repro.core.construction import build_tree, new_build_context
+from repro.core.node import Node
+from repro.core.query import (
+    QueryAnswer,
+    approximate_knn,
+    exact_knn,
+    progressive_knn,
+)
+from repro.core.writing import (
+    HTREE_FILENAME,
+    LRD_FILENAME,
+    LSD_FILENAME,
+    write_index,
+)
+from repro.errors import ConfigError, IndexStateError, StorageError
+from repro.storage import htree
+from repro.storage.dataset import Dataset
+from repro.storage.files import SeriesFile, SymbolFile
+from repro.storage.iostats import IOSnapshot, IOStats
+from repro.summarization.sax import SaxSpace
+
+logger = logging.getLogger(__name__)
+
+_SPILL_FILENAME = "spill.bin"
+_SETTINGS_KEY_CONFIG = "config"
+
+
+@dataclass(frozen=True)
+class BuildReport:
+    """Timing and work counters of one index construction."""
+
+    build_seconds: float
+    write_seconds: float
+    num_series: int
+    num_leaves: int
+    splits: int
+    flushes: int
+    io: IOSnapshot
+
+    @property
+    def total_seconds(self) -> float:
+        return self.build_seconds + self.write_seconds
+
+
+class HerculesIndex:
+    """A materialized Hercules index over one dataset."""
+
+    def __init__(
+        self,
+        root: Node,
+        config: HerculesConfig,
+        directory: Path,
+        lrd: SeriesFile,
+        lsd_words: np.ndarray,
+        num_series: int,
+        build_report: Optional[BuildReport] = None,
+        owns_directory: bool = False,
+    ) -> None:
+        self.root = root
+        self.config = config
+        self.directory = directory
+        self._lrd = lrd
+        self._lsd_words = lsd_words
+        self.num_series = num_series
+        self.build_report = build_report
+        self._owns_directory = owns_directory
+        self._closed = False
+        self.sax_space = SaxSpace(config.sax_segments, config.sax_alphabet)
+        self._leaves = list(root.iter_leaves_inorder())
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        data: Union[np.ndarray, Dataset],
+        config: Optional[HerculesConfig] = None,
+        directory: Optional[Union[str, Path]] = None,
+        stats: Optional[IOStats] = None,
+    ) -> "HerculesIndex":
+        """Build and materialize an index over ``data``.
+
+        ``data`` may be an in-memory batch or a :class:`Dataset`.  When
+        ``directory`` is None a temporary directory is created and removed
+        on :meth:`close`.  ``stats`` receives the I/O of construction.
+        """
+        dataset = data if isinstance(data, Dataset) else Dataset.from_array(data)
+        if dataset.num_series == 0:
+            raise ConfigError("cannot index an empty dataset")
+        config = config if config is not None else HerculesConfig()
+
+        owns_directory = directory is None
+        directory = (
+            Path(tempfile.mkdtemp(prefix="hercules-"))
+            if directory is None
+            else Path(directory)
+        )
+        directory.mkdir(parents=True, exist_ok=True)
+        build_stats = stats if stats is not None else IOStats()
+        sax_space = SaxSpace(config.sax_segments, config.sax_alphabet)
+
+        spill = SeriesFile(
+            directory / _SPILL_FILENAME, dataset.series_length, stats=build_stats
+        )
+        try:
+            started = time.perf_counter()
+            ctx = build_tree(
+                dataset,
+                config,
+                spill,
+                context=new_build_context(dataset, config, spill),
+            )
+            build_seconds = time.perf_counter() - started
+
+            settings = {
+                _SETTINGS_KEY_CONFIG: dataclasses.asdict(config),
+                "num_series": dataset.num_series,
+                "series_length": dataset.series_length,
+            }
+            started = time.perf_counter()
+            result = write_index(ctx, directory, sax_space, settings, build_stats)
+            write_seconds = time.perf_counter() - started
+        finally:
+            spill.close()
+        (directory / _SPILL_FILENAME).unlink(missing_ok=True)
+
+        if result.num_series != dataset.num_series:
+            raise IndexStateError(
+                f"index holds {result.num_series} series but the dataset has "
+                f"{dataset.num_series}; series were lost during construction"
+            )
+
+        report = BuildReport(
+            build_seconds=build_seconds,
+            write_seconds=write_seconds,
+            num_series=result.num_series,
+            num_leaves=result.num_leaves,
+            splits=ctx.splits.load(),
+            flushes=ctx.flushes.load(),
+            io=build_stats.snapshot(),
+        )
+
+        logger.info(
+            "index ready: %d leaves over %d series in %.2fs "
+            "(build %.2fs + write %.2fs)",
+            result.num_leaves,
+            result.num_series,
+            report.total_seconds,
+            report.build_seconds,
+            report.write_seconds,
+        )
+        query_stats = IOStats()
+        lrd = SeriesFile(
+            directory / LRD_FILENAME,
+            dataset.series_length,
+            stats=query_stats,
+            read_only=True,
+        )
+        lsd_words = _load_lsd(directory, sax_space)
+        return cls(
+            root=ctx.root,
+            config=config,
+            directory=directory,
+            lrd=lrd,
+            lsd_words=lsd_words,
+            num_series=result.num_series,
+            build_report=report,
+            owns_directory=owns_directory,
+        )
+
+    @classmethod
+    def open(cls, directory: Union[str, Path]) -> "HerculesIndex":
+        """Open a previously materialized index."""
+        directory = Path(directory)
+        htree_path = directory / HTREE_FILENAME
+        if not htree_path.exists():
+            raise StorageError(f"no HTree file at {htree_path}")
+        root, settings = htree.load_tree(htree_path)
+        config = HerculesConfig(**settings[_SETTINGS_KEY_CONFIG])
+        sax_space = SaxSpace(config.sax_segments, config.sax_alphabet)
+        query_stats = IOStats()
+        lrd = SeriesFile(
+            directory / LRD_FILENAME,
+            settings["series_length"],
+            stats=query_stats,
+            read_only=True,
+        )
+        lsd_words = _load_lsd(directory, sax_space)
+        return cls(
+            root=root,
+            config=config,
+            directory=directory,
+            lrd=lrd,
+            lsd_words=lsd_words,
+            num_series=settings["num_series"],
+        )
+
+    # -- querying --------------------------------------------------------------
+
+    def knn(
+        self,
+        query: np.ndarray,
+        k: int = 1,
+        config: Optional[HerculesConfig] = None,
+    ) -> QueryAnswer:
+        """Exact k-NN search (Algorithm 10).
+
+        ``config`` overrides query-time settings (threads, thresholds,
+        ablation switches) without rebuilding the index.
+        """
+        self._check_open()
+        effective = config if config is not None else self.config
+        return exact_knn(
+            query,
+            k,
+            effective,
+            self.root,
+            self._lrd,
+            self._lsd_words,
+            self.sax_space,
+            num_leaves=len(self._leaves),
+            num_series=self.num_series,
+        )
+
+    def knn_batch(
+        self,
+        queries: np.ndarray,
+        k: int = 1,
+        config: Optional[HerculesConfig] = None,
+    ) -> list[QueryAnswer]:
+        """Answer several queries one after another (warm-cache workload).
+
+        Matches the paper's procedure: queries run asynchronously (each
+        must finish before the next is known), caches staying warm
+        between consecutive queries.
+        """
+        arr = np.asarray(queries)
+        if arr.ndim != 2:
+            raise ValueError(f"expected a 2-D query batch, got ndim={arr.ndim}")
+        return [self.knn(query, k=k, config=config) for query in arr]
+
+    def knn_approx(
+        self,
+        query: np.ndarray,
+        k: int = 1,
+        l_max: Optional[int] = None,
+    ) -> QueryAnswer:
+        """Approximate k-NN (Algorithm 11 alone; see the paper's §5).
+
+        Visits at most ``l_max`` leaves (default: the configured value)
+        and returns the best-so-far answers without the exact phases.
+        """
+        self._check_open()
+        config = self.config
+        if l_max is not None:
+            config = config.with_options(l_max=l_max)
+        return approximate_knn(
+            query,
+            k,
+            config,
+            self.root,
+            self._lrd,
+            self._lsd_words,
+            self.sax_space,
+            num_leaves=len(self._leaves),
+            num_series=self.num_series,
+        )
+
+    def knn_progressive(
+        self,
+        query: np.ndarray,
+        k: int = 1,
+        config: Optional[HerculesConfig] = None,
+    ):
+        """Progressive k-NN: a generator of improving answers.
+
+        Yields a refined :class:`QueryAnswer` after every leaf the
+        best-first search visits and finishes with the exact answer —
+        the interactive-analysis interaction model the paper's workloads
+        represent.  Stop consuming at any time to trade accuracy for
+        latency.
+        """
+        self._check_open()
+        effective = config if config is not None else self.config
+        return progressive_knn(
+            query,
+            k,
+            effective,
+            self.root,
+            self._lrd,
+            self._lsd_words,
+            self.sax_space,
+            num_leaves=len(self._leaves),
+            num_series=self.num_series,
+        )
+
+    def get_series(self, position: int) -> np.ndarray:
+        """Fetch the raw series stored at an LRDFile position."""
+        self._check_open()
+        return self._lrd.read_series(position)
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def num_leaves(self) -> int:
+        return len(self._leaves)
+
+    @property
+    def series_length(self) -> int:
+        return self._lrd.series_length
+
+    @property
+    def query_io(self) -> IOStats:
+        """I/O counters of all queries served by this index object."""
+        return self._lrd.stats
+
+    @property
+    def leaves(self) -> list[Node]:
+        """Leaves in inorder (= LRDFile order)."""
+        return list(self._leaves)
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release file handles (and the temp directory if we created it)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._lrd.close()
+        if self._owns_directory:
+            shutil.rmtree(self.directory, ignore_errors=True)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise IndexStateError("index is closed")
+
+    def __enter__(self) -> "HerculesIndex":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"HerculesIndex({self.num_series} series, {self.num_leaves} "
+            f"leaves, dir={self.directory})"
+        )
+
+
+def _load_lsd(directory: Path, sax_space: SaxSpace) -> np.ndarray:
+    """Pre-load LSDFile into memory (kept there during query answering)."""
+    lsd = SymbolFile(
+        directory / LSD_FILENAME, sax_space.segments, read_only=True
+    )
+    try:
+        return lsd.read_all()
+    finally:
+        lsd.close()

@@ -1,0 +1,92 @@
+"""The k-best-so-far result set shared by query workers.
+
+The paper's ``Results`` array holds the k best answers at any time;
+``BSF_k``, the k-th best distance, drives every pruning decision.  Workers
+of Algorithm 14 update it under a readers-writers lock; distances are the
+hot read path, so reads of the cached bound are lock-free here (a stale
+bound can only make pruning more conservative, never incorrect).
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+
+import numpy as np
+
+from repro.types import DISTANCE_DTYPE
+
+
+class ResultSet:
+    """Thread-safe container of the k smallest (distance, position) pairs."""
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self._lock = threading.Lock()
+        # Max-heap via negated distances: the root is the current k-th best.
+        self._heap: list[tuple[float, int]] = []
+        # Guard against the same series entering twice (e.g. a position
+        # examined by both an approximate probe and a later filter pass).
+        self._members: set[int] = set()
+        self._bsf = np.inf
+
+    @property
+    def bsf(self) -> float:
+        """The k-th smallest distance so far (inf until k answers exist).
+
+        Read without the lock: Python guarantees the float reference swap
+        is atomic, and a momentarily stale value only weakens pruning.
+        """
+        return self._bsf
+
+    def update(self, distance: float, position: int) -> bool:
+        """Offer one candidate; returns True if it entered the top-k."""
+        if distance >= self._bsf:
+            return False
+        with self._lock:
+            if position in self._members:
+                return False
+            if len(self._heap) < self.k:
+                heapq.heappush(self._heap, (-distance, position))
+            elif distance < -self._heap[0][0]:
+                _, evicted = heapq.heapreplace(self._heap, (-distance, position))
+                self._members.discard(evicted)
+            else:
+                return False
+            self._members.add(position)
+            if len(self._heap) == self.k:
+                self._bsf = -self._heap[0][0]
+            return True
+
+    def update_batch(self, distances: np.ndarray, positions: np.ndarray) -> int:
+        """Offer many candidates; returns how many entered the top-k."""
+        accepted = 0
+        # Cheap pre-filter outside the lock, then a single locked pass.
+        bound = self._bsf
+        order = np.argsort(distances, kind="stable")
+        for idx in order:
+            dist = float(distances[idx])
+            if dist >= bound and len(self._heap) >= self.k:
+                break  # sorted: everything after is worse
+            if self.update(dist, int(positions[idx])):
+                accepted += 1
+                bound = self._bsf
+        return accepted
+
+    def items(self) -> tuple[np.ndarray, np.ndarray]:
+        """Current answers sorted by ascending distance.
+
+        Returns ``(distances, positions)``; shorter than k if fewer than
+        k candidates were ever offered.
+        """
+        with self._lock:
+            pairs = sorted((-d, p) for d, p in self._heap)
+        distances = np.array([d for d, _ in pairs], dtype=DISTANCE_DTYPE)
+        positions = np.array([p for _, p in pairs], dtype=np.int64)
+        return distances, positions
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._heap)

@@ -1,0 +1,225 @@
+"""Split-policy selection (``getBestSplitPolicy`` of Algorithm 5).
+
+When a leaf exceeds its capacity τ, Hercules — like DSTree — picks among
+horizontal and vertical candidate splits on every segment, routing either
+on the segment mean or on its standard deviation (Section 3.2).
+
+Every series of the overflowing leaf is in memory at split time, so we
+evaluate candidates against the *actual* series statistics (the original
+DSTree scores hypothetical children from synopsis ranges only; using exact
+statistics at the leaf is a behaviour-preserving refinement documented in
+DESIGN.md).  The quality measure is the EAPCA *box diameter*
+
+    D = Σ_i ℓ_i · ((μ_i^max − μ_i^min)² + (σ_i^max − σ_i^min)²),
+
+the squared width of the node's synopsis box, which upper-bounds how far
+apart two members of the node can appear to LB_EAPCA.  Each candidate is
+scored by the diameter reduction it achieves *measured under its own child
+segmentation* — ``D(all series) − size-weighted mean D(children)`` — and
+the largest reduction wins.  Measuring parent and children under the same
+segmentation is essential: a coarse segmentation hides structure (every
+series looks alike under one segment), so comparing candidates across
+different segmentations would systematically favour splits that reveal
+the least.
+
+Candidates considered for a node with m segments:
+
+* H-split of segment i on mean or stddev (2m candidates);
+* V-split of segment i, routing on the mean or stddev of either half
+  (up to 4m candidates; halves shorter than one point are skipped).
+
+Thresholds are the midrange of the observed routing statistic, so any
+candidate whose statistic is not constant yields two non-empty children.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.node import SplitPolicy
+from repro.summarization.eapca import Segmentation
+from repro.types import DISTANCE_DTYPE
+
+
+class LeafStats:
+    """Cumulative sums over a leaf's data matrix for O(1) range statistics.
+
+    One O(k·n) pass supports per-series (mean, std) over any point range —
+    every split candidate and every child segmentation reuses it.
+    """
+
+    def __init__(self, data: np.ndarray) -> None:
+        arr = np.asarray(data, dtype=DISTANCE_DTYPE)
+        if arr.ndim != 2:
+            raise ValueError(f"expected a 2-D leaf matrix, got ndim={arr.ndim}")
+        self.count, self.length = arr.shape
+        self._cumsum = np.zeros((self.count, self.length + 1), dtype=DISTANCE_DTYPE)
+        np.cumsum(arr, axis=1, out=self._cumsum[:, 1:])
+        self._cumsq = np.zeros_like(self._cumsum)
+        np.cumsum(arr * arr, axis=1, out=self._cumsq[:, 1:])
+
+    def range_stats(self, start: int, end: int) -> tuple[np.ndarray, np.ndarray]:
+        """Per-series (means, stds) over ``[start, end)``."""
+        if not 0 <= start < end <= self.length:
+            raise ValueError(f"invalid range [{start}, {end})")
+        size = end - start
+        sums = self._cumsum[:, end] - self._cumsum[:, start]
+        sq_sums = self._cumsq[:, end] - self._cumsq[:, start]
+        means = sums / size
+        variances = sq_sums / size - means * means
+        np.maximum(variances, 0.0, out=variances)
+        return means, np.sqrt(variances)
+
+    def segmentation_stats(
+        self, segmentation: Segmentation
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-series per-segment (means, stds) under ``segmentation``."""
+        ends = np.asarray(segmentation.ends, dtype=np.int64)
+        starts = np.asarray(segmentation.starts, dtype=np.int64)
+        lengths = (ends - starts).astype(DISTANCE_DTYPE)
+        sums = self._cumsum[:, ends] - self._cumsum[:, starts]
+        sq_sums = self._cumsq[:, ends] - self._cumsq[:, starts]
+        means = sums / lengths
+        variances = sq_sums / lengths - means * means
+        np.maximum(variances, 0.0, out=variances)
+        return means, np.sqrt(variances)
+
+
+def box_diameter(
+    means: np.ndarray, stds: np.ndarray, lengths: np.ndarray
+) -> float:
+    """EAPCA box diameter of a set of series (see module docstring)."""
+    mu_range = means.max(axis=0) - means.min(axis=0)
+    sd_range = stds.max(axis=0) - stds.min(axis=0)
+    return float(np.dot(lengths, mu_range * mu_range + sd_range * sd_range))
+
+
+@dataclass(frozen=True)
+class SplitDecision:
+    """The winning split with everything needed to execute it."""
+
+    policy: SplitPolicy
+    #: Boolean mask over the leaf's series: True → left child.
+    left_mask: np.ndarray
+    #: Per-series (means, stds) under the child segmentation, reusable to
+    #: build both children's synopses without another data pass.
+    child_means: np.ndarray
+    child_stds: np.ndarray
+
+
+def _candidate_routes(
+    stats: LeafStats, start: int, end: int, allow_std: bool
+) -> list[tuple[bool, float, np.ndarray]]:
+    """Valid (use_std, threshold, left_mask) routings over one range."""
+    means, stds = stats.range_stats(start, end)
+    statistics = [(False, means)]
+    if allow_std:
+        statistics.append((True, stds))
+    routes = []
+    for use_std, values in statistics:
+        low, high = float(values.min()), float(values.max())
+        if low == high:
+            continue  # constant statistic cannot separate the series
+        threshold = (low + high) / 2.0
+        routes.append((use_std, threshold, values < threshold))
+    return routes
+
+
+def choose_split(
+    segmentation: Segmentation,
+    data: np.ndarray,
+    allow_vertical: bool = True,
+    allow_std: bool = True,
+) -> Optional[SplitDecision]:
+    """Pick the best split for a leaf holding ``data``.
+
+    ``allow_vertical`` / ``allow_std`` restrict the candidate set to
+    horizontal splits or mean-only routing — the ablation switches for
+    the paper's Section 3.2 claim that adapting resolution along *both*
+    dimensions (and on both statistics) is what EAPCA trees gain over
+    fixed-split indexes.
+
+    Returns ``None`` when no candidate separates the series (all series
+    identical under every candidate statistic); the caller then lets the
+    leaf exceed its capacity, which is the only sound option.
+    """
+    stats = LeafStats(data)
+    best_benefit = 0.0
+    best: Optional[SplitDecision] = None
+    total = stats.count
+
+    # Candidate segmentations are few (the node's own, plus one V-split per
+    # segment); cache their per-series stats and the whole-leaf diameter
+    # under each across candidates.
+    seg_stats_cache: dict[
+        Segmentation, tuple[np.ndarray, np.ndarray, float]
+    ] = {}
+
+    def stats_for(seg: Segmentation) -> tuple[np.ndarray, np.ndarray, float]:
+        cached = seg_stats_cache.get(seg)
+        if cached is None:
+            means, stds = stats.segmentation_stats(seg)
+            parent_d = box_diameter(means, stds, seg.lengths)
+            cached = (means, stds, parent_d)
+            seg_stats_cache[seg] = cached
+        return cached
+
+    for index in range(segmentation.num_segments):
+        seg_start, seg_end = segmentation.segment_range(index)
+
+        # Horizontal candidates: route on the whole segment; children keep
+        # the node's segmentation.
+        candidates = [
+            (False, segmentation, seg_start, seg_end, route)
+            for route in _candidate_routes(stats, seg_start, seg_end, allow_std)
+        ]
+
+        # Vertical candidates: children gain a segment; route on either half.
+        if allow_vertical and seg_end - seg_start >= 2:
+            child_seg = segmentation.split_vertically(index)
+            mid = (seg_start + seg_end) // 2
+            for half_start, half_end in ((seg_start, mid), (mid, seg_end)):
+                candidates.extend(
+                    (True, child_seg, half_start, half_end, route)
+                    for route in _candidate_routes(
+                        stats, half_start, half_end, allow_std
+                    )
+                )
+
+        for vertical, child_seg, route_start, route_end, route in candidates:
+            use_std, threshold, left_mask = route
+            n_left = int(left_mask.sum())
+            n_right = total - n_left
+            if n_left == 0 or n_right == 0:
+                continue
+            child_means, child_stds, parent_d = stats_for(child_seg)
+            lengths = child_seg.lengths
+            d_left = box_diameter(
+                child_means[left_mask], child_stds[left_mask], lengths
+            )
+            d_right = box_diameter(
+                child_means[~left_mask], child_stds[~left_mask], lengths
+            )
+            weighted = (n_left * d_left + n_right * d_right) / total
+            benefit = parent_d - weighted
+            if benefit > best_benefit:
+                best_benefit = benefit
+                policy = SplitPolicy(
+                    split_segment=index,
+                    vertical=vertical,
+                    use_std=use_std,
+                    threshold=threshold,
+                    route_start=route_start,
+                    route_end=route_end,
+                    child_segmentation=child_seg,
+                )
+                best = SplitDecision(
+                    policy=policy,
+                    left_mask=left_mask,
+                    child_means=child_means,
+                    child_stds=child_stds,
+                )
+    return best

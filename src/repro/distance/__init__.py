@@ -1,0 +1,50 @@
+"""Distance kernels and lower bounds.
+
+The paper performs every distance calculation with SIMD (Section 3.4); the
+Python analog is batch NumPy kernels over whole candidate matrices, which
+keeps pruning behaviour and operation counts identical while replacing the
+scalar inner loops.
+
+* :mod:`repro.distance.euclidean` — exact (squared) Euclidean distance,
+  batch kernels, early abandoning, k-NN selection helpers.
+* :mod:`repro.distance.lower_bounds` — LB_EAPCA (DSTree node bound),
+  LB_SAX (iSAX MINDIST wrapper), LB_PAA, and VA+ cell bounds.
+"""
+
+from repro.distance.euclidean import (
+    euclidean,
+    squared_euclidean,
+    batch_squared_euclidean,
+    early_abandon_squared,
+    knn_from_distances,
+)
+from repro.distance.lower_bounds import (
+    lb_eapca,
+    lb_eapca_batch,
+    lb_paa,
+    series_synopsis,
+    va_cell_bounds,
+)
+from repro.distance.dtw import (
+    dtw_distance,
+    dtw_distance_batch,
+    dtw_envelope,
+    lb_keogh,
+)
+
+__all__ = [
+    "euclidean",
+    "squared_euclidean",
+    "batch_squared_euclidean",
+    "early_abandon_squared",
+    "knn_from_distances",
+    "lb_eapca",
+    "lb_eapca_batch",
+    "lb_paa",
+    "series_synopsis",
+    "va_cell_bounds",
+    "dtw_distance",
+    "dtw_distance_batch",
+    "dtw_envelope",
+    "lb_keogh",
+]

@@ -1,0 +1,125 @@
+"""Exact Euclidean distance kernels.
+
+Two optimizations from the UCR suite carry over to whole matching and are
+used throughout (Section 2, "The UCR Suite"):
+
+* **squared distances** — comparisons happen on squared values and the
+  square root is taken once at the end;
+* **early abandoning** — a running sum that exceeds the best-so-far bound
+  stops the accumulation.
+
+The batch kernels are the SIMD analog: they evaluate a whole candidate
+matrix at once.  ``early_abandon_squared`` implements early abandoning in
+*column blocks* so it stays vectorized: after each block of points the rows
+whose partial sum already exceeds the cutoff are dropped from the rest of
+the computation.  The number of point comparisons actually performed is
+returned so harnesses can report work done, not just wall-clock.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.types import DISTANCE_DTYPE
+
+#: Column-block width used by the blocked early-abandoning kernel.
+DEFAULT_ABANDON_BLOCK = 32
+
+
+def squared_euclidean(a: np.ndarray, b: np.ndarray) -> float:
+    """Squared Euclidean distance between two 1-D series."""
+    x = np.asarray(a, dtype=DISTANCE_DTYPE)
+    y = np.asarray(b, dtype=DISTANCE_DTYPE)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError(f"shape mismatch: {x.shape} vs {y.shape}")
+    diff = x - y
+    return float(np.dot(diff, diff))
+
+
+def euclidean(a: np.ndarray, b: np.ndarray) -> float:
+    """Euclidean distance between two 1-D series."""
+    return float(np.sqrt(squared_euclidean(a, b)))
+
+
+def batch_squared_euclidean(query: np.ndarray, candidates: np.ndarray) -> np.ndarray:
+    """Squared ED between one query and every row of ``candidates``.
+
+    Returns a float64 vector of length ``candidates.shape[0]``.
+    """
+    q = np.asarray(query, dtype=DISTANCE_DTYPE)
+    cands = np.asarray(candidates, dtype=DISTANCE_DTYPE)
+    if cands.ndim == 1:
+        cands = cands.reshape(1, -1)
+    if q.ndim != 1 or cands.shape[1] != q.shape[0]:
+        raise ValueError(
+            f"query shape {q.shape} incompatible with candidates {cands.shape}"
+        )
+    diff = cands - q
+    return np.einsum("ij,ij->i", diff, diff)
+
+
+def early_abandon_squared(
+    query: np.ndarray,
+    candidates: np.ndarray,
+    cutoff_squared: float,
+    block: int = DEFAULT_ABANDON_BLOCK,
+) -> tuple[np.ndarray, int]:
+    """Blocked early-abandoning squared ED.
+
+    Accumulates squared differences ``block`` columns at a time and removes
+    rows whose partial sum already exceeds ``cutoff_squared``.  Abandoned
+    rows report ``inf``.
+
+    Returns
+    -------
+    (distances, points_compared):
+        ``distances`` is float64 of length ``count`` with ``inf`` for
+        abandoned candidates; ``points_compared`` counts the individual
+        point comparisons performed (the early-abandoning savings metric).
+    """
+    q = np.asarray(query, dtype=DISTANCE_DTYPE)
+    cands = np.asarray(candidates, dtype=DISTANCE_DTYPE)
+    if cands.ndim == 1:
+        cands = cands.reshape(1, -1)
+    count, n = cands.shape
+    if q.shape != (n,):
+        raise ValueError(
+            f"query shape {q.shape} incompatible with candidates {cands.shape}"
+        )
+    if block <= 0:
+        raise ValueError(f"block must be positive, got {block}")
+
+    partial = np.zeros(count, dtype=DISTANCE_DTYPE)
+    alive = np.arange(count)
+    points_compared = 0
+    for start in range(0, n, block):
+        end = min(start + block, n)
+        diff = cands[alive, start:end] - q[start:end]
+        partial[alive] += np.einsum("ij,ij->i", diff, diff)
+        points_compared += alive.shape[0] * (end - start)
+        keep = partial[alive] <= cutoff_squared
+        if not keep.all():
+            alive = alive[keep]
+            if alive.shape[0] == 0:
+                break
+
+    distances = np.full(count, np.inf, dtype=DISTANCE_DTYPE)
+    distances[alive] = partial[alive]
+    return distances, points_compared
+
+
+def knn_from_distances(distances: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Indices and values of the ``k`` smallest distances, sorted ascending.
+
+    Fewer than ``k`` entries are returned when ``distances`` is shorter.
+    """
+    dist = np.asarray(distances, dtype=DISTANCE_DTYPE)
+    if dist.ndim != 1:
+        raise ValueError("expected a 1-D distance vector")
+    k = min(k, dist.shape[0])
+    if k <= 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=DISTANCE_DTYPE)
+    part = np.argpartition(dist, k - 1)[:k]
+    order = np.argsort(dist[part], kind="stable")
+    idx = part[order]
+    return idx.astype(np.int64), dist[idx]

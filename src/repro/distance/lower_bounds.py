@@ -1,0 +1,158 @@
+"""Lower-bounding distances used for pruning.
+
+LB_EAPCA (the DSTree/Hercules node bound)
+-----------------------------------------
+For one segment of length ℓ, write the query's segment statistics as
+(μ_Q, σ_Q) and a candidate's as (μ_S, σ_S).  Decomposing the squared
+Euclidean distance over the segment around the two means and bounding the
+cross term with Cauchy–Schwarz gives
+
+    ED²(Q_seg, S_seg) ≥ ℓ · ((μ_Q − μ_S)² + (σ_Q − σ_S)²).
+
+A node's synopsis stores per-segment intervals [μ_min, μ_max] and
+[σ_min, σ_max] over every series in its subtree, so minimizing the bound
+over the box yields the node-level lower bound
+
+    LB_EAPCA²(Q, N) = Σ_i ℓ_i · (d(μ_Q,i, [μ_i^min, μ_i^max])²
+                                + d(σ_Q,i, [σ_i^min, σ_i^max])²),
+
+where d(x, [a, b]) is the distance from a point to an interval.  This is
+the bound used by Algorithms 10–12 of the paper (LB_EAPCA of [64]).
+
+LB_SAX lives on :class:`repro.summarization.sax.SaxSpace` (``mindist``) and
+:class:`repro.summarization.isax.IsaxWord` (``mindist``); this module adds
+LB_PAA (a PAA-to-PAA bound used in tests as a sanity reference) and the
+VA+file cell bounds.
+
+Synopsis layout
+---------------
+Synopses are ``(m, 4)`` float64 arrays with columns
+``[MU_MIN, MU_MAX, SD_MIN, SD_MAX]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.types import DISTANCE_DTYPE
+
+#: Synopsis column indices.
+MU_MIN, MU_MAX, SD_MIN, SD_MAX = 0, 1, 2, 3
+
+
+def _interval_gap(values: np.ndarray, low: np.ndarray, high: np.ndarray) -> np.ndarray:
+    """Distance from each value to its interval [low, high] (0 if inside)."""
+    return np.maximum(np.maximum(low - values, values - high), 0.0)
+
+
+def lb_eapca(
+    query_means: np.ndarray,
+    query_stds: np.ndarray,
+    synopsis: np.ndarray,
+    segment_lengths: np.ndarray,
+) -> float:
+    """LB_EAPCA between a query and one node synopsis.
+
+    Parameters
+    ----------
+    query_means, query_stds:
+        Query statistics under the *node's* segmentation, shape ``(m,)``.
+    synopsis:
+        Node synopsis, shape ``(m, 4)`` (see module docstring).
+    segment_lengths:
+        ℓ_i weights, shape ``(m,)``.
+    """
+    mu_gap = _interval_gap(query_means, synopsis[:, MU_MIN], synopsis[:, MU_MAX])
+    sd_gap = _interval_gap(query_stds, synopsis[:, SD_MIN], synopsis[:, SD_MAX])
+    total = np.dot(segment_lengths, mu_gap * mu_gap + sd_gap * sd_gap)
+    return float(np.sqrt(total))
+
+
+def lb_eapca_batch(
+    query_means: np.ndarray,
+    query_stds: np.ndarray,
+    synopses: np.ndarray,
+    segment_lengths: np.ndarray,
+) -> np.ndarray:
+    """LB_EAPCA against many synopses sharing one segmentation.
+
+    ``synopses`` has shape ``(count, m, 4)``; returns ``(count,)`` bounds.
+    Used to evaluate both children of a split in one call and to bound all
+    series of a leaf during tests.
+    """
+    syn = np.asarray(synopses, dtype=DISTANCE_DTYPE)
+    if syn.ndim != 3 or syn.shape[2] != 4:
+        raise ValueError(f"expected (count, m, 4) synopses, got {syn.shape}")
+    mu_gap = _interval_gap(query_means, syn[:, :, MU_MIN], syn[:, :, MU_MAX])
+    sd_gap = _interval_gap(query_stds, syn[:, :, SD_MIN], syn[:, :, SD_MAX])
+    totals = (mu_gap * mu_gap + sd_gap * sd_gap) @ np.asarray(
+        segment_lengths, dtype=DISTANCE_DTYPE
+    )
+    return np.sqrt(totals)
+
+
+def series_synopsis(means: np.ndarray, stds: np.ndarray) -> np.ndarray:
+    """Degenerate synopsis of a single series (point intervals).
+
+    Handy in tests: LB_EAPCA against it equals the per-series EAPCA bound.
+    Accepts ``(m,)`` vectors and returns an ``(m, 4)`` synopsis.
+    """
+    m = means.shape[0]
+    syn = np.empty((m, 4), dtype=DISTANCE_DTYPE)
+    syn[:, MU_MIN] = means
+    syn[:, MU_MAX] = means
+    syn[:, SD_MIN] = stds
+    syn[:, SD_MAX] = stds
+    return syn
+
+
+def lb_paa(
+    query_paa: np.ndarray, candidate_paa: np.ndarray, series_length: int
+) -> np.ndarray:
+    """PAA lower bound: ``sqrt(n/w · Σ (q_i − c_i)²)``.
+
+    ``candidate_paa`` may be one vector or a batch of rows.
+    """
+    q = np.asarray(query_paa, dtype=DISTANCE_DTYPE)
+    c = np.asarray(candidate_paa, dtype=DISTANCE_DTYPE)
+    squeeze = c.ndim == 1
+    if squeeze:
+        c = c.reshape(1, -1)
+    if c.shape[1] != q.shape[0]:
+        raise ValueError(f"PAA width mismatch: {q.shape} vs {c.shape}")
+    diff = c - q
+    scale = series_length / q.shape[0]
+    out = np.sqrt(scale * np.einsum("ij,ij->i", diff, diff))
+    return float(out[0]) if squeeze else out
+
+
+def va_cell_bounds(
+    query_features: np.ndarray,
+    cell_lower: np.ndarray,
+    cell_upper: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Lower/upper distance bounds from a query to quantization cells.
+
+    ``cell_lower``/``cell_upper`` are ``(count, d)`` per-dimension cell
+    boundary matrices.  The lower bound is the distance to the nearest
+    point of each cell; the upper bound to its farthest corner.  Because
+    the feature transform (orthonormal DFT prefix) underestimates the true
+    distance, the lower bound is a valid ED lower bound, while the upper
+    bound is only an upper bound *in feature space* — VA+file therefore
+    uses real distances (not UBs) to tighten its best-so-far, and we do the
+    same; the UB is used only to seed the candidate ordering.
+    """
+    q = np.asarray(query_features, dtype=DISTANCE_DTYPE)
+    lo = np.asarray(cell_lower, dtype=DISTANCE_DTYPE)
+    hi = np.asarray(cell_upper, dtype=DISTANCE_DTYPE)
+    squeeze = lo.ndim == 1
+    if squeeze:
+        lo = lo.reshape(1, -1)
+        hi = hi.reshape(1, -1)
+    gap = _interval_gap(q, lo, hi)
+    lower = np.sqrt(np.einsum("ij,ij->i", gap, gap))
+    far = np.maximum(np.abs(q - lo), np.abs(hi - q))
+    upper = np.sqrt(np.einsum("ij,ij->i", far, far))
+    if squeeze:
+        return lower[0], upper[0]
+    return lower, upper

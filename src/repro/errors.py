@@ -1,0 +1,31 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so downstream users can catch one base class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class StorageError(ReproError):
+    """An on-disk structure is missing, corrupt, or incompatible."""
+
+
+class IndexStateError(ReproError):
+    """An operation was attempted in an invalid index lifecycle state.
+
+    For example, querying an index that has not been written to disk yet,
+    or inserting into an index that has already been finalized.
+    """
+
+
+class WorkloadError(ReproError):
+    """A query workload or dataset could not be generated or loaded."""

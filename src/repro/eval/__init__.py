@@ -1,0 +1,28 @@
+"""Experiment harnesses reproducing the paper's evaluation (Section 4).
+
+* :mod:`repro.eval.metrics` — per-workload measurement and the paper's
+  10K-query extrapolation procedure.
+* :mod:`repro.eval.methods` — a registry building every method over one
+  dataset with comparable, scaled default parameters.
+* :mod:`repro.eval.report` — fixed-width table formatting for benchmark
+  output.
+* :mod:`repro.eval.experiments` — one entry point per paper figure
+  (Figures 6-12), each returning structured results and printing the rows
+  the paper reports.
+"""
+
+from repro.eval.metrics import WorkloadResult, extrapolate_10k, run_workload
+from repro.eval.methods import ALL_METHODS, BuiltMethod, build_method, build_methods
+from repro.eval.report import format_table, print_table
+
+__all__ = [
+    "WorkloadResult",
+    "extrapolate_10k",
+    "run_workload",
+    "ALL_METHODS",
+    "BuiltMethod",
+    "build_method",
+    "build_methods",
+    "format_table",
+    "print_table",
+]

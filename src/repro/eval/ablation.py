@@ -1,0 +1,192 @@
+"""Design-choice ablations beyond Figure 12.
+
+The paper justifies several design decisions with experiments it only
+summarizes in prose; this module makes them measurable:
+
+* **Buffer management** (Section 3.3.1): "allocating a large memory
+  buffer (HBuffer) at the start of index creation ... is more efficient
+  than having each leaf pre-allocate its own memory buffer and release it
+  when it is split, especially during the beginning of index construction
+  where splits occur frequently."  :func:`build_with_per_leaf_buffers`
+  implements the rejected design — every leaf owns a growable array that
+  dies with the leaf on every split — so the two allocation strategies
+  can be compared on identical inserts.
+
+* **Query-parameter sensitivity** (Section 4.2: "the EAPCA_TH and SAX_TH
+  thresholds are tuned experimentally, and exhibit a stable behavior").
+  :func:`threshold_sensitivity` sweeps both thresholds and ``L_max``
+  across workload difficulties.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.config import HerculesConfig
+from repro.core.node import Node, synopsis_from_stats
+from repro.core.split import choose_split
+from repro.eval.metrics import WorkloadResult
+from repro.summarization.eapca import Segmentation, SeriesSketch
+from repro.types import SERIES_DTYPE
+
+
+@dataclass
+class PerLeafBuildReport:
+    """Outcome of a per-leaf-buffer build (the rejected design)."""
+
+    seconds: float
+    num_leaves: int
+    #: Buffer (re)allocations performed — the overhead HBuffer avoids.
+    allocations: int
+    #: Series copied between buffers during splits.
+    copies: int
+
+
+class _GrowableLeafBuffer:
+    """The per-leaf buffer of the rejected design: grows by doubling."""
+
+    __slots__ = ("data", "count", "allocations", "copies")
+
+    def __init__(self, series_length: int, initial: int = 16) -> None:
+        self.data = np.empty((initial, series_length), dtype=SERIES_DTYPE)
+        self.count = 0
+        self.allocations = 1
+        self.copies = 0
+
+    def append(self, row: np.ndarray) -> None:
+        if self.count == self.data.shape[0]:
+            grown = np.empty(
+                (self.data.shape[0] * 2, self.data.shape[1]), dtype=SERIES_DTYPE
+            )
+            grown[: self.count] = self.data
+            self.allocations += 1
+            self.copies += self.count
+            self.data = grown
+        self.data[self.count] = row
+        self.count += 1
+
+    def rows(self) -> np.ndarray:
+        return self.data[: self.count]
+
+
+def build_with_per_leaf_buffers(
+    data: np.ndarray, config: HerculesConfig
+) -> PerLeafBuildReport:
+    """Build a Hercules-style tree where each leaf allocates its own buffer.
+
+    Single-threaded by design: the point is to isolate the allocation and
+    copy behaviour of the per-leaf strategy, which the paper rejected in
+    favour of HBuffer; the insert and split logic are otherwise identical
+    to the production path.
+    """
+    arr = np.ascontiguousarray(data, dtype=SERIES_DTYPE)
+    started = time.perf_counter()
+    root = Node(0, Segmentation.uniform(arr.shape[1], config.initial_segments))
+    buffers: dict[int, _GrowableLeafBuffer] = {
+        0: _GrowableLeafBuffer(arr.shape[1])
+    }
+    allocations = 1
+    copies = 0
+    next_id = 1
+
+    for row in arr:
+        sketch = SeriesSketch(row)
+        node = root
+        while not node.is_leaf:
+            node = node.route(sketch)
+        means, stds = sketch.stats(node.segmentation)
+        node.update_synopsis(means, stds)
+        buffer = buffers[node.node_id]
+        buffer.append(row)
+        node.size += 1
+        if node.size <= config.leaf_capacity:
+            continue
+
+        decision = choose_split(node.segmentation, buffer.rows())
+        if decision is None:
+            continue
+        policy = decision.policy
+        mask = decision.left_mask
+        left = Node(next_id, policy.child_segmentation, parent=node)
+        right = Node(next_id + 1, policy.child_segmentation, parent=node)
+        next_id += 2
+        for child, child_mask in ((left, mask), (right, ~mask)):
+            child.synopsis = synopsis_from_stats(
+                decision.child_means[child_mask],
+                decision.child_stds[child_mask],
+            )
+            child.size = int(child_mask.sum())
+            # The rejected design: a fresh allocation per child, parent
+            # buffer released, every series copied across.
+            child_buffer = _GrowableLeafBuffer(
+                arr.shape[1], initial=max(config.leaf_capacity, 16)
+            )
+            for child_row in buffer.rows()[child_mask]:
+                child_buffer.append(child_row)
+            child_buffer.copies += child.size
+            buffers[child.node_id] = child_buffer
+            allocations += child_buffer.allocations
+            copies += child_buffer.copies
+        allocations += buffer.allocations - 1  # growth of the dead buffer
+        copies += buffer.copies
+        del buffers[node.node_id]
+        node.left, node.right = left, right
+        node.policy = policy
+        node.is_leaf = False
+
+    seconds = time.perf_counter() - started
+    return PerLeafBuildReport(
+        seconds=seconds,
+        num_leaves=sum(1 for _ in root.iter_leaves_inorder()),
+        allocations=allocations,
+        copies=copies,
+    )
+
+
+def threshold_sensitivity(
+    index,
+    workloads: dict[str, np.ndarray],
+    eapca_values: Sequence[float] = (0.0, 0.25, 0.5, 0.9),
+    sax_values: Sequence[float] = (0.0, 0.5, 0.9),
+    k: int = 1,
+) -> list[dict]:
+    """Sweep EAPCA_TH and SAX_TH over a built index and query workloads.
+
+    Returns one record per (workload, eapca_th, sax_th) combination with
+    the mean query time, accessed fraction, and the access paths taken —
+    the paper's claim is that performance is *stable* around the chosen
+    (0.25, 0.50) point.
+    """
+    records: list[dict] = []
+    for label, queries in workloads.items():
+        for eapca_th in eapca_values:
+            for sax_th in sax_values:
+                config = index.config.with_options(
+                    eapca_th=eapca_th, sax_th=sax_th
+                )
+                profiles = []
+                for query in queries:
+                    profiles.append(index.knn(query, k=k, config=config).profile)
+                result = WorkloadResult(
+                    method=f"eapca={eapca_th},sax={sax_th}",
+                    workload=label,
+                    k=k,
+                    num_series=index.num_series,
+                    build_seconds=0.0,
+                    profiles=profiles,
+                )
+                records.append(
+                    {
+                        "workload": label,
+                        "eapca_th": eapca_th,
+                        "sax_th": sax_th,
+                        "avg_query_seconds": result.avg_query_seconds,
+                        "avg_data_accessed": result.avg_data_accessed,
+                        "paths": sorted({p.path for p in profiles}),
+                    }
+                )
+    return records

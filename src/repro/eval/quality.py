@@ -1,0 +1,117 @@
+"""Quality measures for approximate query answering.
+
+The paper's conclusion points at approximate answering with and without
+quality guarantees (following its ref [22], which established these
+measures for data-series search).  This module implements the standard
+ones so the approximate modes can be evaluated systematically:
+
+* **recall@k** — fraction of the exact k-NN set retrieved;
+* **approximation error** — ratio of the returned k-th distance to the
+  exact k-th distance (1.0 = exact, the paper's ε bounds this by 1+ε);
+* **mean average precision (MAP@k)** — order-sensitive quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.query import QueryAnswer
+
+
+@dataclass(frozen=True)
+class ApproximationQuality:
+    """Quality of one approximate answer against the exact answer."""
+
+    recall: float
+    approximation_error: float
+    average_precision: float
+
+
+def answer_quality(approx: QueryAnswer, exact: QueryAnswer) -> ApproximationQuality:
+    """Compare an approximate answer to the exact one for the same query."""
+    if exact.k == 0:
+        raise ValueError("exact answer is empty")
+    exact_set = set(int(p) for p in exact.positions)
+
+    hits = np.isin(approx.positions, exact.positions)
+    recall = float(hits.sum()) / exact.k
+
+    exact_kth = float(exact.distances[-1])
+    if exact_kth == 0.0:
+        error = 1.0 if float(approx.distances[-1]) == 0.0 else np.inf
+    else:
+        error = float(approx.distances[-1]) / exact_kth
+
+    # Average precision over the approximate ranking.
+    precisions = []
+    found = 0
+    for rank, position in enumerate(approx.positions, start=1):
+        if int(position) in exact_set:
+            found += 1
+            precisions.append(found / rank)
+    average_precision = (
+        float(np.mean(precisions)) if precisions else 0.0
+    )
+    return ApproximationQuality(
+        recall=recall,
+        approximation_error=error,
+        average_precision=average_precision,
+    )
+
+
+@dataclass
+class QualitySummary:
+    """Aggregated quality over a workload of queries."""
+
+    mean_recall: float
+    mean_approximation_error: float
+    worst_approximation_error: float
+    mean_average_precision: float
+    count: int
+
+    @classmethod
+    def from_qualities(
+        cls, qualities: list[ApproximationQuality]
+    ) -> "QualitySummary":
+        if not qualities:
+            raise ValueError("no qualities to summarize")
+        errors = [q.approximation_error for q in qualities]
+        return cls(
+            mean_recall=float(np.mean([q.recall for q in qualities])),
+            mean_approximation_error=float(np.mean(errors)),
+            worst_approximation_error=float(np.max(errors)),
+            mean_average_precision=float(
+                np.mean([q.average_precision for q in qualities])
+            ),
+            count=len(qualities),
+        )
+
+
+def evaluate_approximate(
+    index,
+    queries: np.ndarray,
+    k: int,
+    *,
+    l_max: int | None = None,
+    epsilon: float | None = None,
+) -> QualitySummary:
+    """Run a workload in an approximate mode and measure its quality.
+
+    Exactly one of ``l_max`` (approximate-only mode) or ``epsilon``
+    (ε-approximate mode) must be given; exact answers are computed with
+    the index's own configuration.
+    """
+    if (l_max is None) == (epsilon is None):
+        raise ValueError("provide exactly one of l_max= or epsilon=")
+    qualities: list[ApproximationQuality] = []
+    for query in queries:
+        exact = index.knn(query, k=k)
+        if l_max is not None:
+            approx = index.knn_approx(query, k=k, l_max=l_max)
+        else:
+            config = index.config.with_options(epsilon=epsilon)
+            approx = index.knn(query, k=k, config=config)
+        qualities.append(answer_quality(approx, exact))
+    return QualitySummary.from_qualities(qualities)

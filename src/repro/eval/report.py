@@ -1,0 +1,49 @@
+"""Fixed-width table formatting for benchmark output.
+
+Benchmarks print the same rows/series the paper's figures plot; these
+helpers keep that output aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_cell(value) -> str:
+    """Human-friendly rendering of one table cell."""
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.3g}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence], indent: str = "  "
+) -> str:
+    """Render rows as a fixed-width text table with a rule under headers."""
+    rendered = [[format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        indent + "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        indent + "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered:
+        lines.append(
+            indent + "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def print_table(
+    title: str, headers: Sequence[str], rows: Iterable[Sequence]
+) -> None:
+    print(f"\n{title}")
+    print(format_table(headers, rows))

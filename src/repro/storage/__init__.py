@@ -1,0 +1,21 @@
+"""Disk-backed storage with I/O accounting.
+
+The paper materializes a Hercules index into three files (Section 3.3):
+HTree (the tree), LRDFile (raw series in leaf-inorder), and LSDFile (their
+iSAX summaries in the same order).  This package provides those formats
+plus the shared byte/record file machinery and the I/O statistics layer
+that makes random-vs-sequential access patterns measurable.
+"""
+
+from repro.storage.iostats import IOSnapshot, IOStats
+from repro.storage.files import BinaryFile, SeriesFile, SymbolFile
+from repro.storage.dataset import Dataset
+
+__all__ = [
+    "IOSnapshot",
+    "IOStats",
+    "BinaryFile",
+    "SeriesFile",
+    "SymbolFile",
+    "Dataset",
+]

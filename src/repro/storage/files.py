@@ -1,0 +1,282 @@
+"""Counted binary files and fixed-record series files.
+
+:class:`BinaryFile` is a byte-level file handle whose reads and writes are
+recorded in an :class:`~repro.storage.iostats.IOStats`.  Reads that resume
+exactly where the previous read on the same handle ended are counted as
+sequential; anything else is a random seek.
+
+:class:`SeriesFile` layers fixed-size float32 records on top — the format
+of the paper's raw-data files (a headerless concatenation of series, as in
+the original Hercules/DSTree tooling).  LRDFile, the spill file, and the
+dataset input file are all SeriesFiles.  :class:`SymbolFile` is the same
+idea for LSDFile's fixed-width uint8 iSAX words.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.storage.iostats import IOStats
+from repro.types import SERIES_DTYPE, SYMBOL_DTYPE
+
+PathLike = Union[str, Path]
+
+
+class BinaryFile:
+    """A byte-addressed file with I/O accounting.
+
+    The handle is opened lazily in ``r+b`` (created when missing unless
+    ``read_only``) and is safe for concurrent use: a lock serializes the
+    seek+read/write pairs, which also keeps the sequential/random
+    classification coherent.
+    """
+
+    def __init__(
+        self,
+        path: PathLike,
+        stats: Optional[IOStats] = None,
+        read_only: bool = False,
+    ) -> None:
+        self.path = Path(path)
+        self.stats = stats if stats is not None else IOStats()
+        self.read_only = read_only
+        self._lock = threading.Lock()
+        self._next_offset = 0  # where a sequential read would continue
+        if read_only:
+            if not self.path.exists():
+                raise StorageError(f"file not found: {self.path}")
+            self._handle = open(self.path, "rb")
+        else:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            mode = "r+b" if self.path.exists() else "w+b"
+            self._handle = open(self.path, mode)
+        # Tracked explicitly: appends through the buffered handle are not
+        # visible to fstat until flushed.
+        self._size = os.fstat(self._handle.fileno()).st_size
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def read(self, offset: int, nbytes: int) -> bytes:
+        """Read ``nbytes`` starting at ``offset``, recording the access."""
+        if offset < 0 or nbytes < 0:
+            raise ValueError(f"invalid read range ({offset}, {nbytes})")
+        with self._lock:
+            sequential = offset == self._next_offset
+            self._handle.seek(offset)
+            data = self._handle.read(nbytes)
+            self._next_offset = offset + len(data)
+        if len(data) != nbytes:
+            raise StorageError(
+                f"short read from {self.path}: wanted {nbytes} bytes at "
+                f"{offset}, got {len(data)}"
+            )
+        self.stats.record_read(nbytes, sequential)
+        return data
+
+    def append(self, data: bytes) -> int:
+        """Append ``data``, returning the offset it was written at."""
+        self._check_writable()
+        with self._lock:
+            self._handle.seek(0, os.SEEK_END)
+            offset = self._handle.tell()
+            self._handle.write(data)
+            self._size = offset + len(data)
+        self.stats.record_write(len(data))
+        return offset
+
+    def write_at(self, offset: int, data: bytes) -> None:
+        """Write ``data`` at an absolute offset (used to patch headers)."""
+        self._check_writable()
+        with self._lock:
+            self._handle.seek(offset)
+            self._handle.write(data)
+            self._size = max(self._size, offset + len(data))
+        self.stats.record_write(len(data))
+
+    def flush(self) -> None:
+        self._handle.flush()
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def _check_writable(self) -> None:
+        if self.read_only:
+            raise StorageError(f"{self.path} is read-only")
+
+    def __enter__(self) -> "BinaryFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SeriesFile:
+    """Fixed-record file of float32 data series.
+
+    Records are addressed by *position* (series index), matching the
+    paper's FilePosition vocabulary: a leaf's raw data is
+    ``read_range(first_position, count)``.
+    """
+
+    def __init__(
+        self,
+        path: PathLike,
+        series_length: int,
+        stats: Optional[IOStats] = None,
+        read_only: bool = False,
+    ) -> None:
+        if series_length <= 0:
+            raise ValueError(f"series length must be positive, got {series_length}")
+        self.series_length = series_length
+        self.record_size = series_length * SERIES_DTYPE.itemsize
+        self._file = BinaryFile(path, stats=stats, read_only=read_only)
+        if self._file.size % self.record_size != 0:
+            raise StorageError(
+                f"{self._file.path} size {self._file.size} is not a multiple "
+                f"of the record size {self.record_size}"
+            )
+
+    @property
+    def path(self) -> Path:
+        return self._file.path
+
+    @property
+    def stats(self) -> IOStats:
+        return self._file.stats
+
+    @property
+    def num_series(self) -> int:
+        return self._file.size // self.record_size
+
+    def read_range(self, position: int, count: int) -> np.ndarray:
+        """Read ``count`` consecutive series starting at ``position``."""
+        if position < 0 or count < 0 or position + count > self.num_series:
+            raise StorageError(
+                f"read_range({position}, {count}) outside file with "
+                f"{self.num_series} series"
+            )
+        raw = self._file.read(position * self.record_size, count * self.record_size)
+        return np.frombuffer(raw, dtype=SERIES_DTYPE).reshape(count, self.series_length)
+
+    def read_series(self, position: int) -> np.ndarray:
+        """Read one series (a single random access in the worst case)."""
+        return self.read_range(position, 1)[0]
+
+    def read_positions(self, positions: np.ndarray) -> np.ndarray:
+        """Read series at sorted positions, coalescing consecutive runs.
+
+        Runs of adjacent positions become single ``read_range`` calls, so
+        the I/O accounting sees one seek per run — what page-level reads
+        of a real system would do.  Positions must be sorted ascending.
+        """
+        pos = np.asarray(positions, dtype=np.int64)
+        rows: list[np.ndarray] = []
+        start = 0
+        total = pos.shape[0]
+        while start < total:
+            end = start + 1
+            while end < total and pos[end] == pos[end - 1] + 1:
+                end += 1
+            rows.append(self.read_range(int(pos[start]), end - start))
+            start = end
+        if not rows:
+            return np.empty((0, self.series_length), dtype=SERIES_DTYPE)
+        return np.concatenate(rows, axis=0)
+
+    def append_batch(self, data: np.ndarray) -> int:
+        """Append a batch, returning the position of its first series."""
+        arr = np.ascontiguousarray(data, dtype=SERIES_DTYPE)
+        if arr.ndim == 1:
+            arr = arr.reshape(1, -1)
+        if arr.shape[1] != self.series_length:
+            raise StorageError(
+                f"appending series of length {arr.shape[1]} to a file of "
+                f"length-{self.series_length} records"
+            )
+        offset = self._file.append(arr.tobytes())
+        return offset // self.record_size
+
+    def flush(self) -> None:
+        self._file.flush()
+
+    def close(self) -> None:
+        self._file.close()
+
+    def __enter__(self) -> "SeriesFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SymbolFile:
+    """Fixed-record file of uint8 iSAX words (the LSDFile format).
+
+    Word ``i`` summarizes the series at position ``i`` of the companion
+    :class:`SeriesFile` — the paper stores LSDFile in LRDFile order so one
+    position addresses both.
+    """
+
+    def __init__(
+        self,
+        path: PathLike,
+        segments: int,
+        stats: Optional[IOStats] = None,
+        read_only: bool = False,
+    ) -> None:
+        if segments <= 0:
+            raise ValueError(f"segments must be positive, got {segments}")
+        self.segments = segments
+        self.record_size = segments * SYMBOL_DTYPE.itemsize
+        self._file = BinaryFile(path, stats=stats, read_only=read_only)
+        if self._file.size % self.record_size != 0:
+            raise StorageError(
+                f"{self._file.path} size {self._file.size} is not a multiple "
+                f"of the word size {self.record_size}"
+            )
+
+    @property
+    def path(self) -> Path:
+        return self._file.path
+
+    @property
+    def num_words(self) -> int:
+        return self._file.size // self.record_size
+
+    def append_batch(self, words: np.ndarray) -> int:
+        arr = np.ascontiguousarray(words, dtype=SYMBOL_DTYPE)
+        if arr.ndim == 1:
+            arr = arr.reshape(1, -1)
+        if arr.shape[1] != self.segments:
+            raise StorageError(
+                f"appending {arr.shape[1]}-segment words to a "
+                f"{self.segments}-segment file"
+            )
+        offset = self._file.append(arr.tobytes())
+        return offset // self.record_size
+
+    def read_all(self) -> np.ndarray:
+        """Load the whole file (pre-loaded in memory during querying)."""
+        count = self.num_words
+        raw = self._file.read(0, count * self.record_size)
+        return np.frombuffer(raw, dtype=SYMBOL_DTYPE).reshape(count, self.segments)
+
+    def flush(self) -> None:
+        self._file.flush()
+
+    def close(self) -> None:
+        self._file.close()
+
+    def __enter__(self) -> "SymbolFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

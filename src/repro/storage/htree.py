@@ -1,0 +1,188 @@
+"""HTree: the on-disk format of the Hercules index tree.
+
+The index-writing phase materializes three files (Section 3.3.1): LRDFile
+(raw series in leaf-inorder), LSDFile (their iSAX words), and HTree — the
+tree itself.  This module implements HTree as a versioned binary format:
+
+* header — magic, format version, and a JSON settings blob (configuration
+  plus dataset metadata), so readers can validate compatibility before
+  touching node records;
+* node records — the tree in preorder, each node packed with
+  :mod:`struct`.  Internal nodes always have exactly two children, so
+  structure is implied by the ``is_leaf`` flag and no child pointers are
+  stored.
+
+Only structural state is serialized; build-time state (SBuffer slots,
+spill extents, write-phase events) is reconstructed empty because a
+persisted tree is immutable.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Optional
+
+import numpy as np
+
+from repro.core.node import Node, SplitPolicy
+from repro.errors import StorageError
+from repro.storage.files import BinaryFile, PathLike
+from repro.storage.iostats import IOStats
+from repro.summarization.eapca import Segmentation
+from repro.types import DISTANCE_DTYPE
+
+MAGIC = b"HERCTREE"
+FORMAT_VERSION = 1
+
+_HEADER = struct.Struct("<8sII")  # magic, version, settings length
+_NODE_FIXED = struct.Struct("<BHQ")  # flags, num_segments, size
+_LEAF_TAIL = struct.Struct("<q")  # file_position
+_INTERNAL_TAIL = struct.Struct("<HBBdII")
+# split_segment, vertical, use_std, threshold, route_start, route_end
+
+_FLAG_LEAF = 0x01
+
+
+def save_tree(
+    path: PathLike,
+    root: Node,
+    settings: dict,
+    stats: Optional[IOStats] = None,
+) -> None:
+    """Serialize ``root`` and ``settings`` into an HTree file."""
+    payload = json.dumps(settings, sort_keys=True).encode("utf-8")
+    chunks: list[bytes] = [_HEADER.pack(MAGIC, FORMAT_VERSION, len(payload)), payload]
+    for node in root.iter_nodes_preorder():
+        chunks.append(_pack_node(node))
+    blob = b"".join(chunks)
+    # Saving replaces any previous tree: BinaryFile appends to existing
+    # files, so clear the target first.
+    from pathlib import Path as _Path
+
+    _Path(path).unlink(missing_ok=True)
+    with BinaryFile(path, stats=stats) as handle:
+        handle.append(blob)
+        handle.flush()
+
+
+def load_tree(
+    path: PathLike, stats: Optional[IOStats] = None
+) -> tuple[Node, dict]:
+    """Read an HTree file back into a node tree and its settings dict."""
+    with BinaryFile(path, stats=stats, read_only=True) as handle:
+        blob = handle.read(0, handle.size)
+    if len(blob) < _HEADER.size:
+        raise StorageError(f"{path}: truncated HTree header")
+    magic, version, settings_len = _HEADER.unpack_from(blob, 0)
+    if magic != MAGIC:
+        raise StorageError(f"{path}: not an HTree file (bad magic {magic!r})")
+    if version != FORMAT_VERSION:
+        raise StorageError(
+            f"{path}: HTree version {version} unsupported "
+            f"(expected {FORMAT_VERSION})"
+        )
+    offset = _HEADER.size
+    try:
+        settings = json.loads(blob[offset : offset + settings_len].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise StorageError(f"{path}: corrupt settings blob") from exc
+    offset += settings_len
+
+    try:
+        root, offset = _unpack_node(blob, offset, parent=None, next_id=[0])
+    except StorageError:
+        raise
+    except (struct.error, ValueError, OverflowError) as exc:
+        # Mutated node records surface as struct underflows, impossible
+        # segmentations, or reshape failures — all corruption.
+        raise StorageError(f"{path}: corrupt HTree node records: {exc}") from exc
+    if offset != len(blob):
+        raise StorageError(
+            f"{path}: {len(blob) - offset} trailing bytes after the tree"
+        )
+    return root, settings
+
+
+def _pack_node(node: Node) -> bytes:
+    flags = _FLAG_LEAF if node.is_leaf else 0
+    m = node.segmentation.num_segments
+    parts = [
+        _NODE_FIXED.pack(flags, m, node.size),
+        np.asarray(node.segmentation.ends, dtype="<u4").tobytes(),
+        np.ascontiguousarray(node.synopsis, dtype="<f8").tobytes(),
+    ]
+    if node.is_leaf:
+        parts.append(_LEAF_TAIL.pack(node.file_position))
+    else:
+        policy = node.policy
+        if policy is None:
+            raise StorageError(
+                f"internal node {node.node_id} has no split policy"
+            )
+        parts.append(
+            _INTERNAL_TAIL.pack(
+                policy.split_segment,
+                int(policy.vertical),
+                int(policy.use_std),
+                policy.threshold,
+                policy.route_start,
+                policy.route_end,
+            )
+        )
+    return b"".join(parts)
+
+
+def _unpack_node(
+    blob: bytes, offset: int, parent: Optional[Node], next_id: list[int]
+) -> tuple[Node, int]:
+    try:
+        flags, m, size = _NODE_FIXED.unpack_from(blob, offset)
+    except struct.error as exc:
+        raise StorageError("truncated HTree node record") from exc
+    offset += _NODE_FIXED.size
+
+    if len(blob) < offset + 4 * m + 8 * 4 * m:
+        raise StorageError("truncated HTree node record")
+    ends = np.frombuffer(blob, dtype="<u4", count=m, offset=offset)
+    offset += 4 * m
+    synopsis = np.frombuffer(blob, dtype="<f8", count=4 * m, offset=offset)
+    offset += 8 * 4 * m
+
+    node = Node(next_id[0], Segmentation(ends), parent=parent)
+    next_id[0] += 1
+    node.size = int(size)
+    node.synopsis = synopsis.reshape(m, 4).astype(DISTANCE_DTYPE)
+
+    if flags & _FLAG_LEAF:
+        (file_position,) = _LEAF_TAIL.unpack_from(blob, offset)
+        offset += _LEAF_TAIL.size
+        node.file_position = int(file_position)
+    else:
+        (
+            split_segment,
+            vertical,
+            use_std,
+            threshold,
+            route_start,
+            route_end,
+        ) = _INTERNAL_TAIL.unpack_from(blob, offset)
+        offset += _INTERNAL_TAIL.size
+        child_seg = (
+            node.segmentation.split_vertically(split_segment)
+            if vertical
+            else node.segmentation
+        )
+        node.policy = SplitPolicy(
+            split_segment=split_segment,
+            vertical=bool(vertical),
+            use_std=bool(use_std),
+            threshold=float(threshold),
+            route_start=int(route_start),
+            route_end=int(route_end),
+            child_segmentation=child_seg,
+        )
+        node.left, offset = _unpack_node(blob, offset, node, next_id)
+        node.right, offset = _unpack_node(blob, offset, node, next_id)
+        node.is_leaf = False
+    return node, offset

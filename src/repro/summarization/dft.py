@@ -1,0 +1,77 @@
+"""Orthonormal DFT features for the VA+file baseline.
+
+The VA+file variant evaluated in the paper (following [21]) replaces the
+Karhunen–Loève transform with the DFT for efficiency.  We build a real
+feature vector from the leading Fourier coefficients under the orthonormal
+("ortho") convention, so Parseval's theorem makes Euclidean distance in the
+*full* feature space equal to Euclidean distance in the time domain — and
+distance over any feature *prefix* a lower bound of the true distance.
+
+Feature layout for a series of length n (rfft bins ``0..n//2``):
+
+``[X_0.re, √2·X_1.re, √2·X_1.im, √2·X_2.re, √2·X_2.im, ...]``
+
+The √2 factor folds each conjugate-symmetric bin pair into one real pair;
+the Nyquist bin (even n) contributes a single unscaled real value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.types import DISTANCE_DTYPE
+
+
+@dataclass(frozen=True)
+class DftBasis:
+    """Feature extractor keeping the first ``num_features`` DFT features."""
+
+    series_length: int
+    num_features: int
+
+    def __post_init__(self) -> None:
+        if self.series_length < 2:
+            raise ValueError("series length must be at least 2")
+        max_features = self.series_length  # full spectrum has n real dof
+        if not 1 <= self.num_features <= max_features:
+            raise ValueError(
+                f"num_features must be in [1, {max_features}], "
+                f"got {self.num_features}"
+            )
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        """Extract features for one series or a batch.
+
+        Returns float64 features of shape ``(num_features,)`` or
+        ``(count, num_features)``.
+        """
+        return dft_features(data, self.num_features)
+
+
+def dft_features(data: np.ndarray, num_features: int) -> np.ndarray:
+    """Leading orthonormal DFT features (see module docstring)."""
+    arr = np.asarray(data, dtype=DISTANCE_DTYPE)
+    squeeze = arr.ndim == 1
+    if squeeze:
+        arr = arr.reshape(1, -1)
+    if arr.ndim != 2:
+        raise ValueError(f"expected 1-D or 2-D input, got ndim={arr.ndim}")
+    n = arr.shape[1]
+    spectrum = np.fft.rfft(arr, axis=1, norm="ortho")
+
+    columns: list[np.ndarray] = [spectrum[:, 0].real]
+    bin_index = 1
+    last_bin = spectrum.shape[1] - 1
+    nyquist = n % 2 == 0
+    while len(columns) < num_features and bin_index <= last_bin:
+        is_nyquist_bin = nyquist and bin_index == last_bin
+        scale = 1.0 if is_nyquist_bin else np.sqrt(2.0)
+        columns.append(scale * spectrum[:, bin_index].real)
+        if len(columns) < num_features and not is_nyquist_bin:
+            columns.append(scale * spectrum[:, bin_index].imag)
+        bin_index += 1
+
+    features = np.stack(columns[:num_features], axis=1)
+    return features[0] if squeeze else features

@@ -1,0 +1,130 @@
+"""iSAX: indexable SAX words with per-segment cardinalities.
+
+An iSAX word stores, for each segment, a symbol together with the number of
+bits used to express it (its *cardinality*).  A word at lower cardinality
+covers a contiguous region of the full-resolution symbol space, which is
+what makes iSAX indexable: a node's word is the prefix of the words of
+every series below it, and refining one segment by one bit splits a node in
+two (Shieh & Keogh, 2008).
+
+Hercules materializes full-resolution (8-bit) symbols in its LSDFile; the
+variable-cardinality machinery here is used by the ParIS+ baseline's index
+tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.summarization.sax import SaxSpace
+from repro.types import DISTANCE_DTYPE
+
+
+@dataclass(frozen=True)
+class IsaxWord:
+    """An iSAX word: per-segment symbols plus per-segment bit counts.
+
+    ``symbols[i]`` holds the value of segment ``i`` expressed in
+    ``bits[i]`` bits, i.e. the *top* ``bits[i]`` bits of the full-resolution
+    8-bit symbol.  Words are immutable and hashable so they can key the
+    ParIS+ node table.
+    """
+
+    symbols: tuple[int, ...]
+    bits: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.symbols) != len(self.bits):
+            raise ValueError("symbols and bits must have equal length")
+        for sym, b in zip(self.symbols, self.bits):
+            if not 0 <= b <= 8:
+                raise ValueError(f"bit count {b} outside [0, 8]")
+            if not 0 <= sym < (1 << b):
+                raise ValueError(f"symbol {sym} does not fit in {b} bits")
+
+    @property
+    def segments(self) -> int:
+        return len(self.symbols)
+
+    def contains(self, full_symbols: np.ndarray) -> np.ndarray:
+        """Whether full-resolution words fall in this word's region.
+
+        ``full_symbols`` is ``(count, segments)`` (or 1-D) of 8-bit symbols;
+        returns a boolean vector (or scalar for 1-D input).
+        """
+        sym = np.asarray(full_symbols, dtype=np.int64)
+        squeeze = sym.ndim == 1
+        if squeeze:
+            sym = sym.reshape(1, -1)
+        ok = np.ones(sym.shape[0], dtype=bool)
+        for i, (value, b) in enumerate(zip(self.symbols, self.bits)):
+            if b == 0:
+                continue
+            ok &= (sym[:, i] >> (8 - b)) == value
+        return bool(ok[0]) if squeeze else ok
+
+    def refine(self, segment: int) -> tuple["IsaxWord", "IsaxWord"]:
+        """Split this word by adding one bit to ``segment``.
+
+        Returns the (low, high) children words — the iSAX node split.
+        """
+        b = self.bits[segment]
+        if b >= 8:
+            raise ValueError(f"segment {segment} already at maximum cardinality")
+        base = self.symbols[segment] << 1
+        low_syms = self.symbols[:segment] + (base,) + self.symbols[segment + 1 :]
+        high_syms = self.symbols[:segment] + (base + 1,) + self.symbols[segment + 1 :]
+        new_bits = self.bits[:segment] + (b + 1,) + self.bits[segment + 1 :]
+        return IsaxWord(low_syms, new_bits), IsaxWord(high_syms, new_bits)
+
+    def child_for(self, full_symbols: np.ndarray, segment: int) -> "IsaxWord":
+        """The refined child (on ``segment``) containing ``full_symbols``."""
+        low, high = self.refine(segment)
+        if low.contains(np.asarray(full_symbols)):
+            return low
+        return high
+
+    def region_bounds(self, space: SaxSpace) -> tuple[np.ndarray, np.ndarray]:
+        """Per-segment (lower, upper) breakpoint bounds of this word.
+
+        A segment expressed with ``b`` bits at full alphabet ``A`` covers
+        full-resolution symbols ``[v * A/2^b, (v+1) * A/2^b)``, whose value
+        region is bounded by the corresponding extended breakpoints.
+        """
+        full = space.alphabet_size
+        lower = np.empty(self.segments, dtype=DISTANCE_DTYPE)
+        upper = np.empty(self.segments, dtype=DISTANCE_DTYPE)
+        edges = np.concatenate(([-np.inf], space.breakpoints, [np.inf]))
+        for i, (value, b) in enumerate(zip(self.symbols, self.bits)):
+            width = full >> b if b else full
+            lower[i] = edges[value * width]
+            upper[i] = edges[(value + 1) * width]
+        return lower, upper
+
+    def mindist(
+        self, query_paa: np.ndarray, space: SaxSpace, series_length: int
+    ) -> float:
+        """LB_SAX between a query's PAA and this (possibly coarse) word."""
+        q = np.asarray(query_paa, dtype=DISTANCE_DTYPE)
+        lower, upper = self.region_bounds(space)
+        gap = np.maximum(np.maximum(lower - q, q - upper), 0.0)
+        scale = series_length / self.segments
+        return float(np.sqrt(scale * np.dot(gap, gap)))
+
+    def __str__(self) -> str:
+        parts = [f"{s}:{b}" for s, b in zip(self.symbols, self.bits)]
+        return "<" + " ".join(parts) + ">"
+
+
+def isax_from_symbols(full_symbols: np.ndarray, bits: int) -> IsaxWord:
+    """Build an iSAX word from full-resolution symbols at uniform ``bits``."""
+    sym = np.asarray(full_symbols, dtype=np.int64)
+    if sym.ndim != 1:
+        raise ValueError("expected a 1-D symbol vector")
+    if bits == 0:
+        values = tuple(0 for _ in sym)
+    else:
+        values = tuple(int(v) >> (8 - bits) for v in sym)
+    return IsaxWord(values, tuple(bits for _ in sym))

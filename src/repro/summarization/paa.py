@@ -1,0 +1,65 @@
+"""Piecewise Aggregate Approximation (PAA).
+
+PAA divides a series into ``w`` equi-length segments and represents each
+segment by the mean of its points (Keogh et al., 2001; Figure 1a of the
+paper).  When the series length is not a multiple of ``w``, the leading
+segments receive one extra point each so segment lengths differ by at most
+one — the convention used by the iSAX family.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.types import DISTANCE_DTYPE
+
+
+def paa_segment_bounds(length: int, segments: int) -> np.ndarray:
+    """Return the ``segments + 1`` boundary offsets of the PAA segments.
+
+    ``bounds[i]:bounds[i+1]`` slices segment ``i`` out of a series of
+    ``length`` points.  Segment lengths differ by at most one point.
+    """
+    if segments <= 0:
+        raise ValueError(f"segments must be positive, got {segments}")
+    if length < segments:
+        raise ValueError(
+            f"series length {length} shorter than segment count {segments}"
+        )
+    base, extra = divmod(length, segments)
+    sizes = np.full(segments, base, dtype=np.int64)
+    sizes[:extra] += 1
+    bounds = np.zeros(segments + 1, dtype=np.int64)
+    np.cumsum(sizes, out=bounds[1:])
+    return bounds
+
+
+def paa(series: np.ndarray, segments: int) -> np.ndarray:
+    """Compute the PAA representation of one series or a batch.
+
+    Parameters
+    ----------
+    series:
+        A 1-D series or a 2-D batch of series (one per row).
+    segments:
+        Number of equi-length segments ``w``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Float64 array of shape ``(segments,)`` for a 1-D input or
+        ``(batch, segments)`` for a 2-D input.
+    """
+    arr = np.asarray(series, dtype=DISTANCE_DTYPE)
+    squeeze = arr.ndim == 1
+    if squeeze:
+        arr = arr.reshape(1, -1)
+    if arr.ndim != 2:
+        raise ValueError(f"expected 1-D or 2-D input, got ndim={arr.ndim}")
+    bounds = paa_segment_bounds(arr.shape[1], segments)
+    sizes = np.diff(bounds).astype(DISTANCE_DTYPE)
+    cumsum = np.zeros((arr.shape[0], arr.shape[1] + 1), dtype=DISTANCE_DTYPE)
+    np.cumsum(arr, axis=1, out=cumsum[:, 1:])
+    sums = cumsum[:, bounds[1:]] - cumsum[:, bounds[:-1]]
+    means = sums / sizes
+    return means[0] if squeeze else means

@@ -1,0 +1,204 @@
+"""SAX: Symbolic Aggregate approXimation.
+
+SAX (Lin et al., 2003) discretizes PAA values into an alphabet whose
+breakpoints are the quantiles of the standard normal distribution, so that
+symbols are equiprobable for z-normalized series.  Following the paper we
+default to 16 segments and an alphabet of 256 symbols, i.e. 8 bits per
+segment at the maximum cardinality.
+
+The module is self-contained: the inverse normal CDF is computed with
+Acklam's rational approximation so the core library depends only on NumPy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.types import DISTANCE_DTYPE, SYMBOL_DTYPE
+
+#: Default number of SAX segments (paper Section 2, following [21]).
+DEFAULT_SEGMENTS = 16
+
+#: Default alphabet size (paper Section 2, following [58]).
+DEFAULT_ALPHABET = 256
+
+# Coefficients of Acklam's inverse normal CDF approximation (relative error
+# below 1.15e-9 over the full domain), used so that scipy is not a runtime
+# dependency of the core library.
+_ACKLAM_A = (
+    -3.969683028665376e01,
+    2.209460984245205e02,
+    -2.759285104469687e02,
+    1.383577518672690e02,
+    -3.066479806614716e01,
+    2.506628277459239e00,
+)
+_ACKLAM_B = (
+    -5.447609879822406e01,
+    1.615858368580409e02,
+    -1.556989798598866e02,
+    6.680131188771972e01,
+    -1.328068155288572e01,
+)
+_ACKLAM_C = (
+    -7.784894002430293e-03,
+    -3.223964580411365e-01,
+    -2.400758277161838e00,
+    -2.549732539343734e00,
+    4.374664141464968e00,
+    2.938163982698783e00,
+)
+_ACKLAM_D = (
+    7.784695709041462e-03,
+    3.224671290700398e-01,
+    2.445134137142996e00,
+    3.754408661907416e00,
+)
+_ACKLAM_LOW = 0.02425
+
+
+def inverse_normal_cdf(p: np.ndarray) -> np.ndarray:
+    """Inverse CDF of the standard normal distribution (Acklam, 2003).
+
+    Vectorized over ``p``; accepts probabilities strictly inside (0, 1).
+    """
+    p = np.asarray(p, dtype=DISTANCE_DTYPE)
+    if np.any((p <= 0.0) | (p >= 1.0)):
+        raise ValueError("probabilities must lie strictly inside (0, 1)")
+    out = np.empty_like(p)
+
+    a, b, c, d = _ACKLAM_A, _ACKLAM_B, _ACKLAM_C, _ACKLAM_D
+
+    lower = p < _ACKLAM_LOW
+    upper = p > 1.0 - _ACKLAM_LOW
+    central = ~(lower | upper)
+
+    if np.any(central):
+        q = p[central] - 0.5
+        r = q * q
+        num = ((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]
+        den = ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0
+        out[central] = num * q / den
+
+    if np.any(lower):
+        q = np.sqrt(-2.0 * np.log(p[lower]))
+        num = ((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]
+        den = (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
+        out[lower] = num / den
+
+    if np.any(upper):
+        q = np.sqrt(-2.0 * np.log(1.0 - p[upper]))
+        num = ((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]
+        den = (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
+        out[upper] = -num / den
+
+    return out
+
+
+def sax_breakpoints(alphabet_size: int) -> np.ndarray:
+    """Return the ``alphabet_size - 1`` N(0,1) quantile breakpoints.
+
+    Symbol ``s`` covers the interval ``[breakpoints[s-1], breakpoints[s])``
+    with the conventions ``breakpoints[-1] = -inf`` and
+    ``breakpoints[alphabet_size-1] = +inf``.
+    """
+    if alphabet_size < 2:
+        raise ValueError(f"alphabet size must be at least 2, got {alphabet_size}")
+    if alphabet_size > 256:
+        raise ValueError(
+            f"alphabet size {alphabet_size} exceeds the uint8 symbol range"
+        )
+    probs = np.arange(1, alphabet_size, dtype=DISTANCE_DTYPE) / alphabet_size
+    return inverse_normal_cdf(probs)
+
+
+@dataclass(frozen=True)
+class SaxSpace:
+    """A SAX symbol space: segment count, alphabet, and breakpoint tables.
+
+    Instances are cheap value objects; the derived tables are computed once
+    at construction.  ``symbolize`` maps PAA matrices to symbol matrices and
+    ``mindist`` computes the lower-bounding distance of Algorithm 13
+    (LB_SAX) between a query's PAA and many SAX words at once.
+    """
+
+    segments: int = DEFAULT_SEGMENTS
+    alphabet_size: int = DEFAULT_ALPHABET
+    breakpoints: np.ndarray = field(init=False, repr=False, compare=False)
+    #: breakpoints extended with -inf / +inf sentinels for interval lookup.
+    _edges: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.segments <= 0:
+            raise ValueError(f"segments must be positive, got {self.segments}")
+        bps = sax_breakpoints(self.alphabet_size)
+        edges = np.concatenate(([-np.inf], bps, [np.inf]))
+        object.__setattr__(self, "breakpoints", bps)
+        object.__setattr__(self, "_edges", edges)
+
+    @property
+    def bits_per_symbol(self) -> int:
+        """Number of bits needed to store one symbol at full cardinality."""
+        return int(np.ceil(np.log2(self.alphabet_size)))
+
+    def symbolize(self, paa_values: np.ndarray) -> np.ndarray:
+        """Map PAA values to SAX symbols in ``[0, alphabet_size)``.
+
+        Accepts a 1-D PAA vector or a 2-D batch; the output mirrors the
+        input shape with dtype ``uint8``.
+        """
+        values = np.asarray(paa_values, dtype=DISTANCE_DTYPE)
+        symbols = np.searchsorted(self.breakpoints, values, side="right")
+        return symbols.astype(SYMBOL_DTYPE)
+
+    def symbol_intervals(self, symbols: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Return the (lower, upper) breakpoint interval of each symbol."""
+        sym = np.asarray(symbols, dtype=np.int64)
+        return self._edges[sym], self._edges[sym + 1]
+
+    def mindist(
+        self,
+        query_paa: np.ndarray,
+        symbols: np.ndarray,
+        series_length: int,
+    ) -> np.ndarray:
+        """LB_SAX: lower bound of the Euclidean distance from SAX words.
+
+        Parameters
+        ----------
+        query_paa:
+            PAA of the query, shape ``(segments,)``.
+        symbols:
+            SAX words, shape ``(count, segments)`` (or 1-D for one word).
+        series_length:
+            Original series length ``n``; the bound is scaled by
+            ``sqrt(n / segments)`` per the MINDIST definition.
+
+        Returns
+        -------
+        numpy.ndarray
+            Lower-bound distances, shape ``(count,)``.
+        """
+        q = np.asarray(query_paa, dtype=DISTANCE_DTYPE)
+        if q.shape != (self.segments,):
+            raise ValueError(
+                f"query PAA must have shape ({self.segments},), got {q.shape}"
+            )
+        sym = np.asarray(symbols)
+        squeeze = sym.ndim == 1
+        if squeeze:
+            sym = sym.reshape(1, -1)
+        lower, upper = self.symbol_intervals(sym)
+        # Distance from the query PAA value to the symbol's interval; zero
+        # when the value falls inside.  -inf/+inf edges make the boundary
+        # symbols one-sided automatically.
+        below = lower - q  # positive when q is below the interval
+        above = q - upper  # positive when q is above the interval
+        gap = np.maximum(below, above)
+        np.maximum(gap, 0.0, out=gap)
+        dist_sq = np.einsum("ij,ij->i", gap, gap)
+        scale = series_length / self.segments
+        out = np.sqrt(scale * dist_sq)
+        return out[0] if squeeze else out

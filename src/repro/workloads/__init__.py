@@ -1,0 +1,48 @@
+"""Datasets and query workloads (Section 4.1).
+
+* :mod:`repro.workloads.generators` — the paper's synthetic data model
+  (random walks with N(0,1) steps) and its query workloads of controlled
+  difficulty (Gaussian-noise perturbations at σ² = 0.01-0.1, plus
+  out-of-dataset queries).
+* :mod:`repro.workloads.datasets` — synthetic analogs of the paper's real
+  datasets (SALD, Seismic, Deep), built to reproduce their hardness
+  ordering for pruning-based indexes.
+"""
+
+from repro.workloads.generators import (
+    NOISE_WORKLOADS,
+    QueryWorkload,
+    make_noise_queries,
+    make_ood_split,
+    make_query_workloads,
+    random_walks,
+    znormalize,
+)
+from repro.workloads.datasets import (
+    DATASET_ANALOGS,
+    deep_like,
+    make_analog,
+    sald_like,
+    seismic_like,
+)
+from repro.workloads.analysis import WorkloadHardness, workload_hardness
+from repro.workloads.io import load_workload_bundle, save_workload_bundle
+
+__all__ = [
+    "NOISE_WORKLOADS",
+    "QueryWorkload",
+    "make_noise_queries",
+    "make_ood_split",
+    "make_query_workloads",
+    "random_walks",
+    "znormalize",
+    "DATASET_ANALOGS",
+    "deep_like",
+    "make_analog",
+    "sald_like",
+    "seismic_like",
+    "WorkloadHardness",
+    "workload_hardness",
+    "load_workload_bundle",
+    "save_workload_bundle",
+]

@@ -1,0 +1,146 @@
+"""Synthetic data and query-workload generation (Section 4.1).
+
+**Datasets.** The paper's synthetic datasets ("Synth") are random walks:
+a summing process whose steps follow a standard Gaussian — the classic
+model of financial time series [23].  Series are z-normalized, the
+standing convention of the data-series indexing literature (and the
+assumption behind the N(0,1) SAX breakpoints).
+
+**Queries.** Five workloads per dataset, of increasing difficulty:
+
+* ``1%``, ``2%``, ``5%``, ``10%`` — randomly selected dataset series
+  perturbed with Gaussian noise of variance σ² = 0.01 … 0.10 (labels are
+  σ² as a percentage), following the query-workload methodology of
+  Zoumpatianos et al. [69]: the more noise, the farther the query from
+  its nearest neighbor and the weaker every summarization's pruning;
+* ``ood`` — out-of-dataset queries: series drawn from the same generator
+  but *excluded from indexing*, the hardest workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.types import SERIES_DTYPE
+
+#: The paper's noise workloads: label → Gaussian noise variance σ².
+NOISE_WORKLOADS: dict[str, float] = {
+    "1%": 0.01,
+    "2%": 0.02,
+    "5%": 0.05,
+    "10%": 0.10,
+}
+
+#: All workload labels in increasing difficulty, ood last.
+ALL_WORKLOADS: tuple[str, ...] = ("1%", "2%", "5%", "10%", "ood")
+
+
+def znormalize(data: np.ndarray) -> np.ndarray:
+    """Per-series z-normalization (constant series map to zeros)."""
+    arr = np.asarray(data, dtype=np.float64)
+    squeeze = arr.ndim == 1
+    if squeeze:
+        arr = arr.reshape(1, -1)
+    means = arr.mean(axis=1, keepdims=True)
+    stds = arr.std(axis=1, keepdims=True)
+    stds[stds == 0.0] = 1.0
+    out = ((arr - means) / stds).astype(SERIES_DTYPE)
+    return out[0] if squeeze else out
+
+
+def random_walks(
+    count: int, length: int, seed: int = 0, normalize: bool = True
+) -> np.ndarray:
+    """Random-walk series: cumulative sums of N(0,1) steps."""
+    if count < 1 or length < 1:
+        raise WorkloadError(f"invalid shape ({count}, {length})")
+    rng = np.random.default_rng(seed)
+    walks = np.cumsum(rng.standard_normal((count, length)), axis=1)
+    return znormalize(walks) if normalize else walks.astype(SERIES_DTYPE)
+
+
+@dataclass(frozen=True)
+class QueryWorkload:
+    """A labeled batch of query series."""
+
+    label: str
+    queries: np.ndarray
+
+    @property
+    def count(self) -> int:
+        return self.queries.shape[0]
+
+
+def make_noise_queries(
+    data: np.ndarray,
+    count: int,
+    noise_variance: float,
+    seed: int = 0,
+) -> np.ndarray:
+    """Queries = random dataset series + N(0, σ²) noise, re-normalized."""
+    if noise_variance < 0:
+        raise WorkloadError(f"noise variance must be >= 0, got {noise_variance}")
+    arr = np.asarray(data)
+    if arr.ndim != 2 or arr.shape[0] == 0:
+        raise WorkloadError("need a non-empty 2-D dataset to perturb")
+    rng = np.random.default_rng(seed)
+    picks = rng.integers(0, arr.shape[0], size=count)
+    noise = rng.normal(0.0, np.sqrt(noise_variance), size=(count, arr.shape[1]))
+    return znormalize(arr[picks].astype(np.float64) + noise)
+
+
+def make_ood_split(
+    data: np.ndarray, num_queries: int, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Hold ``num_queries`` random series out of ``data`` as ood queries.
+
+    Returns ``(indexable_data, queries)``; the queries never enter the
+    index, matching the paper's out-of-dataset workload.
+    """
+    arr = np.asarray(data)
+    if num_queries >= arr.shape[0]:
+        raise WorkloadError(
+            f"cannot hold out {num_queries} of {arr.shape[0]} series"
+        )
+    rng = np.random.default_rng(seed)
+    picks = rng.permutation(arr.shape[0])
+    held = picks[:num_queries]
+    kept = np.sort(picks[num_queries:])
+    return arr[kept], arr[held]
+
+
+def make_query_workloads(
+    data: np.ndarray,
+    queries_per_workload: int = 100,
+    seed: int = 0,
+    include_ood: bool = True,
+) -> tuple[np.ndarray, dict[str, QueryWorkload]]:
+    """The paper's five workloads over one dataset.
+
+    Returns ``(indexable_data, workloads)``.  When ``include_ood`` the
+    indexable data is the input minus the held-out ood queries (so noise
+    workloads are generated over exactly what gets indexed).
+    """
+    arr = np.asarray(data)
+    workloads: dict[str, QueryWorkload] = {}
+    if include_ood:
+        indexable, ood = make_ood_split(arr, queries_per_workload, seed=seed)
+        workloads["ood"] = QueryWorkload("ood", znormalize(ood))
+    else:
+        indexable = arr
+    for offset, (label, variance) in enumerate(NOISE_WORKLOADS.items(), start=1):
+        workloads[label] = QueryWorkload(
+            label,
+            make_noise_queries(
+                indexable, queries_per_workload, variance, seed=seed + offset
+            ),
+        )
+    ordered = {
+        label: workloads[label]
+        for label in ALL_WORKLOADS
+        if label in workloads
+    }
+    return indexable, ordered

@@ -1,0 +1,112 @@
+"""Workload bundles: persist a dataset with its labeled query sets.
+
+Reproducible experiments need the *exact* queries, not just the seed
+that produced them.  A workload bundle is a directory holding the
+indexable dataset, one query file per workload label, and a JSON
+manifest recording shapes and provenance:
+
+    bundle/
+      manifest.json
+      dataset.bin
+      queries-1pct.bin  queries-2pct.bin ...  queries-ood.bin
+
+``save_workload_bundle`` / ``load_workload_bundle`` round-trip the
+structure produced by
+:func:`repro.workloads.generators.make_query_workloads`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.storage.dataset import Dataset
+from repro.storage.files import PathLike
+from repro.workloads.generators import QueryWorkload
+
+MANIFEST_NAME = "manifest.json"
+DATASET_NAME = "dataset.bin"
+_FORMAT_VERSION = 1
+
+
+def _query_filename(label: str) -> str:
+    safe = label.replace("%", "pct")
+    return f"queries-{safe}.bin"
+
+
+def save_workload_bundle(
+    directory: PathLike,
+    data: np.ndarray,
+    workloads: dict[str, QueryWorkload],
+    metadata: dict | None = None,
+) -> Path:
+    """Materialize a dataset and its query workloads into ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    Dataset.write(directory / DATASET_NAME, data).close()
+
+    manifest = {
+        "format_version": _FORMAT_VERSION,
+        "series_length": int(data.shape[1]),
+        "num_series": int(data.shape[0]),
+        "workloads": {},
+        "metadata": metadata or {},
+    }
+    for label, workload in workloads.items():
+        if workload.queries.shape[1] != data.shape[1]:
+            raise WorkloadError(
+                f"workload {label!r} queries have length "
+                f"{workload.queries.shape[1]}, dataset has {data.shape[1]}"
+            )
+        filename = _query_filename(label)
+        Dataset.write(directory / filename, workload.queries).close()
+        manifest["workloads"][label] = {
+            "file": filename,
+            "count": int(workload.count),
+        }
+    (directory / MANIFEST_NAME).write_text(
+        json.dumps(manifest, indent=2, sort_keys=True)
+    )
+    return directory
+
+
+def load_workload_bundle(
+    directory: PathLike,
+) -> tuple[np.ndarray, dict[str, QueryWorkload], dict]:
+    """Load a bundle; returns ``(data, workloads, metadata)``."""
+    directory = Path(directory)
+    manifest_path = directory / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise WorkloadError(f"no workload manifest at {manifest_path}")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise WorkloadError(f"corrupt manifest at {manifest_path}") from exc
+    if manifest.get("format_version") != _FORMAT_VERSION:
+        raise WorkloadError(
+            f"unsupported bundle version {manifest.get('format_version')}"
+        )
+
+    length = int(manifest["series_length"])
+    with Dataset.open(directory / DATASET_NAME, length) as dataset:
+        if dataset.num_series != manifest["num_series"]:
+            raise WorkloadError(
+                f"dataset holds {dataset.num_series} series, manifest says "
+                f"{manifest['num_series']}"
+            )
+        data = dataset.load_all()
+
+    workloads: dict[str, QueryWorkload] = {}
+    for label, entry in manifest["workloads"].items():
+        with Dataset.open(directory / entry["file"], length) as qfile:
+            queries = qfile.load_all()
+        if queries.shape[0] != entry["count"]:
+            raise WorkloadError(
+                f"workload {label!r} holds {queries.shape[0]} queries, "
+                f"manifest says {entry['count']}"
+            )
+        workloads[label] = QueryWorkload(label, queries)
+    return data, workloads, manifest.get("metadata", {})

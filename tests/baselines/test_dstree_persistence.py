@@ -1,0 +1,52 @@
+"""Tests for DSTree* save/open."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DSTreeConfig, DSTreeIndex
+from repro.errors import StorageError
+
+from ..conftest import make_random_walks
+
+
+class TestDSTreePersistence:
+    def test_roundtrip_answers_identical(self, tmp_path):
+        data = make_random_walks(500, 32, seed=260)
+        index = DSTreeIndex.build(
+            data, DSTreeConfig(leaf_capacity=40), directory=tmp_path
+        )
+        index.save()
+        queries = make_random_walks(4, 32, seed=261)
+        expected = [index.knn(q, k=3) for q in queries]
+        index.close()
+
+        reopened = DSTreeIndex.open(tmp_path)
+        try:
+            assert reopened.num_series == 500
+            assert reopened.num_leaves > 1
+            for q, ref in zip(queries, expected):
+                answer = reopened.knn(q, k=3)
+                np.testing.assert_allclose(
+                    answer.distances, ref.distances, atol=1e-9
+                )
+                np.testing.assert_array_equal(answer.positions, ref.positions)
+        finally:
+            reopened.close()
+
+    def test_open_missing_tree(self, tmp_path):
+        with pytest.raises(StorageError):
+            DSTreeIndex.open(tmp_path)
+
+    def test_config_survives_roundtrip(self, tmp_path):
+        data = make_random_walks(200, 16, seed=262)
+        index = DSTreeIndex.build(
+            data,
+            DSTreeConfig(leaf_capacity=30, initial_segments=2),
+            directory=tmp_path,
+        )
+        index.save()
+        index.close()
+        reopened = DSTreeIndex.open(tmp_path)
+        assert reopened.config.leaf_capacity == 30
+        assert reopened.config.initial_segments == 2
+        reopened.close()

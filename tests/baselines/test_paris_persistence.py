@@ -1,0 +1,62 @@
+"""Tests for ParIS+ save/open."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ParisConfig, ParisIndex
+from repro.errors import StorageError
+
+from ..conftest import make_random_walks
+
+
+class TestParisPersistence:
+    def test_roundtrip_answers_identical(self, tmp_path):
+        data = make_random_walks(400, 32, seed=320)
+        index = ParisIndex.build(
+            data, ParisConfig(leaf_capacity=15, num_query_threads=1)
+        )
+        index.save(tmp_path)
+        queries = make_random_walks(4, 32, seed=321)
+        expected = [index.knn(q, k=3) for q in queries]
+
+        reopened = ParisIndex.open(tmp_path, data)
+        assert reopened.num_series == 400
+        assert reopened.config.leaf_capacity == 15
+        np.testing.assert_array_equal(reopened.words, index.words)
+        for q, ref in zip(queries, expected):
+            answer = reopened.knn(q, k=3)
+            np.testing.assert_allclose(answer.distances, ref.distances, atol=1e-9)
+            np.testing.assert_array_equal(answer.positions, ref.positions)
+
+    def test_tree_partition_survives(self, tmp_path):
+        data = make_random_walks(300, 16, seed=322)
+        ParisIndex.build(data, ParisConfig(leaf_capacity=10)).save(tmp_path)
+        reopened = ParisIndex.open(tmp_path, data)
+        seen = []
+        for root in reopened._roots.values():
+            stack = [root]
+            while stack:
+                node = stack.pop()
+                if node.is_leaf:
+                    seen.extend(node.positions)
+                else:
+                    stack.extend((node.left, node.right))
+        assert sorted(seen) == list(range(300))
+
+    def test_open_missing(self, tmp_path):
+        with pytest.raises(StorageError):
+            ParisIndex.open(tmp_path, make_random_walks(10, 16, seed=323))
+
+    def test_dataset_size_mismatch_rejected(self, tmp_path):
+        data = make_random_walks(100, 16, seed=324)
+        ParisIndex.build(data, ParisConfig(leaf_capacity=10)).save(tmp_path)
+        with pytest.raises(StorageError):
+            ParisIndex.open(tmp_path, data[:50])
+
+    def test_corrupt_tree_rejected(self, tmp_path):
+        data = make_random_walks(100, 16, seed=325)
+        ParisIndex.build(data, ParisConfig(leaf_capacity=10)).save(tmp_path)
+        blob = (tmp_path / "paris-tree.bin").read_bytes()
+        (tmp_path / "paris-tree.bin").write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(StorageError):
+            ParisIndex.open(tmp_path, data)

@@ -1,0 +1,50 @@
+"""Tests for VA+file save/open."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import VAFileConfig, VAFileIndex
+from repro.errors import StorageError
+
+from ..conftest import make_random_walks
+
+
+class TestVAFilePersistence:
+    def test_roundtrip_answers_identical(self, tmp_path):
+        data = make_random_walks(300, 32, seed=330)
+        index = VAFileIndex.build(
+            data, VAFileConfig(num_features=8, total_bits=32)
+        )
+        index.save(tmp_path)
+        queries = make_random_walks(4, 32, seed=331)
+        expected = [index.knn(q, k=3) for q in queries]
+
+        reopened = VAFileIndex.open(tmp_path, data)
+        assert reopened.config.num_features == 8
+        np.testing.assert_array_equal(reopened.cells, index.cells)
+        for d in range(len(index.edges)):
+            np.testing.assert_array_equal(reopened.edges[d], index.edges[d])
+        for q, ref in zip(queries, expected):
+            answer = reopened.knn(q, k=3)
+            np.testing.assert_allclose(answer.distances, ref.distances, atol=1e-9)
+
+    def test_open_missing(self, tmp_path):
+        with pytest.raises(StorageError):
+            VAFileIndex.open(tmp_path, make_random_walks(10, 16, seed=332))
+
+    def test_dataset_mismatch_rejected(self, tmp_path):
+        data = make_random_walks(100, 16, seed=333)
+        VAFileIndex.build(
+            data, VAFileConfig(num_features=8, total_bits=16)
+        ).save(tmp_path)
+        with pytest.raises(StorageError):
+            VAFileIndex.open(tmp_path, data[:40])
+
+    def test_corrupt_metadata_rejected(self, tmp_path):
+        data = make_random_walks(100, 16, seed=334)
+        VAFileIndex.build(
+            data, VAFileConfig(num_features=8, total_bits=16)
+        ).save(tmp_path)
+        (tmp_path / "vafile-meta.json").write_text("{broken")
+        with pytest.raises(StorageError):
+            VAFileIndex.open(tmp_path, data)

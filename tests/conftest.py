@@ -1,0 +1,28 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+def make_random_walks(count: int, length: int, seed: int = 7) -> np.ndarray:
+    """Z-normalized random-walk series, the paper's synthetic data model."""
+    rng = np.random.default_rng(seed)
+    steps = rng.standard_normal((count, length))
+    walks = np.cumsum(steps, axis=1)
+    means = walks.mean(axis=1, keepdims=True)
+    stds = walks.std(axis=1, keepdims=True)
+    stds[stds == 0.0] = 1.0
+    return ((walks - means) / stds).astype(np.float32)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_dataset() -> np.ndarray:
+    """200 z-normalized random walks of length 64."""
+    return make_random_walks(200, 64, seed=42)

@@ -1,0 +1,70 @@
+"""Unit tests for the concurrency primitives."""
+
+import threading
+
+from repro.core.atomic import FetchAdd, Flag, HandshakeBit
+
+
+class TestFetchAdd:
+    def test_returns_value_before_addition(self):
+        counter = FetchAdd(10)
+        assert counter.fetch_add(5) == 10
+        assert counter.load() == 15
+
+    def test_store_resets(self):
+        counter = FetchAdd(3)
+        counter.store(0)
+        assert counter.load() == 0
+
+    def test_concurrent_increments_lose_nothing(self):
+        counter = FetchAdd(0)
+        claimed = []
+        lock = threading.Lock()
+
+        def worker():
+            mine = []
+            for _ in range(1000):
+                mine.append(counter.fetch_add(1))
+            with lock:
+                claimed.extend(mine)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.load() == 8000
+        assert sorted(claimed) == list(range(8000))  # unique claims
+
+
+class TestHandshakeBit:
+    def test_raise_await_lower(self):
+        bit = HandshakeBit()
+        assert not bit.is_raised
+        bit.raise_bit()
+        assert bit.await_raised(timeout=0.1)
+        bit.lower_bit()
+        assert not bit.is_raised
+
+    def test_await_unblocks_cross_thread(self):
+        bit = HandshakeBit()
+        seen = []
+
+        def waiter():
+            seen.append(bit.await_raised(timeout=2.0))
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        bit.raise_bit()
+        t.join()
+        assert seen == [True]
+
+
+class TestFlag:
+    def test_set_get_clear(self):
+        flag = Flag()
+        assert not flag.get()
+        flag.set(True)
+        assert flag.get()
+        flag.clear()
+        assert not flag.get()

@@ -1,0 +1,59 @@
+"""Unit tests for HerculesConfig validation."""
+
+import pytest
+
+from repro.core.config import HerculesConfig
+from repro.errors import ConfigError
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        config = HerculesConfig()
+        assert config.leaf_capacity == 100
+        assert config.eapca_th == 0.25
+        assert config.sax_th == 0.50
+        assert config.l_max == 80
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("leaf_capacity", 1),
+            ("initial_segments", 0),
+            ("sax_segments", 0),
+            ("sax_alphabet", 1),
+            ("sax_alphabet", 300),
+            ("num_build_threads", 0),
+            ("db_size", 0),
+            ("buffer_capacity", 0),
+            ("num_write_threads", 0),
+            ("l_max", 0),
+            ("eapca_th", -0.1),
+            ("eapca_th", 1.5),
+            ("sax_th", 2.0),
+            ("num_query_threads", 0),
+        ],
+    )
+    def test_rejects_bad_values(self, field, value):
+        with pytest.raises(ConfigError):
+            HerculesConfig(**{field: value})
+
+    def test_flush_threshold_bounded_by_workers(self):
+        # 4 build threads -> 3 insert workers.
+        HerculesConfig(num_build_threads=4, flush_threshold=3)
+        with pytest.raises(ConfigError):
+            HerculesConfig(num_build_threads=4, flush_threshold=4)
+
+    def test_num_insert_workers(self):
+        assert HerculesConfig(num_build_threads=4).num_insert_workers == 3
+        assert HerculesConfig(num_build_threads=1, flush_threshold=1).num_insert_workers == 1
+
+    def test_with_options_returns_modified_copy(self):
+        base = HerculesConfig()
+        variant = base.with_options(use_sax=False, num_query_threads=1)
+        assert not variant.use_sax
+        assert variant.num_query_threads == 1
+        assert base.use_sax  # original untouched
+
+    def test_with_options_validates(self):
+        with pytest.raises(ConfigError):
+            HerculesConfig().with_options(l_max=-1)

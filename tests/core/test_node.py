@@ -1,0 +1,166 @@
+"""Unit tests for tree nodes, synopses, and routing."""
+
+import numpy as np
+import pytest
+
+from repro.core.node import (
+    Node,
+    SplitPolicy,
+    empty_synopsis,
+    segment_correspondence,
+    synopsis_from_stats,
+)
+from repro.distance.lower_bounds import MU_MAX, MU_MIN, SD_MAX, SD_MIN
+from repro.summarization.eapca import Segmentation, SeriesSketch, segment_stats
+
+from ..conftest import make_random_walks
+
+
+class TestSynopsis:
+    def test_empty_synopsis_absorbs_first_update(self):
+        node = Node(0, Segmentation([4, 8]))
+        node.update_synopsis(np.array([1.0, 2.0]), np.array([0.5, 0.7]))
+        np.testing.assert_allclose(node.synopsis[:, MU_MIN], [1.0, 2.0])
+        np.testing.assert_allclose(node.synopsis[:, MU_MAX], [1.0, 2.0])
+        np.testing.assert_allclose(node.synopsis[:, SD_MIN], [0.5, 0.7])
+        np.testing.assert_allclose(node.synopsis[:, SD_MAX], [0.5, 0.7])
+
+    def test_update_widens_box(self):
+        node = Node(0, Segmentation([8]))
+        node.update_synopsis(np.array([1.0]), np.array([0.5]))
+        node.update_synopsis(np.array([-1.0]), np.array([0.9]))
+        assert node.synopsis[0, MU_MIN] == -1.0
+        assert node.synopsis[0, MU_MAX] == 1.0
+        assert node.synopsis[0, SD_MIN] == 0.5
+        assert node.synopsis[0, SD_MAX] == 0.9
+
+    def test_synopsis_from_stats_matches_incremental(self):
+        seg = Segmentation([16, 32])
+        data = make_random_walks(30, 32, seed=60)
+        means, stds = segment_stats(data, seg)
+        batch = synopsis_from_stats(means, stds)
+        node = Node(0, seg)
+        for i in range(30):
+            node.update_synopsis(means[i], stds[i])
+        np.testing.assert_allclose(node.synopsis, batch)
+
+    def test_merge_synopsis_rows_uses_row_mapping(self):
+        parent = Node(0, Segmentation([4, 8, 12]))
+        child_syn = empty_synopsis(3)
+        child_syn[:, MU_MIN] = [-1.0, -2.0, -3.0]
+        child_syn[:, MU_MAX] = [1.0, 2.0, 3.0]
+        child_syn[:, SD_MIN] = [0.1, 0.2, 0.3]
+        child_syn[:, SD_MAX] = [0.4, 0.5, 0.6]
+        parent.merge_synopsis_rows(
+            np.array([0, 2]), child_syn, np.array([1, 2])
+        )
+        assert parent.synopsis[0, MU_MIN] == -2.0
+        assert parent.synopsis[2, MU_MAX] == 3.0
+        assert np.isinf(parent.synopsis[1, MU_MIN])  # untouched row
+
+    def test_merge_segment_interval(self):
+        node = Node(0, Segmentation([8]))
+        node.merge_segment_interval(0, -1.0, 1.0, 0.2, 0.8)
+        node.merge_segment_interval(0, -0.5, 2.0, 0.1, 0.5)
+        row = node.synopsis[0]
+        assert row[MU_MIN] == -1.0 and row[MU_MAX] == 2.0
+        assert row[SD_MIN] == 0.1 and row[SD_MAX] == 0.8
+
+
+class TestRouting:
+    def _make_internal(self, use_std=False, vertical=False):
+        seg = Segmentation([4, 8])
+        node = Node(0, seg)
+        child_seg = seg.split_vertically(0) if vertical else seg
+        node.left = Node(1, child_seg, parent=node)
+        node.right = Node(2, child_seg, parent=node)
+        node.policy = SplitPolicy(
+            split_segment=0,
+            vertical=vertical,
+            use_std=use_std,
+            threshold=0.0,
+            route_start=0,
+            route_end=4 if not vertical else 2,
+            child_segmentation=child_seg,
+        )
+        node.is_leaf = False
+        return node
+
+    def test_route_on_mean(self):
+        node = self._make_internal()
+        low = SeriesSketch(np.array([-1.0] * 4 + [0.0] * 4, dtype=np.float32))
+        high = SeriesSketch(np.array([1.0] * 4 + [0.0] * 4, dtype=np.float32))
+        assert node.route(low) is node.left
+        assert node.route(high) is node.right
+
+    def test_route_on_std(self):
+        import dataclasses
+
+        node = self._make_internal(use_std=True)
+        node.policy = dataclasses.replace(node.policy, threshold=0.5)
+        flat = SeriesSketch(np.zeros(8, dtype=np.float32))
+        wavy = SeriesSketch(
+            np.array([3.0, -3.0, 3.0, -3.0, 0, 0, 0, 0], dtype=np.float32)
+        )
+        assert node.route(flat) is node.left
+        assert node.route(wavy) is node.right
+
+    def test_route_raises_on_leaf(self):
+        leaf = Node(0, Segmentation([8]))
+        with pytest.raises(ValueError):
+            leaf.route(SeriesSketch(np.zeros(8, dtype=np.float32)))
+
+    def test_route_left_batch_matches_scalar(self):
+        node = self._make_internal()
+        means = np.array([-0.5, 0.5, 0.0])
+        stds = np.array([1.0, 1.0, 1.0])
+        np.testing.assert_array_equal(
+            node.policy.route_left_batch(means, stds), [True, False, False]
+        )
+
+
+class TestTraversal:
+    def _small_tree(self):
+        # root -> (A, B); B -> (C, D). Leaves inorder: A, C, D.
+        seg = Segmentation([8])
+        root = Node(0, seg)
+        a, b = Node(1, seg, root), Node(2, seg, root)
+        root.left, root.right, root.is_leaf = a, b, False
+        c, d = Node(3, seg, b), Node(4, seg, b)
+        b.left, b.right, b.is_leaf = c, d, False
+        return root, a, b, c, d
+
+    def test_iter_leaves_inorder(self):
+        root, a, b, c, d = self._small_tree()
+        assert [n.node_id for n in root.iter_leaves_inorder()] == [1, 3, 4]
+        assert root.num_leaves == 3
+
+    def test_iter_nodes_preorder(self):
+        root, a, b, c, d = self._small_tree()
+        assert [n.node_id for n in root.iter_nodes_preorder()] == [0, 1, 2, 3, 4]
+
+
+class TestSegmentCorrespondence:
+    def test_horizontal_identity(self):
+        seg = Segmentation([4, 8, 12])
+        node = Node(0, seg)
+        node.policy = SplitPolicy(1, False, False, 0.0, 4, 8, seg)
+        node.is_leaf = False
+        child_rows, parent_rows = segment_correspondence(node)
+        np.testing.assert_array_equal(child_rows, [0, 1, 2])
+        np.testing.assert_array_equal(parent_rows, [0, 1, 2])
+
+    def test_vertical_skips_split_segment(self):
+        seg = Segmentation([4, 8, 12])
+        child_seg = seg.split_vertically(1)  # ends (4, 6, 8, 12)
+        node = Node(0, seg)
+        node.policy = SplitPolicy(1, True, False, 0.0, 4, 6, child_seg)
+        node.is_leaf = False
+        child_rows, parent_rows = segment_correspondence(node)
+        # Child segments 1 and 2 are halves of parent segment 1: excluded.
+        np.testing.assert_array_equal(child_rows, [0, 3])
+        np.testing.assert_array_equal(parent_rows, [0, 2])
+
+    def test_requires_internal_node(self):
+        with pytest.raises(ValueError):
+            segment_correspondence(Node(0, Segmentation([8])))

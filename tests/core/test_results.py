@@ -1,0 +1,74 @@
+"""Unit tests for the thread-safe k-best result set."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.results import ResultSet
+
+
+class TestResultSet:
+    def test_bsf_is_infinite_until_k_answers(self):
+        rs = ResultSet(3)
+        rs.update(1.0, 0)
+        rs.update(2.0, 1)
+        assert rs.bsf == np.inf
+        rs.update(3.0, 2)
+        assert rs.bsf == 3.0
+
+    def test_update_replaces_worst(self):
+        rs = ResultSet(2)
+        rs.update(5.0, 0)
+        rs.update(4.0, 1)
+        assert rs.update(3.0, 2)
+        distances, positions = rs.items()
+        np.testing.assert_allclose(distances, [3.0, 4.0])
+        assert list(positions) == [2, 1]
+
+    def test_rejects_worse_than_bsf(self):
+        rs = ResultSet(1)
+        rs.update(1.0, 0)
+        assert not rs.update(2.0, 1)
+        assert not rs.update(1.0, 2)  # ties do not displace
+
+    def test_update_batch_matches_serial_updates(self):
+        rng = np.random.default_rng(95)
+        distances = rng.uniform(0, 10, size=200)
+        positions = np.arange(200)
+        serial = ResultSet(10)
+        for d, p in zip(distances, positions):
+            serial.update(float(d), int(p))
+        batched = ResultSet(10)
+        batched.update_batch(distances, positions)
+        np.testing.assert_allclose(serial.items()[0], batched.items()[0])
+
+    def test_items_sorted_ascending(self):
+        rs = ResultSet(5)
+        for d in (3.0, 1.0, 4.0, 1.5, 9.0, 2.6):
+            rs.update(d, int(d * 10))
+        distances, _ = rs.items()
+        assert list(distances) == sorted(distances)
+        assert len(rs) == 5
+
+    def test_concurrent_updates_keep_global_top_k(self):
+        rng = np.random.default_rng(96)
+        all_distances = rng.uniform(0, 100, size=4000)
+        chunks = np.array_split(np.arange(4000), 8)
+        rs = ResultSet(25)
+
+        def worker(idx):
+            for i in idx:
+                rs.update(float(all_distances[i]), int(i))
+
+        threads = [threading.Thread(target=worker, args=(c,)) for c in chunks]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        expected = np.sort(all_distances)[:25]
+        np.testing.assert_allclose(rs.items()[0], expected)
+
+    def test_rejects_k_below_one(self):
+        with pytest.raises(ValueError):
+            ResultSet(0)

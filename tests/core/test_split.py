@@ -1,0 +1,130 @@
+"""Unit tests for split-policy selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.split import LeafStats, box_diameter, choose_split
+from repro.summarization.eapca import Segmentation, segment_stats
+
+from ..conftest import make_random_walks
+
+
+class TestLeafStats:
+    def test_range_stats_match_numpy(self):
+        data = make_random_walks(10, 32, seed=70)
+        stats = LeafStats(data)
+        means, stds = stats.range_stats(5, 20)
+        ref = data[:, 5:20].astype(np.float64)
+        np.testing.assert_allclose(means, ref.mean(axis=1), atol=1e-9)
+        np.testing.assert_allclose(stds, ref.std(axis=1), atol=1e-7)
+
+    def test_segmentation_stats_match_segment_stats(self):
+        data = make_random_walks(8, 32, seed=71)
+        seg = Segmentation([10, 32])
+        stats = LeafStats(data)
+        means, stds = stats.segmentation_stats(seg)
+        ref_means, ref_stds = segment_stats(data, seg)
+        np.testing.assert_allclose(means, ref_means, atol=1e-9)
+        np.testing.assert_allclose(stds, ref_stds, atol=1e-9)
+
+    def test_rejects_invalid_range(self):
+        stats = LeafStats(np.zeros((2, 8)))
+        with pytest.raises(ValueError):
+            stats.range_stats(4, 4)
+
+
+class TestBoxDiameter:
+    def test_zero_for_identical_series(self):
+        means = np.full((5, 2), 1.0)
+        stds = np.full((5, 2), 0.3)
+        assert box_diameter(means, stds, np.array([4.0, 4.0])) == 0.0
+
+    def test_weighted_by_segment_length(self):
+        means = np.array([[0.0, 0.0], [1.0, 1.0]])
+        stds = np.zeros((2, 2))
+        lengths = np.array([2.0, 6.0])
+        assert box_diameter(means, stds, lengths) == pytest.approx(8.0)
+
+
+class TestChooseSplit:
+    def test_splits_bimodal_data_on_the_separating_mean(self):
+        rng = np.random.default_rng(72)
+        low = rng.normal(-2.0, 0.1, size=(20, 16))
+        high = rng.normal(2.0, 0.1, size=(20, 16))
+        data = np.concatenate([low, high]).astype(np.float32)
+        seg = Segmentation([8, 16])
+        decision = choose_split(seg, data)
+        assert decision is not None
+        # The mask must separate the two populations exactly.
+        left_ids = set(np.nonzero(decision.left_mask)[0])
+        assert left_ids in ({*range(20)}, {*range(20, 40)})
+        assert not decision.policy.use_std
+
+    def test_splits_on_std_when_means_are_equal(self):
+        rng = np.random.default_rng(73)
+        calm = rng.normal(0.0, 0.05, size=(15, 16))
+        wild = rng.normal(0.0, 3.0, size=(15, 16))
+        data = np.concatenate([calm, wild]).astype(np.float32)
+        decision = choose_split(Segmentation([16]), data)
+        assert decision is not None
+        assert decision.policy.use_std
+        left_ids = set(np.nonzero(decision.left_mask)[0])
+        # Most of each population lands on its own side (std estimates
+        # fluctuate, so allow one straggler).
+        calm_left = len(left_ids & set(range(15)))
+        assert calm_left >= 14 or calm_left <= 1
+
+    def test_children_are_nonempty(self):
+        data = make_random_walks(40, 32, seed=74)
+        decision = choose_split(Segmentation.uniform(32, 4), data)
+        assert decision is not None
+        n_left = int(decision.left_mask.sum())
+        assert 0 < n_left < 40
+
+    def test_returns_none_for_identical_series(self):
+        data = np.tile(np.arange(16, dtype=np.float32), (10, 1))
+        assert choose_split(Segmentation([8, 16]), data) is None
+
+    def test_vertical_split_has_child_segmentation_with_extra_segment(self):
+        # Construct data whose halves of segment 0 behave oppositely, so a
+        # V-split is strictly better than any H-split.
+        rng = np.random.default_rng(75)
+        n = 40
+        data = np.zeros((n, 8), dtype=np.float32)
+        signs = rng.choice([-1.0, 1.0], size=n)
+        data[:, :4] = signs[:, None] * 2.0
+        data[:, 4:] = -signs[:, None] * 2.0  # whole-segment mean cancels
+        data += rng.normal(0, 0.01, size=data.shape).astype(np.float32)
+        decision = choose_split(Segmentation([8]), data)
+        assert decision is not None
+        assert decision.policy.vertical
+        assert decision.policy.child_segmentation.num_segments == 2
+
+    def test_split_reduces_weighted_child_diameter(self):
+        data = make_random_walks(60, 64, seed=76)
+        seg = Segmentation.uniform(64, 4)
+        decision = choose_split(seg, data)
+        assert decision is not None
+        stats = LeafStats(data)
+        means, stds = stats.segmentation_stats(
+            decision.policy.child_segmentation
+        )
+        lengths = decision.policy.child_segmentation.lengths
+        parent_d = box_diameter(means, stds, lengths)
+        mask = decision.left_mask
+        d_left = box_diameter(means[mask], stds[mask], lengths)
+        d_right = box_diameter(means[~mask], stds[~mask], lengths)
+        n_left = mask.sum()
+        weighted = (n_left * d_left + (60 - n_left) * d_right) / 60
+        assert weighted < parent_d
+
+    def test_route_matches_mask(self):
+        """The chosen policy routes each series to the side its mask says."""
+        from repro.summarization.eapca import SeriesSketch
+
+        data = make_random_walks(30, 32, seed=77)
+        decision = choose_split(Segmentation.uniform(32, 2), data)
+        assert decision is not None
+        for i in range(30):
+            went_left = decision.policy.route_left(SeriesSketch(data[i]))
+            assert went_left == bool(decision.left_mask[i])

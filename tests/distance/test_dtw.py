@@ -1,0 +1,181 @@
+"""Unit and property tests for DTW, envelopes, and LB_Keogh."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distance.dtw import (
+    dtw_distance,
+    dtw_distance_batch,
+    dtw_envelope,
+    lb_keogh,
+    resolve_window,
+)
+from repro.distance.euclidean import euclidean
+
+from ..conftest import make_random_walks
+
+
+def dtw_reference(a, b, window):
+    """Unvectorized banded DTW (squared costs), for cross-checking."""
+    n = len(a)
+    inf = np.inf
+    dp = np.full((n + 1, n + 1), inf)
+    dp[0, 0] = 0.0
+    for i in range(1, n + 1):
+        lo = max(1, i - window)
+        hi = min(n, i + window)
+        for j in range(lo, hi + 1):
+            cost = (a[i - 1] - b[j - 1]) ** 2
+            dp[i, j] = cost + min(dp[i - 1, j], dp[i, j - 1], dp[i - 1, j - 1])
+    return float(np.sqrt(dp[n, n]))
+
+
+class TestResolveWindow:
+    def test_none_defaults_to_ten_percent(self):
+        assert resolve_window(100, None) == 10
+
+    def test_fraction_and_points(self):
+        assert resolve_window(64, 0.25) == 16
+        assert resolve_window(64, 5) == 5
+        assert resolve_window(64, 0) == 0
+
+    def test_rejects_bad_specs(self):
+        with pytest.raises(ValueError):
+            resolve_window(10, -1)
+        with pytest.raises(ValueError):
+            resolve_window(10, 1.5)
+
+
+class TestEnvelope:
+    def test_envelope_bounds_the_series(self):
+        series = make_random_walks(1, 64, seed=1)[0]
+        lower, upper = dtw_envelope(series, 5)
+        assert np.all(lower <= series.astype(np.float64) + 1e-9)
+        assert np.all(upper >= series.astype(np.float64) - 1e-9)
+
+    def test_zero_window_is_identity(self):
+        series = make_random_walks(1, 32, seed=2)[0]
+        lower, upper = dtw_envelope(series, 0)
+        np.testing.assert_allclose(lower, series, atol=1e-7)
+        np.testing.assert_allclose(upper, series, atol=1e-7)
+
+    def test_known_envelope(self):
+        series = np.array([0.0, 1.0, 0.0, -1.0, 0.0])
+        lower, upper = dtw_envelope(series, 1)
+        np.testing.assert_allclose(upper, [1, 1, 1, 0, 0])
+        np.testing.assert_allclose(lower, [0, 0, -1, -1, -1])
+
+
+class TestDtwDistance:
+    def test_identity_is_zero(self):
+        series = make_random_walks(1, 48, seed=3)[0]
+        assert dtw_distance(series, series, 5) == pytest.approx(0.0, abs=1e-9)
+
+    def test_matches_reference_dp(self):
+        a = make_random_walks(1, 24, seed=4)[0].astype(np.float64)
+        b = make_random_walks(1, 24, seed=5)[0].astype(np.float64)
+        for window in (1, 3, 8, 24):
+            assert dtw_distance(a, b, window) == pytest.approx(
+                dtw_reference(a, b, window), rel=1e-9
+            )
+
+    def test_zero_window_equals_euclidean(self):
+        a = make_random_walks(1, 32, seed=6)[0]
+        b = make_random_walks(1, 32, seed=7)[0]
+        assert dtw_distance(a, b, 0) == pytest.approx(euclidean(a, b), rel=1e-6)
+
+    def test_wider_window_never_increases_distance(self):
+        a = make_random_walks(1, 32, seed=8)[0]
+        b = make_random_walks(1, 32, seed=9)[0]
+        distances = [dtw_distance(a, b, w) for w in (0, 2, 4, 8, 16, 32)]
+        assert all(d1 >= d2 - 1e-9 for d1, d2 in zip(distances, distances[1:]))
+
+    def test_shifted_series_have_small_dtw(self):
+        base = make_random_walks(1, 64, seed=10)[0].astype(np.float64)
+        shifted = np.roll(base, 3)
+        assert dtw_distance(base, shifted, 8) < euclidean(base, shifted)
+
+
+class TestBatchDtw:
+    def test_matches_pairwise(self):
+        query = make_random_walks(1, 32, seed=11)[0]
+        cands = make_random_walks(12, 32, seed=12)
+        batch = dtw_distance_batch(query, cands, 4)
+        for i in range(12):
+            assert batch[i] == pytest.approx(
+                dtw_distance(query, cands[i], 4), rel=1e-9
+            )
+
+    def test_cutoff_abandons_only_above(self):
+        query = make_random_walks(1, 32, seed=13)[0]
+        cands = make_random_walks(30, 32, seed=14)
+        full = dtw_distance_batch(query, cands, 4)
+        cutoff = float(np.median(full))
+        abandoned = dtw_distance_batch(query, cands, 4, cutoff=cutoff)
+        surviving = np.isfinite(abandoned)
+        np.testing.assert_allclose(abandoned[surviving], full[surviving], rtol=1e-9)
+        assert np.all(full[~surviving] > cutoff - 1e-9)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            dtw_distance_batch(np.zeros(8), np.zeros((2, 9)), 2)
+
+
+class TestLbKeogh:
+    def test_lower_bounds_dtw(self):
+        query = make_random_walks(1, 48, seed=15)[0]
+        cands = make_random_walks(25, 48, seed=16)
+        window = 5
+        lower, upper = dtw_envelope(query, window)
+        bounds = lb_keogh(lower, upper, cands)
+        true = dtw_distance_batch(query, cands, window)
+        assert np.all(bounds <= true + 1e-9)
+
+    def test_zero_for_series_inside_envelope(self):
+        query = make_random_walks(1, 32, seed=17)[0]
+        lower, upper = dtw_envelope(query, 4)
+        inside = ((lower + upper) / 2.0).astype(np.float32)
+        assert lb_keogh(lower, upper, inside) == pytest.approx(0.0)
+
+    def test_scalar_candidate(self):
+        query = make_random_walks(1, 16, seed=18)[0]
+        lower, upper = dtw_envelope(query, 2)
+        other = make_random_walks(1, 16, seed=19)[0]
+        assert isinstance(lb_keogh(lower, upper, other), float)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), window=st.integers(0, 16))
+def test_lb_keogh_validity_property(seed, window):
+    """LB_Keogh never exceeds banded DTW for matching windows."""
+    query = make_random_walks(1, 24, seed=seed)[0]
+    cand = make_random_walks(1, 24, seed=seed + 1)[0]
+    lower, upper = dtw_envelope(query, window)
+    bound = lb_keogh(lower, upper, cand)
+    assert bound <= dtw_distance(query, cand, window) + 1e-7
+
+
+class TestDtwScan:
+    def test_exact_against_brute_force(self):
+        from repro.baselines.dtw_scan import DtwScan
+
+        data = make_random_walks(150, 32, seed=20)
+        queries = make_random_walks(3, 32, seed=21)
+        scan = DtwScan(data, window=4, chunk_size=64)
+        for q in queries:
+            answer = scan.knn(q, k=3)
+            brute = np.sort(
+                [dtw_distance(q, s, 4) for s in data]
+            )[:3]
+            np.testing.assert_allclose(answer.distances, brute, rtol=1e-7)
+
+    def test_filter_prunes_with_tight_bsf(self):
+        from repro.baselines.dtw_scan import DtwScan
+
+        data = make_random_walks(200, 32, seed=22)
+        scan = DtwScan(data, window=4, chunk_size=64)
+        answer = scan.knn(data[0], k=1)  # self-query: bsf = 0 after chunk 1
+        assert answer.distances[0] == pytest.approx(0.0, abs=1e-7)
+        assert answer.profile.sax_pruning > 0.5  # most candidates filtered

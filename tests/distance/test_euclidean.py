@@ -1,0 +1,111 @@
+"""Unit tests for Euclidean distance kernels."""
+
+import numpy as np
+import pytest
+
+from repro.distance.euclidean import (
+    batch_squared_euclidean,
+    early_abandon_squared,
+    euclidean,
+    knn_from_distances,
+    squared_euclidean,
+)
+
+from ..conftest import make_random_walks
+
+
+class TestScalarKernels:
+    def test_squared_euclidean_known_value(self):
+        a = np.array([0.0, 0.0, 0.0])
+        b = np.array([1.0, 2.0, 2.0])
+        assert squared_euclidean(a, b) == 9.0
+        assert euclidean(a, b) == 3.0
+
+    def test_symmetry_and_identity(self):
+        a = make_random_walks(1, 32, seed=1)[0]
+        b = make_random_walks(1, 32, seed=2)[0]
+        assert squared_euclidean(a, b) == pytest.approx(squared_euclidean(b, a))
+        assert squared_euclidean(a, a) == 0.0
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            squared_euclidean(np.zeros(3), np.zeros(4))
+
+
+class TestBatchKernel:
+    def test_matches_scalar_loop(self, small_dataset):
+        query = small_dataset[0]
+        batch = batch_squared_euclidean(query, small_dataset)
+        for i in range(10):
+            assert batch[i] == pytest.approx(
+                squared_euclidean(query, small_dataset[i])
+            )
+
+    def test_accepts_single_candidate(self):
+        q = np.array([1.0, 2.0])
+        assert batch_squared_euclidean(q, np.array([3.0, 4.0])).shape == (1,)
+
+    def test_rejects_width_mismatch(self):
+        with pytest.raises(ValueError):
+            batch_squared_euclidean(np.zeros(3), np.zeros((2, 4)))
+
+
+class TestEarlyAbandon:
+    def test_matches_batch_when_cutoff_infinite(self, small_dataset):
+        query = small_dataset[0]
+        full = batch_squared_euclidean(query, small_dataset)
+        abandoned, compared = early_abandon_squared(query, small_dataset, np.inf)
+        np.testing.assert_allclose(abandoned, full, rtol=1e-10)
+        assert compared == small_dataset.size
+
+    def test_abandoned_rows_truly_exceed_cutoff(self, small_dataset):
+        query = small_dataset[0]
+        full = batch_squared_euclidean(query, small_dataset)
+        cutoff = float(np.median(full))
+        result, compared = early_abandon_squared(query, small_dataset, cutoff)
+        surviving = np.isfinite(result)
+        np.testing.assert_allclose(result[surviving], full[surviving], rtol=1e-10)
+        assert np.all(full[~surviving] > cutoff)
+        assert compared < small_dataset.size  # abandoning saved work
+
+    def test_tight_cutoff_prunes_everything_but_self(self, small_dataset):
+        query = small_dataset[3]
+        result, _ = early_abandon_squared(query, small_dataset, 1e-12)
+        assert np.isfinite(result[3])
+        assert result[3] == pytest.approx(0.0, abs=1e-12)
+
+    def test_block_size_does_not_change_results(self, small_dataset):
+        query = small_dataset[0]
+        cutoff = 50.0
+        r1, _ = early_abandon_squared(query, small_dataset, cutoff, block=8)
+        r2, _ = early_abandon_squared(query, small_dataset, cutoff, block=64)
+        finite1 = np.isfinite(r1)
+        finite2 = np.isfinite(r2)
+        np.testing.assert_array_equal(finite1, finite2)
+        np.testing.assert_allclose(r1[finite1], r2[finite2], rtol=1e-10)
+
+    def test_rejects_bad_block(self):
+        with pytest.raises(ValueError):
+            early_abandon_squared(np.zeros(4), np.zeros((1, 4)), 1.0, block=0)
+
+
+class TestKnnSelection:
+    def test_returns_sorted_smallest(self):
+        dist = np.array([5.0, 1.0, 3.0, 0.5, 4.0])
+        idx, values = knn_from_distances(dist, 3)
+        assert list(idx) == [3, 1, 2]
+        np.testing.assert_allclose(values, [0.5, 1.0, 3.0])
+
+    def test_k_larger_than_input(self):
+        idx, values = knn_from_distances(np.array([2.0, 1.0]), 5)
+        assert list(idx) == [1, 0]
+
+    def test_k_zero(self):
+        idx, values = knn_from_distances(np.array([1.0]), 0)
+        assert idx.shape == (0,)
+        assert values.shape == (0,)
+
+    def test_handles_infinities(self):
+        dist = np.array([np.inf, 2.0, np.inf, 1.0])
+        idx, values = knn_from_distances(dist, 2)
+        assert list(idx) == [3, 1]

@@ -1,0 +1,151 @@
+"""Unit and property tests for lower-bounding distances."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distance.euclidean import euclidean
+from repro.distance.lower_bounds import (
+    MU_MAX,
+    MU_MIN,
+    SD_MAX,
+    SD_MIN,
+    lb_eapca,
+    lb_eapca_batch,
+    lb_paa,
+    series_synopsis,
+    va_cell_bounds,
+)
+from repro.summarization.dft import dft_features
+from repro.summarization.eapca import Segmentation, segment_stats
+from repro.summarization.paa import paa
+
+from ..conftest import make_random_walks
+
+
+def build_synopsis(data: np.ndarray, seg: Segmentation) -> np.ndarray:
+    """Min/max synopsis over a set of series (what a tree node stores)."""
+    means, stds = segment_stats(data, seg)
+    syn = np.empty((seg.num_segments, 4))
+    syn[:, MU_MIN] = means.min(axis=0)
+    syn[:, MU_MAX] = means.max(axis=0)
+    syn[:, SD_MIN] = stds.min(axis=0)
+    syn[:, SD_MAX] = stds.max(axis=0)
+    return syn
+
+
+class TestLbEapca:
+    def test_lower_bounds_all_series_under_node(self):
+        data = make_random_walks(60, 96, seed=31)
+        query = make_random_walks(1, 96, seed=32)[0]
+        for ends in ([48, 96], [10, 30, 96], [96], [5, 6, 60, 96]):
+            seg = Segmentation(ends)
+            syn = build_synopsis(data, seg)
+            q_means, q_stds = segment_stats(query.reshape(1, -1), seg)
+            bound = lb_eapca(q_means[0], q_stds[0], syn, seg.lengths)
+            true = min(euclidean(query, s) for s in data)
+            assert bound <= true + 1e-9
+
+    def test_zero_when_query_inside_box(self):
+        data = make_random_walks(10, 64, seed=33)
+        seg = Segmentation([32, 64])
+        syn = build_synopsis(data, seg)
+        q_means, q_stds = segment_stats(data[:1], seg)
+        assert lb_eapca(q_means[0], q_stds[0], syn, seg.lengths) == 0.0
+
+    def test_per_series_bound_via_degenerate_synopsis(self):
+        data = make_random_walks(20, 64, seed=34)
+        query = make_random_walks(1, 64, seed=35)[0]
+        seg = Segmentation([16, 40, 64])
+        d_means, d_stds = segment_stats(data, seg)
+        q_means, q_stds = segment_stats(query.reshape(1, -1), seg)
+        for i in range(data.shape[0]):
+            syn = series_synopsis(d_means[i], d_stds[i])
+            bound = lb_eapca(q_means[0], q_stds[0], syn, seg.lengths)
+            assert bound <= euclidean(query, data[i]) + 1e-9
+
+    def test_batch_matches_loop(self):
+        data = make_random_walks(30, 64, seed=36)
+        query = make_random_walks(1, 64, seed=37)[0]
+        seg = Segmentation([20, 64])
+        q_means, q_stds = segment_stats(query.reshape(1, -1), seg)
+        synopses = np.stack(
+            [build_synopsis(data[i : i + 10], seg) for i in range(0, 30, 10)]
+        )
+        batch = lb_eapca_batch(q_means[0], q_stds[0], synopses, seg.lengths)
+        for i in range(3):
+            single = lb_eapca(q_means[0], q_stds[0], synopses[i], seg.lengths)
+            assert batch[i] == pytest.approx(single)
+
+    def test_finer_segmentation_tightens_the_bound(self):
+        data = make_random_walks(40, 64, seed=38)
+        query = make_random_walks(1, 64, seed=39)[0]
+        coarse = Segmentation([64])
+        fine = Segmentation([16, 32, 48, 64])
+        for seg_pair in ((coarse, fine),):
+            bounds = []
+            for seg in seg_pair:
+                syn = build_synopsis(data, seg)
+                q_m, q_s = segment_stats(query.reshape(1, -1), seg)
+                bounds.append(lb_eapca(q_m[0], q_s[0], syn, seg.lengths))
+            # Not a theorem for min/max boxes in general, but holds for the
+            # single-series case; for node boxes we only check validity.
+            assert all(b >= 0 for b in bounds)
+
+
+class TestLbPaa:
+    def test_lower_bounds_euclidean(self):
+        data = make_random_walks(25, 64, seed=41)
+        query = make_random_walks(1, 64, seed=42)[0]
+        bounds = lb_paa(paa(query, 8), paa(data, 8), 64)
+        for i in range(data.shape[0]):
+            assert bounds[i] <= euclidean(query, data[i]) + 1e-9
+
+    def test_single_candidate_returns_scalar(self):
+        q = np.zeros(4)
+        assert isinstance(lb_paa(q, np.ones(4), 16), float)
+
+
+class TestVaCellBounds:
+    def test_bounds_sandwich_feature_distance(self):
+        rng = np.random.default_rng(43)
+        d = 8
+        q = rng.standard_normal(d)
+        centers = rng.standard_normal((20, d))
+        half = 0.3
+        lo, hi = centers - half, centers + half
+        lower, upper = va_cell_bounds(q, lo, hi)
+        for i in range(20):
+            true = float(np.linalg.norm(q - centers[i]))
+            assert lower[i] <= true + 1e-9
+            assert upper[i] >= true - 1e-9
+
+    def test_lower_bound_via_dft_features_bounds_euclidean(self):
+        data = make_random_walks(30, 64, seed=44)
+        query = make_random_walks(1, 64, seed=45)[0]
+        feats = dft_features(data, 12)
+        q_feat = dft_features(query, 12)
+        pad = 0.05
+        lower, _ = va_cell_bounds(q_feat, feats - pad, feats + pad)
+        for i in range(30):
+            assert lower[i] <= euclidean(query, data[i]) + 1e-9
+
+    def test_scalar_path(self):
+        lower, upper = va_cell_bounds(np.zeros(2), np.array([1.0, 1.0]), np.array([2.0, 2.0]))
+        assert lower == pytest.approx(np.sqrt(2.0))
+        assert upper == pytest.approx(np.sqrt(8.0))
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000), segments=st.integers(1, 8))
+def test_lb_eapca_validity_property(seed, segments):
+    """LB_EAPCA never exceeds the true distance to any series in the node."""
+    data = make_random_walks(12, 32, seed=seed)
+    query = make_random_walks(1, 32, seed=seed + 1)[0]
+    seg = Segmentation.uniform(32, segments)
+    syn = build_synopsis(data, seg)
+    q_means, q_stds = segment_stats(query.reshape(1, -1), seg)
+    bound = lb_eapca(q_means[0], q_stds[0], syn, seg.lengths)
+    true = min(euclidean(query, s) for s in data)
+    assert bound <= true + 1e-7

@@ -1,0 +1,44 @@
+"""Unit tests for table formatting."""
+
+from repro.eval.report import format_cell, format_table, print_table
+
+
+class TestFormatCell:
+    def test_integers_and_strings_pass_through(self):
+        assert format_cell(42) == "42"
+        assert format_cell("Hercules") == "Hercules"
+
+    def test_float_formats(self):
+        assert format_cell(0.0) == "0"
+        assert format_cell(12345.6) == "12,346"
+        assert format_cell(3.14159) == "3.14"
+        assert format_cell(0.00123) == "0.00123"
+
+    def test_negative_values(self):
+        assert format_cell(-12345.6) == "-12,346"
+        assert format_cell(-0.5) == "-0.5"
+
+
+class TestFormatTable:
+    def test_columns_align(self):
+        table = format_table(["a", "bbbb"], [[1, 2], [333, 4]])
+        lines = table.splitlines()
+        # All rows share one width per column.
+        positions = [line.index("2") if "2" in line else None for line in lines]
+        assert len(set(len(line.rstrip()) for line in lines[2:])) <= 2
+
+    def test_header_rule_matches_width(self):
+        table = format_table(["col"], [["wide-value"]])
+        header, rule, row = table.splitlines()
+        assert len(rule.strip()) == len("wide-value")
+
+    def test_empty_rows(self):
+        table = format_table(["x"], [])
+        assert "x" in table
+        assert len(table.splitlines()) == 2
+
+    def test_print_table(self, capsys):
+        print_table("Title", ["h"], [[1]])
+        out = capsys.readouterr().out
+        assert "Title" in out
+        assert "h" in out

@@ -1,0 +1,77 @@
+"""Unit tests for the Dataset abstraction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.dataset import Dataset
+from repro.storage.iostats import IOStats
+
+from ..conftest import make_random_walks
+
+
+class TestInMemoryDataset:
+    def test_shape_accessors(self, small_dataset):
+        ds = Dataset.from_array(small_dataset)
+        assert ds.num_series == 200
+        assert ds.series_length == 64
+        assert not ds.on_disk
+        assert ds.total_bytes == 200 * 64 * 4
+
+    def test_read_batch_and_series(self, small_dataset):
+        ds = Dataset.from_array(small_dataset)
+        np.testing.assert_array_equal(ds.read_batch(10, 5), small_dataset[10:15])
+        np.testing.assert_array_equal(ds.read_series(3), small_dataset[3])
+
+    def test_iter_batches_covers_everything(self, small_dataset):
+        ds = Dataset.from_array(small_dataset)
+        seen = []
+        for start, batch in ds.iter_batches(64):
+            assert batch.shape[0] in (64, 8)
+            seen.append((start, batch))
+        total = sum(b.shape[0] for _, b in seen)
+        assert total == 200
+        np.testing.assert_array_equal(seen[0][1], small_dataset[:64])
+
+    def test_out_of_bounds_read(self, small_dataset):
+        ds = Dataset.from_array(small_dataset)
+        with pytest.raises(StorageError):
+            ds.read_batch(199, 2)
+
+    def test_rejects_both_or_neither_source(self, small_dataset):
+        with pytest.raises(ValueError):
+            Dataset()
+
+
+class TestOnDiskDataset:
+    def test_write_then_open_roundtrip(self, tmp_path, small_dataset):
+        ds = Dataset.write(tmp_path / "data.bin", small_dataset)
+        assert ds.on_disk
+        assert ds.num_series == 200
+        np.testing.assert_array_equal(ds.load_all(), small_dataset)
+        ds.close()
+
+    def test_reads_are_accounted(self, tmp_path):
+        data = make_random_walks(50, 32, seed=50)
+        Dataset.write(tmp_path / "data.bin", data).close()
+        stats = IOStats()
+        with Dataset.open(tmp_path / "data.bin", 32, stats=stats) as ds:
+            ds.read_batch(0, 10)
+            ds.read_batch(10, 10)  # sequential continuation
+            ds.read_batch(0, 5)    # rewind: random
+        snap = stats.snapshot()
+        assert snap.read_calls == 3
+        assert snap.sequential_reads == 2
+        assert snap.random_seeks == 1
+        assert snap.bytes_read == (10 + 10 + 5) * 32 * 4
+
+    def test_iter_batches_is_sequential_io(self, tmp_path):
+        data = make_random_walks(64, 16, seed=51)
+        Dataset.write(tmp_path / "data.bin", data).close()
+        stats = IOStats()
+        with Dataset.open(tmp_path / "data.bin", 16, stats=stats) as ds:
+            for _ in ds.iter_batches(16):
+                pass
+        snap = stats.snapshot()
+        assert snap.random_seeks == 0
+        assert snap.sequential_reads == 4

@@ -1,0 +1,105 @@
+"""Unit tests for counted binary/series/symbol files."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.files import BinaryFile, SeriesFile, SymbolFile
+from repro.storage.iostats import IOStats
+
+
+class TestBinaryFile:
+    def test_append_then_read_roundtrip(self, tmp_path):
+        with BinaryFile(tmp_path / "blob.bin") as f:
+            off1 = f.append(b"hello")
+            off2 = f.append(b"world")
+            assert off1 == 0 and off2 == 5
+            assert f.read(0, 5) == b"hello"
+            assert f.read(5, 5) == b"world"
+
+    def test_sequential_vs_random_classification(self, tmp_path):
+        stats = IOStats()
+        with BinaryFile(tmp_path / "blob.bin", stats=stats) as f:
+            f.append(b"0123456789")
+            f.read(0, 4)   # first read: offset 0 == initial cursor -> sequential
+            f.read(4, 4)   # continues -> sequential
+            f.read(0, 2)   # rewind -> random
+        snap = stats.snapshot()
+        assert snap.read_calls == 3
+        assert snap.sequential_reads == 2
+        assert snap.random_seeks == 1
+        assert snap.bytes_read == 10
+
+    def test_short_read_raises(self, tmp_path):
+        with BinaryFile(tmp_path / "blob.bin") as f:
+            f.append(b"abc")
+            with pytest.raises(StorageError):
+                f.read(0, 10)
+
+    def test_read_only_rejects_writes_and_missing_files(self, tmp_path):
+        path = tmp_path / "ro.bin"
+        with pytest.raises(StorageError):
+            BinaryFile(path, read_only=True)
+        path.write_bytes(b"data")
+        with BinaryFile(path, read_only=True) as f:
+            with pytest.raises(StorageError):
+                f.append(b"x")
+
+    def test_write_at_patches_in_place(self, tmp_path):
+        with BinaryFile(tmp_path / "blob.bin") as f:
+            f.append(b"xxxxx")
+            f.write_at(1, b"abc")
+            assert f.read(0, 5) == b"xabcx"
+
+
+class TestSeriesFile:
+    def test_append_batch_and_read_range(self, tmp_path):
+        data = np.arange(12, dtype=np.float32).reshape(3, 4)
+        with SeriesFile(tmp_path / "s.bin", series_length=4) as f:
+            pos = f.append_batch(data)
+            assert pos == 0
+            assert f.num_series == 3
+            np.testing.assert_array_equal(f.read_range(1, 2), data[1:])
+            np.testing.assert_array_equal(f.read_series(0), data[0])
+
+    def test_positions_accumulate_across_appends(self, tmp_path):
+        with SeriesFile(tmp_path / "s.bin", series_length=2) as f:
+            assert f.append_batch(np.zeros((2, 2), dtype=np.float32)) == 0
+            assert f.append_batch(np.ones((3, 2), dtype=np.float32)) == 2
+            assert f.num_series == 5
+
+    def test_single_series_append(self, tmp_path):
+        with SeriesFile(tmp_path / "s.bin", series_length=3) as f:
+            f.append_batch(np.array([1.0, 2.0, 3.0], dtype=np.float32))
+            np.testing.assert_array_equal(f.read_series(0), [1.0, 2.0, 3.0])
+
+    def test_rejects_wrong_length(self, tmp_path):
+        with SeriesFile(tmp_path / "s.bin", series_length=4) as f:
+            with pytest.raises(StorageError):
+                f.append_batch(np.zeros((1, 5), dtype=np.float32))
+
+    def test_rejects_out_of_bounds_read(self, tmp_path):
+        with SeriesFile(tmp_path / "s.bin", series_length=4) as f:
+            f.append_batch(np.zeros((2, 4), dtype=np.float32))
+            with pytest.raises(StorageError):
+                f.read_range(1, 2)
+
+    def test_rejects_misaligned_existing_file(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"\x00" * 10)  # not a multiple of 16
+        with pytest.raises(StorageError):
+            SeriesFile(path, series_length=4)
+
+
+class TestSymbolFile:
+    def test_roundtrip_and_read_all(self, tmp_path):
+        words = np.array([[1, 2, 3], [4, 5, 6]], dtype=np.uint8)
+        with SymbolFile(tmp_path / "w.bin", segments=3) as f:
+            assert f.append_batch(words) == 0
+            assert f.num_words == 2
+            np.testing.assert_array_equal(f.read_all(), words)
+
+    def test_rejects_wrong_width(self, tmp_path):
+        with SymbolFile(tmp_path / "w.bin", segments=3) as f:
+            with pytest.raises(StorageError):
+                f.append_batch(np.zeros((1, 4), dtype=np.uint8))

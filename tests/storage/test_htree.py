@@ -1,0 +1,141 @@
+"""Unit tests for HTree serialization."""
+
+import numpy as np
+import pytest
+
+from repro.core.node import Node, SplitPolicy
+from repro.errors import StorageError
+from repro.storage.htree import load_tree, save_tree
+from repro.summarization.eapca import Segmentation
+
+
+def make_tree():
+    """root (H-split) -> (leaf A, internal B (V-split) -> (leaf C, leaf D))."""
+    seg = Segmentation([8, 16])
+    root = Node(0, seg)
+    root.size = 30
+    root.synopsis[:] = np.arange(8, dtype=np.float64).reshape(2, 4)
+
+    a = Node(1, seg, root)
+    a.size = 10
+    a.file_position = 0
+    a.synopsis[:] = 1.5
+
+    b = Node(2, seg, root)
+    b.size = 20
+    b.synopsis[:] = -2.0
+    child_seg = seg.split_vertically(0)
+    b.policy = SplitPolicy(0, True, True, 0.75, 0, 4, child_seg)
+
+    c = Node(3, child_seg, b)
+    c.size = 12
+    c.file_position = 10
+    d = Node(4, child_seg, b)
+    d.size = 8
+    d.file_position = 22
+    b.left, b.right, b.is_leaf = c, d, False
+
+    root.policy = SplitPolicy(1, False, False, -0.25, 8, 16, seg)
+    root.left, root.right, root.is_leaf = a, b, False
+    return root
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self, tmp_path):
+        root = make_tree()
+        save_tree(tmp_path / "t.bin", root, {"num_series": 30})
+        loaded, settings = load_tree(tmp_path / "t.bin")
+        assert settings == {"num_series": 30}
+        assert not loaded.is_leaf
+        assert loaded.size == 30
+        assert loaded.left.is_leaf and loaded.left.file_position == 0
+        assert not loaded.right.is_leaf
+        assert loaded.right.left.file_position == 10
+        assert loaded.right.right.file_position == 22
+
+    def test_synopses_and_segmentations_preserved(self, tmp_path):
+        root = make_tree()
+        save_tree(tmp_path / "t.bin", root, {})
+        loaded, _ = load_tree(tmp_path / "t.bin")
+        np.testing.assert_array_equal(loaded.synopsis, root.synopsis)
+        assert loaded.segmentation == root.segmentation
+        assert loaded.right.left.segmentation == Segmentation([4, 8, 16])
+
+    def test_policies_preserved(self, tmp_path):
+        root = make_tree()
+        save_tree(tmp_path / "t.bin", root, {})
+        loaded, _ = load_tree(tmp_path / "t.bin")
+        assert loaded.policy.split_segment == 1
+        assert not loaded.policy.vertical
+        assert loaded.policy.threshold == -0.25
+        b = loaded.right
+        assert b.policy.vertical and b.policy.use_std
+        assert b.policy.threshold == 0.75
+        assert b.policy.route_start == 0 and b.policy.route_end == 4
+        assert b.policy.child_segmentation == Segmentation([4, 8, 16])
+
+    def test_parent_links_rebuilt(self, tmp_path):
+        root = make_tree()
+        save_tree(tmp_path / "t.bin", root, {})
+        loaded, _ = load_tree(tmp_path / "t.bin")
+        assert loaded.parent is None
+        assert loaded.left.parent is loaded
+        assert loaded.right.right.parent is loaded.right
+
+    def test_save_overwrites_previous_tree(self, tmp_path):
+        """Re-saving to the same path replaces the file (regression: the
+        append-oriented BinaryFile used to leave both trees behind)."""
+        root = make_tree()
+        save_tree(tmp_path / "t.bin", root, {"generation": 1})
+        save_tree(tmp_path / "t.bin", root, {"generation": 2})
+        loaded, settings = load_tree(tmp_path / "t.bin")
+        assert settings == {"generation": 2}
+        assert loaded.size == root.size
+
+    def test_single_leaf_tree(self, tmp_path):
+        leaf = Node(0, Segmentation([4]))
+        leaf.size = 5
+        leaf.file_position = 0
+        save_tree(tmp_path / "t.bin", leaf, {"x": [1, 2]})
+        loaded, settings = load_tree(tmp_path / "t.bin")
+        assert loaded.is_leaf and loaded.size == 5
+        assert settings == {"x": [1, 2]}
+
+
+class TestErrors:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "junk.bin"
+        path.write_bytes(b"NOTATREE" + b"\x00" * 32)
+        with pytest.raises(StorageError):
+            load_tree(path)
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "short.bin"
+        path.write_bytes(b"HE")
+        with pytest.raises(StorageError):
+            load_tree(path)
+
+    def test_truncated_nodes(self, tmp_path):
+        root = make_tree()
+        save_tree(tmp_path / "t.bin", root, {})
+        blob = (tmp_path / "t.bin").read_bytes()
+        (tmp_path / "cut.bin").write_bytes(blob[:-10])
+        with pytest.raises(StorageError):
+            load_tree(tmp_path / "cut.bin")
+
+    def test_trailing_garbage(self, tmp_path):
+        root = make_tree()
+        save_tree(tmp_path / "t.bin", root, {})
+        blob = (tmp_path / "t.bin").read_bytes()
+        (tmp_path / "fat.bin").write_bytes(blob + b"xx")
+        with pytest.raises(StorageError):
+            load_tree(tmp_path / "fat.bin")
+
+    def test_internal_without_policy_rejected_at_save(self, tmp_path):
+        seg = Segmentation([8])
+        root = Node(0, seg)
+        root.left = Node(1, seg, root)
+        root.right = Node(2, seg, root)
+        root.is_leaf = False  # no policy set
+        with pytest.raises(StorageError):
+            save_tree(tmp_path / "t.bin", root, {})

@@ -1,0 +1,60 @@
+"""Fuzz tests: the HTree loader must reject garbage, never crash oddly."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.storage.htree import MAGIC, load_tree, save_tree
+
+
+@settings(max_examples=60, deadline=None)
+@given(blob=st.binary(min_size=0, max_size=400))
+def test_random_bytes_never_crash(tmp_path_factory, blob):
+    """Arbitrary bytes: StorageError or nothing, never another exception."""
+    path = tmp_path_factory.mktemp("fuzz") / "t.bin"
+    path.write_bytes(blob)
+    try:
+        load_tree(path)
+    except StorageError:
+        pass  # the only acceptable failure mode
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    cut=st.integers(1, 200),
+    flip_at=st.integers(0, 199),
+    flip_to=st.integers(0, 255),
+)
+def test_mutated_valid_tree_never_crashes(tmp_path_factory, cut, flip_at, flip_to):
+    """Truncations and byte flips of a real file: StorageError or a loaded
+    (possibly semantically different) tree — never an uncontrolled error."""
+    from repro.core.node import Node
+    from repro.summarization.eapca import Segmentation
+
+    tmp = tmp_path_factory.mktemp("fuzz2")
+    leaf = Node(0, Segmentation([4, 8]))
+    leaf.size = 3
+    leaf.file_position = 0
+    save_tree(tmp / "ok.bin", leaf, {"n": 3})
+    blob = bytearray((tmp / "ok.bin").read_bytes())
+
+    mutated = bytearray(blob[: max(len(blob) - cut, 12)])
+    if flip_at < len(mutated):
+        mutated[flip_at] = flip_to
+    (tmp / "bad.bin").write_bytes(bytes(mutated))
+    try:
+        load_tree(tmp / "bad.bin")
+    except StorageError:
+        pass
+
+
+def test_valid_magic_with_huge_settings_length(tmp_path):
+    """A header claiming more settings bytes than exist must not hang."""
+    import struct
+
+    path = tmp_path / "t.bin"
+    path.write_bytes(struct.pack("<8sII", MAGIC, 1, 10_000_000) + b"{}")
+    with pytest.raises(StorageError):
+        load_tree(path)

@@ -1,0 +1,68 @@
+"""Unit tests for the I/O accounting layer."""
+
+import threading
+
+from repro.storage.iostats import IOSnapshot, IOStats
+
+
+class TestIOStats:
+    def test_counters_accumulate(self):
+        stats = IOStats()
+        stats.record_read(100, sequential=True)
+        stats.record_read(50, sequential=False)
+        stats.record_write(30)
+        snap = stats.snapshot()
+        assert snap.read_calls == 2
+        assert snap.sequential_reads == 1
+        assert snap.random_seeks == 1
+        assert snap.bytes_read == 150
+        assert snap.write_calls == 1
+        assert snap.bytes_written == 30
+
+    def test_reset(self):
+        stats = IOStats()
+        stats.record_read(10, sequential=True)
+        stats.reset()
+        assert stats.snapshot() == IOSnapshot()
+
+    def test_snapshot_is_immutable_copy(self):
+        stats = IOStats()
+        first = stats.snapshot()
+        stats.record_read(10, sequential=True)
+        assert first.read_calls == 0
+        assert stats.snapshot().read_calls == 1
+
+    def test_concurrent_recording(self):
+        stats = IOStats()
+
+        def hammer():
+            for _ in range(1000):
+                stats.record_read(4, sequential=True)
+                stats.record_write(2)
+
+        threads = [threading.Thread(target=hammer) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = stats.snapshot()
+        assert snap.read_calls == 6000
+        assert snap.bytes_read == 24000
+        assert snap.bytes_written == 12000
+
+
+class TestIOSnapshotArithmetic:
+    def test_difference(self):
+        before = IOSnapshot(read_calls=2, bytes_read=100, random_seeks=1)
+        after = IOSnapshot(
+            read_calls=5, bytes_read=450, random_seeks=2, sequential_reads=2
+        )
+        delta = after - before
+        assert delta.read_calls == 3
+        assert delta.bytes_read == 350
+        assert delta.random_seeks == 1
+        assert delta.sequential_reads == 2
+
+    def test_zero_delta(self):
+        snap = IOSnapshot(read_calls=7, bytes_read=10)
+        assert snap - snap == IOSnapshot()

@@ -1,0 +1,127 @@
+"""Unit and property tests for APCA."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.summarization.apca import (
+    apca,
+    apca_dp,
+    apca_error,
+    apca_greedy,
+    apca_reconstruct,
+)
+from repro.summarization.paa import paa, paa_segment_bounds
+
+from ..conftest import make_random_walks
+
+
+def piecewise_constant(levels, width):
+    return np.repeat(np.asarray(levels, dtype=np.float64), width)
+
+
+class TestDp:
+    def test_recovers_exact_piecewise_constant_series(self):
+        series = piecewise_constant([1.0, -2.0, 3.0], 5)
+        ends, means = apca_dp(series, 3)
+        np.testing.assert_array_equal(ends, [5, 10, 15])
+        np.testing.assert_allclose(means, [1.0, -2.0, 3.0])
+        assert apca_error(series, ends, means) == pytest.approx(0.0)
+
+    def test_single_segment_is_global_mean(self):
+        series = make_random_walks(1, 20, seed=1)[0]
+        ends, means = apca_dp(series, 1)
+        np.testing.assert_array_equal(ends, [20])
+        assert means[0] == pytest.approx(series.astype(np.float64).mean())
+
+    def test_n_segments_is_lossless(self):
+        series = make_random_walks(1, 12, seed=2)[0]
+        ends, means = apca_dp(series, 12)
+        assert apca_error(series, ends, means) == pytest.approx(0.0, abs=1e-9)
+
+    def test_error_decreases_with_segments(self):
+        series = make_random_walks(1, 32, seed=3)[0]
+        errors = [
+            apca_error(series, *apca_dp(series, m)) for m in (1, 2, 4, 8, 16)
+        ]
+        assert all(e1 >= e2 - 1e-9 for e1, e2 in zip(errors, errors[1:]))
+
+    def test_beats_or_matches_paa_grid(self):
+        """The optimal adaptive segmentation is at least as good as PAA's
+        fixed grid with the same segment count."""
+        series = make_random_walks(1, 48, seed=4)[0].astype(np.float64)
+        m = 6
+        ends, means = apca_dp(series, m)
+        bounds = paa_segment_bounds(48, m)
+        paa_recon = np.repeat(paa(series, m), np.diff(bounds))
+        paa_error = float(((series - paa_recon) ** 2).sum())
+        assert apca_error(series, ends, means) <= paa_error + 1e-9
+
+    def test_rejects_bad_segment_counts(self):
+        with pytest.raises(ValueError):
+            apca_dp(np.zeros(4), 0)
+        with pytest.raises(ValueError):
+            apca_dp(np.zeros(4), 5)
+
+
+class TestGreedy:
+    def test_recovers_exact_piecewise_constant_series(self):
+        series = piecewise_constant([0.5, 4.0, -1.0, 2.0], 4)
+        ends, means = apca_greedy(series, 4)
+        np.testing.assert_array_equal(ends, [4, 8, 12, 16])
+        assert apca_error(series, ends, means) == pytest.approx(0.0)
+
+    def test_close_to_dp_optimum(self):
+        rng = np.random.default_rng(5)
+        for _ in range(5):
+            series = rng.standard_normal(40).cumsum()
+            optimal = apca_error(series, *apca_dp(series, 5))
+            greedy = apca_error(series, *apca_greedy(series, 5))
+            assert greedy <= 2.0 * optimal + 1e-6
+
+    def test_segment_count_respected(self):
+        series = make_random_walks(1, 64, seed=6)[0]
+        for m in (1, 3, 9, 30):
+            ends, means = apca_greedy(series, m)
+            assert ends.shape[0] == m
+            assert means.shape[0] == m
+            assert ends[-1] == 64
+
+    def test_dispatch(self):
+        series = make_random_walks(1, 16, seed=7)[0]
+        np.testing.assert_array_equal(
+            apca(series, 4, method="greedy")[0], apca_greedy(series, 4)[0]
+        )
+        with pytest.raises(ValueError):
+            apca(series, 4, method="haar")
+
+
+class TestReconstruction:
+    def test_roundtrip_shapes(self):
+        series = make_random_walks(1, 32, seed=8)[0]
+        ends, means = apca_greedy(series, 5)
+        recon = apca_reconstruct(ends, means)
+        assert recon.shape == (32,)
+
+    def test_reconstruction_uses_segment_means(self):
+        ends = np.array([2, 5])
+        means = np.array([1.0, -1.0])
+        np.testing.assert_allclose(
+            apca_reconstruct(ends, means), [1, 1, -1, -1, -1]
+        )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    length=st.integers(6, 40),
+    segments=st.integers(1, 6),
+)
+def test_greedy_error_never_below_dp_property(seed, length, segments):
+    """DP is optimal: greedy error >= DP error, always."""
+    segments = min(segments, length)
+    series = make_random_walks(1, length, seed=seed)[0]
+    dp_err = apca_error(series, *apca_dp(series, segments))
+    greedy_err = apca_error(series, *apca_greedy(series, segments))
+    assert greedy_err >= dp_err - 1e-7

@@ -1,0 +1,64 @@
+"""Unit tests for orthonormal DFT features (VA+file substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.distance.euclidean import euclidean
+from repro.summarization.dft import DftBasis, dft_features
+
+from ..conftest import make_random_walks
+
+
+class TestDftFeatures:
+    def test_full_feature_set_preserves_euclidean_distance(self):
+        for length in (8, 9, 16, 33):
+            data = make_random_walks(6, length, seed=length)
+            feats = dft_features(data, length)
+            for i in range(3):
+                for j in range(3, 6):
+                    time_dist = euclidean(data[i], data[j])
+                    feat_dist = float(np.linalg.norm(feats[i] - feats[j]))
+                    np.testing.assert_allclose(feat_dist, time_dist, rtol=1e-6)
+
+    def test_prefix_distance_lower_bounds_euclidean(self):
+        data = make_random_walks(20, 64, seed=21)
+        query = make_random_walks(1, 64, seed=22)[0]
+        q_feat = dft_features(query, 16)
+        d_feat = dft_features(data, 16)
+        for i in range(data.shape[0]):
+            feat_dist = float(np.linalg.norm(d_feat[i] - q_feat))
+            assert feat_dist <= euclidean(query, data[i]) + 1e-9
+
+    def test_feature_count_and_shapes(self):
+        data = make_random_walks(4, 32, seed=23)
+        assert dft_features(data, 10).shape == (4, 10)
+        assert dft_features(data[0], 10).shape == (10,)
+
+    def test_first_feature_is_scaled_mean(self):
+        series = np.arange(16, dtype=np.float64)
+        feats = dft_features(series, 1)
+        np.testing.assert_allclose(feats[0], series.sum() / np.sqrt(16))
+
+    def test_energy_concentration_on_smooth_series(self):
+        """For random walks most energy lives in low frequencies."""
+        data = make_random_walks(10, 128, seed=24)
+        prefix = dft_features(data, 16)
+        full = dft_features(data, 128)
+        prefix_energy = np.einsum("ij,ij->i", prefix, prefix)
+        total_energy = np.einsum("ij,ij->i", full, full)
+        # 16 of 128 features hold far more than the uniform 12.5% share.
+        assert np.all(prefix_energy >= 0.4 * total_energy)
+        assert prefix_energy.mean() >= 0.7 * total_energy.mean()
+
+
+class TestDftBasis:
+    def test_transform_matches_function(self):
+        basis = DftBasis(series_length=32, num_features=8)
+        data = make_random_walks(3, 32, seed=25)
+        np.testing.assert_allclose(basis.transform(data), dft_features(data, 8))
+
+    def test_rejects_bad_feature_counts(self):
+        with pytest.raises(ValueError):
+            DftBasis(series_length=16, num_features=0)
+        with pytest.raises(ValueError):
+            DftBasis(series_length=16, num_features=17)

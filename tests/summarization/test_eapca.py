@@ -1,0 +1,94 @@
+"""Unit tests for EAPCA segmentations and segment statistics."""
+
+import numpy as np
+import pytest
+
+from repro.summarization.eapca import Segmentation, SeriesSketch, segment_stats
+
+
+class TestSegmentation:
+    def test_validation_rejects_non_increasing(self):
+        with pytest.raises(ValueError):
+            Segmentation([4, 4, 8])
+        with pytest.raises(ValueError):
+            Segmentation([0, 4])
+        with pytest.raises(ValueError):
+            Segmentation([])
+
+    def test_uniform_covers_length(self):
+        seg = Segmentation.uniform(10, 3)
+        assert seg.length == 10
+        assert seg.num_segments == 3
+        assert sum(seg.lengths) == 10
+
+    def test_starts_and_ranges(self):
+        seg = Segmentation([4, 8, 16])
+        assert seg.starts == (0, 4, 8)
+        assert seg.segment_range(2) == (8, 16)
+
+    def test_split_vertically(self):
+        seg = Segmentation([4, 8])
+        child = seg.split_vertically(1)
+        assert child.ends == (4, 6, 8)
+        assert child.num_segments == 3
+
+    def test_split_vertically_rejects_single_point_segment(self):
+        seg = Segmentation([1, 2])
+        with pytest.raises(ValueError):
+            seg.split_vertically(0)
+
+    def test_equality_and_hash(self):
+        assert Segmentation([4, 8]) == Segmentation([4, 8])
+        assert hash(Segmentation([4, 8])) == hash(Segmentation([4, 8]))
+        assert Segmentation([4, 8]) != Segmentation([2, 8])
+
+
+class TestSegmentStats:
+    def test_matches_naive(self, small_dataset):
+        seg = Segmentation([10, 25, 64])
+        means, stds = segment_stats(small_dataset, seg)
+        for i in range(3):
+            row = small_dataset[i].astype(np.float64)
+            for j, (start, end) in enumerate(
+                zip(seg.starts, seg.ends)
+            ):
+                np.testing.assert_allclose(means[i, j], row[start:end].mean(), atol=1e-9)
+                np.testing.assert_allclose(stds[i, j], row[start:end].std(), atol=1e-7)
+
+    def test_constant_series_has_zero_std(self):
+        data = np.full((2, 8), 3.0)
+        means, stds = segment_stats(data, Segmentation([4, 8]))
+        np.testing.assert_allclose(means, 3.0)
+        np.testing.assert_allclose(stds, 0.0)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            segment_stats(np.zeros((2, 8)), Segmentation([4, 10]))
+
+
+class TestSeriesSketch:
+    def test_stats_match_segment_stats(self, small_dataset):
+        seg = Segmentation([7, 20, 40, 64])
+        sketch = SeriesSketch(small_dataset[0])
+        means, stds = sketch.stats(seg)
+        ref_means, ref_stds = segment_stats(small_dataset[:1], seg)
+        np.testing.assert_allclose(means, ref_means[0], atol=1e-9)
+        np.testing.assert_allclose(stds, ref_stds[0], atol=1e-9)
+
+    def test_memoizes_per_segmentation(self, small_dataset):
+        sketch = SeriesSketch(small_dataset[0])
+        seg = Segmentation([32, 64])
+        first = sketch.stats(seg)
+        second = sketch.stats(Segmentation([32, 64]))
+        assert first[0] is second[0]
+
+    def test_range_stats(self):
+        sketch = SeriesSketch(np.array([1.0, 2.0, 3.0, 4.0], dtype=np.float32))
+        mean, std = sketch.range_stats(1, 3)
+        np.testing.assert_allclose(mean, 2.5)
+        np.testing.assert_allclose(std, 0.5)
+
+    def test_range_stats_rejects_empty_range(self):
+        sketch = SeriesSketch(np.zeros(4, dtype=np.float32))
+        with pytest.raises(ValueError):
+            sketch.range_stats(2, 2)

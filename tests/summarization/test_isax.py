@@ -1,0 +1,94 @@
+"""Unit tests for variable-cardinality iSAX words."""
+
+import numpy as np
+import pytest
+
+from repro.distance.euclidean import euclidean
+from repro.summarization.isax import IsaxWord, isax_from_symbols
+from repro.summarization.paa import paa
+from repro.summarization.sax import SaxSpace
+
+from ..conftest import make_random_walks
+
+
+class TestIsaxWord:
+    def test_from_symbols_takes_top_bits(self):
+        word = isax_from_symbols(np.array([0b10110011, 0b01000000]), bits=3)
+        assert word.symbols == (0b101, 0b010)
+        assert word.bits == (3, 3)
+
+    def test_zero_bits_word_contains_everything(self):
+        word = isax_from_symbols(np.array([17, 42]), bits=0)
+        assert word.symbols == (0, 0)
+        full = np.array([[0, 0], [255, 255], [17, 42]], dtype=np.uint8)
+        assert word.contains(full).all()
+
+    def test_contains_matches_prefix(self):
+        word = IsaxWord((1, 0), (1, 1))  # segment0 high half, segment1 low half
+        assert word.contains(np.array([200, 10]))
+        assert not word.contains(np.array([10, 10]))
+        assert not word.contains(np.array([200, 200]))
+
+    def test_refine_creates_disjoint_children(self):
+        word = IsaxWord((1,), (1,))
+        low, high = word.refine(0)
+        assert low.symbols == (2,) and high.symbols == (3,)
+        assert low.bits == (2,) and high.bits == (2,)
+        samples = np.arange(256, dtype=np.uint8).reshape(-1, 1)
+        in_parent = word.contains(samples)
+        in_low = low.contains(samples)
+        in_high = high.contains(samples)
+        assert np.array_equal(in_parent, in_low | in_high)
+        assert not np.any(in_low & in_high)
+
+    def test_refine_rejects_full_cardinality(self):
+        word = IsaxWord((0,), (8,))
+        with pytest.raises(ValueError):
+            word.refine(0)
+
+    def test_child_for_routes_to_containing_child(self):
+        word = isax_from_symbols(np.array([128]), bits=1)
+        child = word.child_for(np.array([130]), 0)
+        assert child.contains(np.array([130]))
+
+    def test_symbol_must_fit_bits(self):
+        with pytest.raises(ValueError):
+            IsaxWord((4,), (2,))
+
+
+class TestIsaxMindist:
+    def test_lower_bounds_euclidean(self):
+        space = SaxSpace(segments=16, alphabet_size=256)
+        data = make_random_walks(40, 128, seed=11)
+        query = make_random_walks(1, 128, seed=12)[0]
+        q_paa = paa(query, 16)
+        symbols = space.symbolize(paa(data, 16))
+        for bits in (1, 2, 4, 8):
+            for i in range(data.shape[0]):
+                word = isax_from_symbols(symbols[i], bits)
+                bound = word.mindist(q_paa, space, 128)
+                assert bound <= euclidean(query, data[i]) + 1e-9
+
+    def test_coarser_words_give_looser_bounds(self):
+        space = SaxSpace(segments=8, alphabet_size=256)
+        data = make_random_walks(20, 64, seed=13)
+        query = make_random_walks(1, 64, seed=14)[0]
+        q_paa = paa(query, 8)
+        symbols = space.symbolize(paa(data, 8))
+        for i in range(data.shape[0]):
+            bounds = [
+                isax_from_symbols(symbols[i], bits).mindist(q_paa, space, 64)
+                for bits in (1, 2, 4, 8)
+            ]
+            assert all(b1 <= b2 + 1e-9 for b1, b2 in zip(bounds, bounds[1:]))
+
+    def test_full_cardinality_matches_sax_mindist(self):
+        space = SaxSpace(segments=8, alphabet_size=256)
+        data = make_random_walks(10, 64, seed=15)
+        query = make_random_walks(1, 64, seed=16)[0]
+        q_paa = paa(query, 8)
+        symbols = space.symbolize(paa(data, 8))
+        batch = space.mindist(q_paa, symbols, 64)
+        for i in range(data.shape[0]):
+            word = isax_from_symbols(symbols[i], 8)
+            np.testing.assert_allclose(word.mindist(q_paa, space, 64), batch[i])

@@ -1,0 +1,56 @@
+"""Unit tests for Piecewise Aggregate Approximation."""
+
+import numpy as np
+import pytest
+
+from repro.summarization.paa import paa, paa_segment_bounds
+
+
+class TestSegmentBounds:
+    def test_even_division(self):
+        bounds = paa_segment_bounds(16, 4)
+        assert list(bounds) == [0, 4, 8, 12, 16]
+
+    def test_uneven_division_front_loads_extra_points(self):
+        bounds = paa_segment_bounds(10, 4)
+        sizes = np.diff(bounds)
+        assert list(sizes) == [3, 3, 2, 2]
+        assert bounds[-1] == 10
+
+    def test_single_segment(self):
+        assert list(paa_segment_bounds(5, 1)) == [0, 5]
+
+    def test_rejects_zero_segments(self):
+        with pytest.raises(ValueError):
+            paa_segment_bounds(16, 0)
+
+    def test_rejects_too_short_series(self):
+        with pytest.raises(ValueError):
+            paa_segment_bounds(3, 4)
+
+
+class TestPaa:
+    def test_matches_naive_means(self):
+        series = np.arange(12, dtype=np.float64)
+        result = paa(series, 3)
+        expected = [series[0:4].mean(), series[4:8].mean(), series[8:12].mean()]
+        np.testing.assert_allclose(result, expected)
+
+    def test_batch_matches_per_series(self, small_dataset):
+        batch = paa(small_dataset, 8)
+        for i in range(5):
+            np.testing.assert_allclose(batch[i], paa(small_dataset[i], 8))
+
+    def test_constant_series_maps_to_constant_paa(self):
+        series = np.full(32, 2.5)
+        np.testing.assert_allclose(paa(series, 4), np.full(4, 2.5))
+
+    def test_preserves_overall_mean_on_even_division(self):
+        rng = np.random.default_rng(0)
+        series = rng.standard_normal(64)
+        result = paa(series, 8)
+        np.testing.assert_allclose(result.mean(), series.mean())
+
+    def test_rejects_3d_input(self):
+        with pytest.raises(ValueError):
+            paa(np.zeros((2, 2, 2)), 2)

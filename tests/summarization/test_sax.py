@@ -1,0 +1,127 @@
+"""Unit and property tests for SAX discretization and MINDIST."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.distance.euclidean import euclidean
+from repro.summarization.paa import paa
+from repro.summarization.sax import SaxSpace, inverse_normal_cdf, sax_breakpoints
+
+from ..conftest import make_random_walks
+
+
+class TestInverseNormalCdf:
+    def test_median_is_zero(self):
+        np.testing.assert_allclose(inverse_normal_cdf(np.array([0.5])), [0.0], atol=1e-12)
+
+    def test_symmetry(self):
+        p = np.array([0.01, 0.1, 0.25, 0.4])
+        np.testing.assert_allclose(
+            inverse_normal_cdf(p), -inverse_normal_cdf(1.0 - p), atol=1e-8
+        )
+
+    def test_matches_scipy(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        p = np.linspace(1e-6, 1 - 1e-6, 101)
+        np.testing.assert_allclose(
+            inverse_normal_cdf(p), scipy_stats.norm.ppf(p), rtol=1e-8, atol=1e-8
+        )
+
+    def test_rejects_bounds(self):
+        with pytest.raises(ValueError):
+            inverse_normal_cdf(np.array([0.0]))
+        with pytest.raises(ValueError):
+            inverse_normal_cdf(np.array([1.0]))
+
+
+class TestBreakpoints:
+    def test_count_and_monotonicity(self):
+        bps = sax_breakpoints(256)
+        assert bps.shape == (255,)
+        assert np.all(np.diff(bps) > 0)
+
+    def test_alphabet_4_known_values(self):
+        # N(0,1) quartiles: -0.6745, 0, 0.6745.
+        bps = sax_breakpoints(4)
+        np.testing.assert_allclose(bps, [-0.6745, 0.0, 0.6745], atol=1e-4)
+
+    def test_rejects_tiny_and_oversized_alphabets(self):
+        with pytest.raises(ValueError):
+            sax_breakpoints(1)
+        with pytest.raises(ValueError):
+            sax_breakpoints(257)
+
+
+class TestSymbolize:
+    def test_symbols_identify_breakpoint_intervals(self):
+        space = SaxSpace(segments=4, alphabet_size=8)
+        values = np.array([-10.0, -0.5, 0.0, 0.5, 10.0])
+        symbols = space.symbolize(values)
+        lower, upper = space.symbol_intervals(symbols)
+        assert np.all(lower <= values)
+        assert np.all(values < upper)
+
+    def test_extreme_values_use_boundary_symbols(self):
+        space = SaxSpace(segments=1, alphabet_size=16)
+        assert space.symbolize(np.array([-100.0]))[0] == 0
+        assert space.symbolize(np.array([100.0]))[0] == 15
+
+    def test_batch_shape(self):
+        space = SaxSpace(segments=8, alphabet_size=64)
+        values = np.zeros((5, 8))
+        assert space.symbolize(values).shape == (5, 8)
+        assert space.symbolize(values).dtype == np.uint8
+
+
+class TestMindist:
+    def test_zero_when_query_falls_in_symbol_region(self):
+        space = SaxSpace(segments=4, alphabet_size=8)
+        q_paa = np.array([-1.0, 0.1, 0.5, 2.0])
+        symbols = space.symbolize(q_paa)
+        assert space.mindist(q_paa, symbols, series_length=64) == 0.0
+
+    def test_lower_bounds_euclidean_on_random_walks(self):
+        space = SaxSpace(segments=16, alphabet_size=256)
+        data = make_random_walks(50, 128, seed=3)
+        query = make_random_walks(1, 128, seed=99)[0]
+        q_paa = paa(query, 16)
+        symbols = space.symbolize(paa(data, 16))
+        bounds = space.mindist(q_paa, symbols, series_length=128)
+        true = np.array([euclidean(query, s) for s in data])
+        assert np.all(bounds <= true + 1e-9)
+
+    def test_coarser_alphabet_gives_looser_bound(self):
+        data = make_random_walks(30, 64, seed=5)
+        query = make_random_walks(1, 64, seed=6)[0]
+        fine = SaxSpace(segments=8, alphabet_size=256)
+        coarse = SaxSpace(segments=8, alphabet_size=4)
+        q_paa = paa(query, 8)
+        d_paa = paa(data, 8)
+        fine_bounds = fine.mindist(q_paa, fine.symbolize(d_paa), 64)
+        coarse_bounds = coarse.mindist(q_paa, coarse.symbolize(d_paa), 64)
+        assert np.all(coarse_bounds <= fine_bounds + 1e-9)
+
+    def test_rejects_wrong_query_width(self):
+        space = SaxSpace(segments=4, alphabet_size=8)
+        with pytest.raises(ValueError):
+            space.mindist(np.zeros(3), np.zeros((1, 4), dtype=np.uint8), 64)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    values=hnp.arrays(
+        np.float64,
+        shape=st.integers(1, 16),
+        elements=st.floats(-5, 5, allow_nan=False),
+    )
+)
+def test_symbolize_intervals_property(values):
+    """Every value lies inside the breakpoint interval of its symbol."""
+    space = SaxSpace(segments=values.shape[0], alphabet_size=32)
+    symbols = space.symbolize(values)
+    lower, upper = space.symbol_intervals(symbols)
+    assert np.all(lower <= values)
+    assert np.all(values < upper)

@@ -1,0 +1,247 @@
+"""End-to-end tests of the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.storage.dataset import Dataset
+
+
+@pytest.fixture
+def dataset_file(tmp_path):
+    path = tmp_path / "data.bin"
+    code = main(
+        [
+            "generate",
+            "--kind",
+            "synth",
+            "--count",
+            "400",
+            "--length",
+            "32",
+            "--seed",
+            "3",
+            "--output",
+            str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_readable_dataset(self, dataset_file, capsys):
+        with Dataset.open(dataset_file, 32) as ds:
+            assert ds.num_series == 400
+            batch = ds.read_batch(0, 10)
+            np.testing.assert_allclose(batch.std(axis=1), 1.0, atol=1e-3)
+
+    @pytest.mark.parametrize("kind, length", [("sald", 128), ("deep", 96)])
+    def test_analog_default_lengths(self, tmp_path, kind, length):
+        path = tmp_path / f"{kind}.bin"
+        code = main(
+            ["generate", "--kind", kind, "--count", "50", "--output", str(path)]
+        )
+        assert code == 0
+        with Dataset.open(path, length) as ds:
+            assert ds.num_series == 50
+
+
+class TestBuildQueryInspect:
+    def test_full_workflow(self, dataset_file, tmp_path, capsys):
+        index_dir = tmp_path / "index"
+        code = main(
+            [
+                "build",
+                "--dataset",
+                str(dataset_file),
+                "--length",
+                "32",
+                "--output",
+                str(index_dir),
+                "--leaf-capacity",
+                "50",
+                "--threads",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "built index over 400 series" in out
+        assert (index_dir / "htree.bin").exists()
+
+        # Query the index with the dataset itself (self-queries).
+        code = main(
+            [
+                "query",
+                "--index",
+                str(index_dir),
+                "--queries",
+                str(dataset_file),
+                "--k",
+                "2",
+                "--count",
+                "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "query 0: d=[0.0000" in out
+        assert "answered 3 queries" in out
+
+        code = main(["inspect", "--index", str(index_dir)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "leaves" in out
+        assert "series length      32" in out
+
+    def test_approximate_and_epsilon_flags(self, dataset_file, tmp_path, capsys):
+        index_dir = tmp_path / "index"
+        assert (
+            main(
+                [
+                    "build",
+                    "--dataset",
+                    str(dataset_file),
+                    "--length",
+                    "32",
+                    "--output",
+                    str(index_dir),
+                    "--threads",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "query",
+                    "--index",
+                    str(index_dir),
+                    "--queries",
+                    str(dataset_file),
+                    "--count",
+                    "1",
+                    "--approximate",
+                ]
+            )
+            == 0
+        )
+        assert "path=approximate" in capsys.readouterr().out
+        assert (
+            main(
+                [
+                    "query",
+                    "--index",
+                    str(index_dir),
+                    "--queries",
+                    str(dataset_file),
+                    "--count",
+                    "1",
+                    "--epsilon",
+                    "0.5",
+                ]
+            )
+            == 0
+        )
+
+    def test_missing_index_reports_error(self, tmp_path, capsys):
+        code = main(["inspect", "--index", str(tmp_path / "missing")])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestGenerateWorkload:
+    def test_writes_loadable_bundle(self, tmp_path, capsys):
+        from repro.workloads.io import load_workload_bundle
+
+        code = main(
+            [
+                "generate-workload",
+                "--kind",
+                "synth",
+                "--count",
+                "120",
+                "--length",
+                "16",
+                "--queries",
+                "4",
+                "--output",
+                str(tmp_path / "bundle"),
+            ]
+        )
+        assert code == 0
+        data, workloads, metadata = load_workload_bundle(tmp_path / "bundle")
+        assert data.shape == (116, 16)  # 4 ood queries held out
+        assert set(workloads) == {"1%", "2%", "5%", "10%", "ood"}
+        assert metadata["kind"] == "synth"
+
+
+class TestBench:
+    def test_runs_one_figure_at_tiny_scale(self, capsys):
+        code = main(
+            [
+                "bench",
+                "--figure",
+                "fig12a",
+                "--size",
+                "300",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 12a" in out
+        assert "Hercules" in out
+
+    def test_bench_all_runs_every_figure(self, capsys):
+        code = main(
+            [
+                "bench",
+                "--figure",
+                "all",
+                "--size",
+                "200",
+                "--num-queries",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for figure in ("fig6", "fig7", "fig12b"):
+            assert f"=== {figure} ===" in out
+
+    def test_size_and_queries_overrides(self, capsys):
+        code = main(
+            [
+                "bench",
+                "--figure",
+                "fig7",
+                "--size",
+                "400",
+                "--num-queries",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert "PSCAN" in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_prints_method_table(self, dataset_file, capsys):
+        code = main(
+            [
+                "compare",
+                "--dataset",
+                str(dataset_file),
+                "--length",
+                "32",
+                "--num-queries",
+                "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("Hercules", "DSTree*", "ParIS+", "VA+file", "PSCAN"):
+            assert name in out

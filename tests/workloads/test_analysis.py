@@ -1,0 +1,75 @@
+"""Tests for workload hardness analysis — validating the paper's gradings."""
+
+import pytest
+
+from repro.workloads.analysis import workload_hardness
+from repro.workloads.datasets import deep_like, sald_like
+from repro.workloads.generators import (
+    NOISE_WORKLOADS,
+    make_noise_queries,
+    make_query_workloads,
+    random_walks,
+)
+
+
+class TestHardnessMeasure:
+    def test_self_queries_have_zero_nn_distance(self):
+        data = random_walks(200, 32, seed=270)
+        hardness = workload_hardness(data, data[:5])
+        assert hardness.mean_nn_distance == pytest.approx(0.0, abs=1e-6)
+
+    def test_noise_gradient_orders_as_the_paper_labels(self):
+        """1% < 2% < 5% < 10% in NN distance; contrast falls with noise."""
+        data = random_walks(500, 64, seed=271)
+        results = {}
+        for label, variance in NOISE_WORKLOADS.items():
+            queries = make_noise_queries(data, 15, variance, seed=272)
+            results[label] = workload_hardness(data, queries)
+        nn = [results[l].mean_nn_distance for l in ("1%", "2%", "5%", "10%")]
+        assert nn == sorted(nn)
+        contrast = [
+            results[l].relative_contrast for l in ("1%", "2%", "5%", "10%")
+        ]
+        assert contrast == sorted(contrast, reverse=True)
+
+    def test_ood_is_hardest(self):
+        raw = random_walks(500, 64, seed=273)
+        data, workloads = make_query_workloads(raw, queries_per_workload=15,
+                                               seed=274)
+        easy = workload_hardness(data, workloads["1%"].queries)
+        hard = workload_hardness(data, workloads["ood"].queries)
+        assert hard.mean_nn_distance > easy.mean_nn_distance
+        assert hard.relative_contrast < easy.relative_contrast
+
+    def test_deep_is_harder_than_sald_on_ood(self):
+        """The dataset-hardness ordering the analogs must reproduce: on
+        out-of-dataset queries, Deep's distances concentrate (contrast
+        near 1) while SALD keeps genuinely close neighbors."""
+        results = {}
+        for name, generator in (("SALD", sald_like), ("Deep", deep_like)):
+            raw = generator(400, 96, seed=275)
+            indexable, workloads = make_query_workloads(
+                raw, queries_per_workload=10, seed=276
+            )
+            results[name] = workload_hardness(
+                indexable, workloads["ood"].queries
+            )
+        assert results["Deep"].relative_contrast < results["SALD"].relative_contrast
+        assert (
+            results["Deep"].separable_fraction
+            <= results["SALD"].separable_fraction + 0.05
+        )
+
+    def test_is_hard_flag(self):
+        deep = deep_like(300, 96, seed=277)
+        indexable, workloads = make_query_workloads(
+            deep, queries_per_workload=8, seed=278
+        )
+        hardness = workload_hardness(indexable, workloads["ood"].queries)
+        assert hardness.is_hard
+
+    def test_sampling_bounds_work(self):
+        data = random_walks(5000, 32, seed=279)
+        queries = data[:3]
+        hardness = workload_hardness(data, queries, sample=100)
+        assert hardness.mean_distance > 0

@@ -1,0 +1,84 @@
+"""Tests for the real-dataset analogs and their hardness ordering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.summarization.dft import dft_features
+from repro.workloads.datasets import (
+    DATASET_ANALOGS,
+    deep_like,
+    make_analog,
+    sald_like,
+    seismic_like,
+)
+
+
+class TestShapesAndNormalization:
+    @pytest.mark.parametrize("name", sorted(DATASET_ANALOGS))
+    def test_default_lengths_match_paper(self, name):
+        generator, length = DATASET_ANALOGS[name]
+        data = make_analog(name, 20, seed=1)
+        assert data.shape == (20, length)
+        np.testing.assert_allclose(data.mean(axis=1), 0.0, atol=1e-3)
+        np.testing.assert_allclose(data.std(axis=1), 1.0, atol=1e-3)
+
+    def test_custom_length(self):
+        assert make_analog("SALD", 5, length=64, seed=2).shape == (5, 64)
+
+    def test_unknown_name(self):
+        with pytest.raises(WorkloadError):
+            make_analog("MNIST", 5)
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(
+            make_analog("Deep", 8, seed=3), make_analog("Deep", 8, seed=3)
+        )
+
+
+class TestDistributionalProperties:
+    def test_sald_is_smoother_than_deep(self):
+        """SALD concentrates spectral energy low; Deep spreads it flat."""
+
+        def low_freq_energy_fraction(data, keep=8):
+            prefix = dft_features(data, keep)
+            full = dft_features(data, data.shape[1])
+            return (
+                np.einsum("ij,ij->i", prefix, prefix).mean()
+                / np.einsum("ij,ij->i", full, full).mean()
+            )
+
+        sald = sald_like(50, 128, seed=4)
+        deep = deep_like(50, 128, seed=4)
+        assert low_freq_energy_fraction(sald) > 0.8
+        assert low_freq_energy_fraction(deep) < 0.5
+        assert low_freq_energy_fraction(sald) > 1.5 * low_freq_energy_fraction(deep)
+
+    def test_seismic_is_heteroscedastic(self):
+        """Per-segment σ varies far more for Seismic than for SALD."""
+
+        def segment_std_spread(data, segments=8):
+            from repro.summarization.eapca import Segmentation, segment_stats
+
+            seg = Segmentation.uniform(data.shape[1], segments)
+            _, stds = segment_stats(data, seg)
+            return float((stds.max(axis=1) - stds.min(axis=1)).mean())
+
+        seismic = seismic_like(40, 128, seed=5)
+        sald = sald_like(40, 128, seed=5)
+        assert segment_std_spread(seismic) > 1.5 * segment_std_spread(sald)
+
+    def test_deep_distances_concentrate(self):
+        """Relative contrast (spread/mean of pairwise NN distances) is
+        much lower for Deep than for SALD — the hardness driver."""
+
+        def relative_contrast(data):
+            sample = data[:80].astype(np.float64)
+            diffs = sample[:, None, :] - sample[None, :, :]
+            d = np.sqrt((diffs**2).sum(-1))
+            d = d[np.triu_indices_from(d, k=1)]
+            return (d.max() - d.min()) / d.mean()
+
+        deep = deep_like(100, 96, seed=6)
+        sald = sald_like(100, 96, seed=6)
+        assert relative_contrast(deep) < relative_contrast(sald)

@@ -1,0 +1,127 @@
+"""Unit tests for dataset and query-workload generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.generators import (
+    ALL_WORKLOADS,
+    NOISE_WORKLOADS,
+    make_noise_queries,
+    make_ood_split,
+    make_query_workloads,
+    random_walks,
+    znormalize,
+)
+
+
+class TestZNormalize:
+    def test_zero_mean_unit_std(self):
+        data = random_walks(20, 64, seed=1, normalize=False)
+        normed = znormalize(data)
+        np.testing.assert_allclose(normed.mean(axis=1), 0.0, atol=1e-4)
+        np.testing.assert_allclose(normed.std(axis=1), 1.0, atol=1e-4)
+
+    def test_constant_series_maps_to_zeros(self):
+        normed = znormalize(np.full((1, 8), 5.0))
+        np.testing.assert_array_equal(normed, np.zeros((1, 8)))
+
+    def test_single_series_path(self):
+        out = znormalize(np.arange(8, dtype=np.float64))
+        assert out.ndim == 1
+        assert out.dtype == np.float32
+
+
+class TestRandomWalks:
+    def test_deterministic_per_seed(self):
+        a = random_walks(5, 32, seed=7)
+        b = random_walks(5, 32, seed=7)
+        c = random_walks(5, 32, seed=8)
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_unnormalized_walks_are_cumulative(self):
+        walks = random_walks(3, 100, seed=9, normalize=False)
+        steps = np.diff(walks.astype(np.float64), axis=1)
+        # Steps are N(0,1): sample std near 1.
+        assert 0.8 < steps.std() < 1.2
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(WorkloadError):
+            random_walks(0, 10)
+
+
+class TestNoiseQueries:
+    def test_noise_level_controls_distance_to_nearest_neighbor(self):
+        data = random_walks(300, 64, seed=10)
+        easy = make_noise_queries(data, 20, NOISE_WORKLOADS["1%"], seed=11)
+        hard = make_noise_queries(data, 20, NOISE_WORKLOADS["10%"], seed=11)
+
+        def mean_nn_distance(queries):
+            dists = []
+            for q in queries:
+                d = np.sqrt(
+                    ((data.astype(np.float64) - q.astype(np.float64)) ** 2).sum(1)
+                )
+                dists.append(d.min())
+            return np.mean(dists)
+
+        assert mean_nn_distance(easy) < mean_nn_distance(hard)
+
+    def test_zero_noise_returns_dataset_members(self):
+        data = random_walks(50, 32, seed=12)
+        queries = make_noise_queries(data, 5, 0.0, seed=13)
+        for q in queries:
+            d = ((data.astype(np.float64) - q.astype(np.float64)) ** 2).sum(1)
+            assert d.min() == pytest.approx(0.0, abs=1e-6)
+
+    def test_rejects_negative_variance(self):
+        with pytest.raises(WorkloadError):
+            make_noise_queries(np.zeros((5, 8)), 2, -0.1)
+
+
+class TestOodSplit:
+    def test_split_is_disjoint_and_complete(self):
+        data = random_walks(100, 16, seed=14)
+        kept, held = make_ood_split(data, 10, seed=15)
+        assert kept.shape[0] == 90
+        assert held.shape[0] == 10
+        combined = np.concatenate([kept, held])
+        np.testing.assert_array_equal(
+            combined[np.lexsort(combined.T[::-1])],
+            data[np.lexsort(data.T[::-1])],
+        )
+
+    def test_rejects_holding_out_everything(self):
+        with pytest.raises(WorkloadError):
+            make_ood_split(np.zeros((5, 4)), 5)
+
+
+class TestQueryWorkloads:
+    def test_produces_all_five_workloads(self):
+        data = random_walks(200, 32, seed=16)
+        indexable, workloads = make_query_workloads(
+            data, queries_per_workload=10, seed=17
+        )
+        assert tuple(workloads) == ALL_WORKLOADS
+        assert indexable.shape[0] == 190  # ood held out
+        for workload in workloads.values():
+            assert workload.count == 10
+            assert workload.queries.shape[1] == 32
+
+    def test_ood_queries_not_in_index(self):
+        data = random_walks(100, 16, seed=18)
+        indexable, workloads = make_query_workloads(
+            data, queries_per_workload=5, seed=19
+        )
+        for q in workloads["ood"].queries:
+            d = ((indexable.astype(np.float64) - q.astype(np.float64)) ** 2).sum(1)
+            assert d.min() > 1e-6
+
+    def test_without_ood(self):
+        data = random_walks(50, 16, seed=20)
+        indexable, workloads = make_query_workloads(
+            data, queries_per_workload=5, seed=21, include_ood=False
+        )
+        assert indexable.shape[0] == 50
+        assert "ood" not in workloads

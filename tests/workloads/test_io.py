@@ -1,0 +1,78 @@
+"""Tests for workload bundle persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.generators import make_query_workloads
+from repro.workloads.io import (
+    DATASET_NAME,
+    MANIFEST_NAME,
+    load_workload_bundle,
+    save_workload_bundle,
+)
+
+from ..conftest import make_random_walks
+
+
+@pytest.fixture
+def bundle(tmp_path):
+    raw = make_random_walks(150, 32, seed=210)
+    data, workloads = make_query_workloads(raw, queries_per_workload=5, seed=211)
+    directory = save_workload_bundle(
+        tmp_path / "bundle", data, workloads, metadata={"seed": 211}
+    )
+    return directory, data, workloads
+
+
+class TestRoundTrip:
+    def test_everything_preserved(self, bundle):
+        directory, data, workloads = bundle
+        loaded_data, loaded_workloads, metadata = load_workload_bundle(directory)
+        np.testing.assert_array_equal(loaded_data, data)
+        assert metadata == {"seed": 211}
+        assert set(loaded_workloads) == set(workloads)
+        for label in workloads:
+            np.testing.assert_array_equal(
+                loaded_workloads[label].queries, workloads[label].queries
+            )
+
+    def test_files_on_disk(self, bundle):
+        directory, _, workloads = bundle
+        assert (directory / MANIFEST_NAME).exists()
+        assert (directory / DATASET_NAME).exists()
+        manifest = json.loads((directory / MANIFEST_NAME).read_text())
+        assert manifest["num_series"] == 145  # 150 minus 5 held-out ood
+        assert set(manifest["workloads"]) == set(workloads)
+        assert (directory / "queries-1pct.bin").exists()
+        assert (directory / "queries-ood.bin").exists()
+
+
+class TestValidation:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(WorkloadError):
+            load_workload_bundle(tmp_path)
+
+    def test_corrupt_manifest(self, bundle):
+        directory, _, _ = bundle
+        (directory / MANIFEST_NAME).write_text("{not json")
+        with pytest.raises(WorkloadError):
+            load_workload_bundle(directory)
+
+    def test_count_mismatch_detected(self, bundle):
+        directory, _, _ = bundle
+        manifest = json.loads((directory / MANIFEST_NAME).read_text())
+        manifest["workloads"]["1%"]["count"] = 999
+        (directory / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(WorkloadError):
+            load_workload_bundle(directory)
+
+    def test_length_mismatch_rejected_at_save(self, tmp_path):
+        from repro.workloads.generators import QueryWorkload
+
+        data = make_random_walks(50, 32, seed=212)
+        bad = QueryWorkload("bad", make_random_walks(3, 16, seed=213))
+        with pytest.raises(WorkloadError):
+            save_workload_bundle(tmp_path / "b", data, {"bad": bad})
