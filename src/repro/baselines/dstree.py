@@ -35,7 +35,6 @@ from typing import Optional, Union
 
 import numpy as np
 
-from repro.core.config import HerculesConfig
 from repro.core.node import Node, synopsis_from_stats
 from repro.core.query import QueryAnswer, QueryProfile
 from repro.core.results import ResultSet

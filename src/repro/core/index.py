@@ -45,8 +45,14 @@ from repro.core.writing import (
     LSD_FILENAME,
     write_index,
 )
-from repro.errors import ConfigError, IndexStateError, StorageError
+from repro.errors import (
+    ConfigError,
+    IndexStateError,
+    ManifestError,
+    StorageError,
+)
 from repro.storage import htree
+from repro.storage import manifest as manifest_mod
 from repro.storage.dataset import Dataset
 from repro.storage.files import SeriesFile, SymbolFile
 from repro.storage.iostats import IOSnapshot, IOStats
@@ -202,9 +208,53 @@ class HerculesIndex:
         )
 
     @classmethod
-    def open(cls, directory: Union[str, Path]) -> "HerculesIndex":
-        """Open a previously materialized index."""
+    def open(
+        cls, directory: Union[str, Path], verify: str = "quick"
+    ) -> "HerculesIndex":
+        """Open a previously materialized index.
+
+        ``verify`` selects how much of the directory is validated before
+        any query is served:
+
+        * ``"quick"`` (default) — the manifest must be present and pass
+          its own integrity checksum, and every artifact must exist with
+          the committed byte size and a supported format version;
+        * ``"full"`` — additionally recomputes each artifact's CRC32 and
+          checks cross-file invariants (record counts agree across
+          LRDFile, LSDFile, and the tree; every leaf extent in bounds);
+        * ``"off"`` — the legacy permissive behaviour: only the HTree
+          header is validated.
+
+        Damage raises :class:`~repro.errors.ManifestError` or
+        :class:`~repro.errors.ChecksumError` naming the broken artifact.
+        Pre-manifest directories still open (with a logged warning).
+        """
         directory = Path(directory)
+        if verify not in manifest_mod.VERIFY_LEVELS:
+            raise ValueError(
+                f"verify must be one of {manifest_mod.VERIFY_LEVELS}, "
+                f"got {verify!r}"
+            )
+        manifest = None
+        if verify != "off":
+            if not (directory / manifest_mod.MANIFEST_FILENAME).exists():
+                logger.warning(
+                    "no MANIFEST.json in %s: legacy pre-manifest index "
+                    "directory, opening without artifact verification",
+                    directory,
+                )
+            else:
+                manifest = manifest_mod.load_manifest(directory)
+                manifest_mod.verify_directory(
+                    directory,
+                    manifest,
+                    level=verify,
+                    expected_versions={
+                        LRD_FILENAME: manifest_mod.LRD_FORMAT_VERSION,
+                        LSD_FILENAME: manifest_mod.LSD_FORMAT_VERSION,
+                        HTREE_FILENAME: htree.FORMAT_VERSION,
+                    },
+                )
         htree_path = directory / HTREE_FILENAME
         if not htree_path.exists():
             raise StorageError(f"no HTree file at {htree_path}")
@@ -219,13 +269,21 @@ class HerculesIndex:
             read_only=True,
         )
         lsd_words = _load_lsd(directory, sax_space)
+        num_series = settings["num_series"]
+        if manifest is not None and manifest.num_series != num_series:
+            raise ManifestError(
+                f"manifest records {manifest.num_series} series but the "
+                f"HTree settings record {num_series}: mixed generations"
+            )
+        if verify == "full":
+            _check_cross_invariants(root, num_series, lrd, lsd_words)
         return cls(
             root=root,
             config=config,
             directory=directory,
             lrd=lrd,
             lsd_words=lsd_words,
-            num_series=settings["num_series"],
+            num_series=num_series,
         )
 
     # -- querying --------------------------------------------------------------
@@ -378,6 +436,42 @@ class HerculesIndex:
             f"HerculesIndex({self.num_series} series, {self.num_leaves} "
             f"leaves, dir={self.directory})"
         )
+
+
+def _check_cross_invariants(
+    root: Node, num_series: int, lrd: SeriesFile, lsd_words: np.ndarray
+) -> None:
+    """Cross-file consistency of a full verification pass.
+
+    The three artifacts describe one dataset three ways; any count that
+    disagrees means the directory holds a torn or mixed-generation index
+    even though each file is individually well-formed.
+    """
+    if lrd.num_series != num_series:
+        raise StorageError(
+            f"lrd.bin holds {lrd.num_series} series but the index records "
+            f"{num_series}"
+        )
+    if lsd_words.shape[0] != num_series:
+        raise StorageError(
+            f"lsd.bin holds {lsd_words.shape[0]} words but the index "
+            f"records {num_series} series"
+        )
+    leaves = list(root.iter_leaves_inorder())
+    total = sum(leaf.size for leaf in leaves)
+    if total != num_series:
+        raise StorageError(
+            f"htree.bin leaf sizes sum to {total} but the index records "
+            f"{num_series} series"
+        )
+    for leaf in leaves:
+        position = leaf.file_position
+        if position < 0 or position + leaf.size > num_series:
+            raise StorageError(
+                f"htree.bin leaf {leaf.node_id}: extent "
+                f"[{position}, {position + leaf.size}) outside LRDFile "
+                f"with {num_series} series"
+            )
 
 
 def _load_lsd(directory: Path, sax_space: SaxSpace) -> np.ndarray:

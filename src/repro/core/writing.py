@@ -38,6 +38,7 @@ from repro.core.construction import BuildContext, leaf_data
 from repro.core.node import Node, segment_correspondence
 from repro.errors import IndexStateError
 from repro.storage import htree
+from repro.storage import manifest as manifest_mod
 from repro.storage.files import SeriesFile, SymbolFile
 from repro.storage.iostats import IOStats
 from repro.summarization.paa import paa
@@ -60,6 +61,10 @@ class WriteResult:
     series_length: int
 
 
+#: Artifact publication order; the manifest commits the generation last.
+ARTIFACT_NAMES = (LRD_FILENAME, LSD_FILENAME, HTREE_FILENAME)
+
+
 def write_index(
     ctx: BuildContext,
     directory: Path,
@@ -67,7 +72,16 @@ def write_index(
     settings: dict,
     stats: Optional[IOStats] = None,
 ) -> WriteResult:
-    """Materialize the index built in ``ctx`` into ``directory``."""
+    """Materialize the index built in ``ctx`` into ``directory``.
+
+    Crash-safe commit protocol: every artifact is streamed to a staging
+    name (``<name>.tmp``), fsynced, and fingerprinted (size + CRC32);
+    the staged files are then published with atomic renames and the
+    generation is committed by atomically publishing ``MANIFEST.json``.
+    A crash before the manifest lands leaves either the previous
+    generation intact or a mix that open-time verification rejects —
+    never a silently torn index.
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     leaves = list(ctx.root.iter_leaves_inorder())
@@ -80,23 +94,51 @@ def write_index(
         else "sequential",
     )
 
-    lrd = SeriesFile(
-        directory / LRD_FILENAME, ctx.hbuffer.series_length, stats=stats
-    )
-    lsd = SymbolFile(directory / LSD_FILENAME, sax_space.segments, stats=stats)
+    manifest_mod.clear_staging(directory, list(ARTIFACT_NAMES))
+    lrd_staged = manifest_mod.staging_path(directory / LRD_FILENAME)
+    lsd_staged = manifest_mod.staging_path(directory / LSD_FILENAME)
+    htree_staged = manifest_mod.staging_path(directory / HTREE_FILENAME)
+
+    lrd = SeriesFile(lrd_staged, ctx.hbuffer.series_length, stats=stats)
+    lsd = SymbolFile(lsd_staged, sax_space.segments, stats=stats)
     try:
         if config.parallel_writing and config.num_write_threads > 1:
             _write_parallel(ctx, leaves, sax_space, lrd, lsd)
         else:
             _write_sequential(ctx, leaves, sax_space, lrd, lsd)
-        lrd.flush()
-        lsd.flush()
+        lrd.sync()
+        lsd.sync()
     finally:
         lrd.close()
         lsd.close()
 
     num_series = sum(leaf.size for leaf in leaves)
-    htree.save_tree(directory / HTREE_FILENAME, ctx.root, settings, stats=stats)
+    htree.write_tree_file(htree_staged, ctx.root, settings, stats=stats)
+
+    manifest = manifest_mod.Manifest(
+        num_series=num_series,
+        series_length=ctx.hbuffer.series_length,
+        num_leaves=len(leaves),
+        config_digest=manifest_mod.config_digest(
+            settings.get("config", settings)
+        ),
+        artifacts={
+            LRD_FILENAME: manifest_mod.record_artifact(
+                lrd_staged, manifest_mod.LRD_FORMAT_VERSION
+            ),
+            LSD_FILENAME: manifest_mod.record_artifact(
+                lsd_staged, manifest_mod.LSD_FORMAT_VERSION
+            ),
+            HTREE_FILENAME: manifest_mod.record_artifact(
+                htree_staged, htree.FORMAT_VERSION
+            ),
+        },
+    )
+    for name in ARTIFACT_NAMES:
+        manifest_mod.publish(
+            manifest_mod.staging_path(directory / name), directory / name
+        )
+    manifest_mod.save_manifest(directory, manifest)
     return WriteResult(
         directory=directory,
         num_series=num_series,

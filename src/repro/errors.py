@@ -19,6 +19,16 @@ class StorageError(ReproError):
     """An on-disk structure is missing, corrupt, or incompatible."""
 
 
+class ManifestError(StorageError):
+    """An index MANIFEST.json is missing a required entry, unparseable,
+    or fails its own integrity checksum."""
+
+
+class ChecksumError(StorageError):
+    """An index artifact's bytes do not match the manifest (wrong size or
+    CRC32): the file was torn, truncated, or silently corrupted."""
+
+
 class IndexStateError(ReproError):
     """An operation was attempted in an invalid index lifecycle state.
 

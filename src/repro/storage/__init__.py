@@ -8,8 +8,17 @@ that makes random-vs-sequential access patterns measurable.
 """
 
 from repro.storage.iostats import IOSnapshot, IOStats
+from repro.storage.faults import CrashFault, FaultInjector, FaultPlan, TransientFault, inject
 from repro.storage.files import BinaryFile, SeriesFile, SymbolFile
 from repro.storage.dataset import Dataset
+from repro.storage.manifest import (
+    MANIFEST_FILENAME,
+    ArtifactRecord,
+    Manifest,
+    load_manifest,
+    save_manifest,
+    stream_crc32,
+)
 
 __all__ = [
     "IOSnapshot",
@@ -18,4 +27,15 @@ __all__ = [
     "SeriesFile",
     "SymbolFile",
     "Dataset",
+    "CrashFault",
+    "FaultInjector",
+    "FaultPlan",
+    "TransientFault",
+    "inject",
+    "MANIFEST_FILENAME",
+    "ArtifactRecord",
+    "Manifest",
+    "load_manifest",
+    "save_manifest",
+    "stream_crc32",
 ]

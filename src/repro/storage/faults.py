@@ -1,0 +1,191 @@
+"""Storage fault injection: deterministic crashes, torn writes, flaky reads.
+
+A disk-resident index is only as trustworthy as its behaviour *around*
+failures: a power cut mid-`save_tree`, a filesystem that persists half an
+append, a transient ``EIO`` that a retry would have absorbed.  This module
+lets tests script those events precisely:
+
+* :class:`FaultPlan` describes one fault — "the Nth write crashes", "the
+  3rd read fails transiently twice", "write 7 persists only a prefix";
+* :class:`FaultInjector` counts every read/write/flush that
+  :class:`~repro.storage.files.BinaryFile` performs and fires the plans
+  whose trigger matches, which also makes it a plain operation counter
+  (inject no plans, read ``injector.counts`` afterwards) — the crash-matrix
+  test uses that to enumerate every crash point of a build;
+* :func:`inject` installs an injector process-wide for the duration of a
+  ``with`` block; ``BinaryFile`` consults the active injector on every
+  operation.
+
+Fault exceptions derive from :class:`OSError` so they travel the same
+paths a real I/O error would.  :class:`TransientFault` is retryable (and
+``BinaryFile.read`` retries it with backoff); :class:`CrashFault` models a
+process death and is never retried.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+OPS = ("read", "write", "flush")
+
+
+class InjectedFault(OSError):
+    """Base class of all injected storage faults."""
+
+
+class CrashFault(InjectedFault):
+    """A simulated crash: the operation dies and must not be retried."""
+
+
+class TransientFault(InjectedFault):
+    """A simulated transient error: a retry of the same operation may
+    succeed (the injector stops raising after ``failures`` firings)."""
+
+
+@dataclass
+class FaultPlan:
+    """One scripted fault.
+
+    ``op`` is which :class:`~repro.storage.files.BinaryFile` operation to
+    target, ``at`` the 1-based global count of that operation at which the
+    fault fires.  ``mode``:
+
+    * ``"crash"`` — raise :class:`CrashFault` before the operation touches
+      the file (for ``write``: nothing is persisted);
+    * ``"torn"`` — for writes only: persist the first
+      ``int(len(data) * torn_fraction)`` bytes, then raise
+      :class:`CrashFault` — the classic torn page;
+    * ``"transient"`` — raise :class:`TransientFault` for ``failures``
+      consecutive attempts of the triggering operation, then let the
+      retry succeed.
+    """
+
+    op: str = "write"
+    at: int = 1
+    mode: str = "crash"
+    torn_fraction: float = 0.5
+    failures: int = 1
+    _remaining: int = field(init=False, default=-1, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.op not in OPS:
+            raise ValueError(f"op must be one of {OPS}, got {self.op!r}")
+        if self.mode not in ("crash", "torn", "transient"):
+            raise ValueError(f"unknown fault mode {self.mode!r}")
+        if self.mode == "torn" and self.op != "write":
+            raise ValueError("torn faults only apply to writes")
+        if self.at < 1:
+            raise ValueError(f"at must be >= 1, got {self.at}")
+        if not 0.0 <= self.torn_fraction < 1.0:
+            raise ValueError(
+                f"torn_fraction must be in [0, 1), got {self.torn_fraction}"
+            )
+        self._remaining = self.failures
+
+
+class FaultInjector:
+    """Counts BinaryFile operations and fires matching :class:`FaultPlan`s.
+
+    Thread-safe: index writing is multi-threaded, and the counters define
+    the crash matrix, so counting and triggering happen under one lock.
+    """
+
+    def __init__(self, plans: Optional[list[FaultPlan]] = None) -> None:
+        self._lock = threading.Lock()
+        self.plans = list(plans) if plans else []
+        self.counts = {op: 0 for op in OPS}
+
+    # -- BinaryFile hooks ---------------------------------------------------
+
+    def on_read(self, path) -> None:
+        """Called before each read; may raise an injected fault."""
+        self._fire("read", path)
+
+    def intercept_write(self, path, data: bytes) -> tuple[bytes, Optional[BaseException]]:
+        """Called before each write.
+
+        Returns ``(bytes_to_persist, fault_or_None)``: the file layer
+        writes the returned bytes and then raises the fault, so a torn
+        write leaves its prefix durably behind like real hardware would.
+        """
+        with self._lock:
+            self.counts["write"] += 1
+            plan = self._match("write", self.counts["write"])
+        if plan is None:
+            return data, None
+        if plan.mode == "torn":
+            prefix = data[: int(len(data) * plan.torn_fraction)]
+            return prefix, CrashFault(
+                f"injected torn write at {path} "
+                f"({len(prefix)}/{len(data)} bytes persisted)"
+            )
+        return b"", self._make_fault(plan, "write", path)
+
+    def on_flush(self, path) -> None:
+        """Called before each flush; may raise an injected fault."""
+        self._fire("flush", path)
+
+    # -- internals ----------------------------------------------------------
+
+    def _fire(self, op: str, path) -> None:
+        with self._lock:
+            self.counts[op] += 1
+            plan = self._match(op, self.counts[op])
+        if plan is not None:
+            raise self._make_fault(plan, op, path)
+
+    def _match(self, op: str, count: int) -> Optional[FaultPlan]:
+        for plan in self.plans:
+            if plan.op != op:
+                continue
+            if plan.mode == "transient":
+                # Fires for `failures` consecutive attempts from `at`.
+                if plan.at <= count and plan._remaining > 0:
+                    plan._remaining -= 1
+                    return plan
+            elif count == plan.at:
+                return plan
+        return None
+
+    @staticmethod
+    def _make_fault(plan: FaultPlan, op: str, path) -> InjectedFault:
+        if plan.mode == "transient":
+            return TransientFault(f"injected transient {op} error at {path}")
+        return CrashFault(f"injected crash before {op} #{plan.at} at {path}")
+
+
+_active: Optional[FaultInjector] = None
+_active_lock = threading.Lock()
+
+
+def active_injector() -> Optional[FaultInjector]:
+    """The process-wide injector installed by :func:`inject`, if any."""
+    return _active
+
+
+@contextmanager
+def inject(injector_or_plans) -> Iterator[FaultInjector]:
+    """Install a :class:`FaultInjector` for the duration of the block.
+
+    Accepts an injector, a single :class:`FaultPlan`, or a list of plans
+    (an empty list makes a pure operation counter).  Nested installs are
+    rejected: overlapping fault scripts would make counts meaningless.
+    """
+    global _active
+    if isinstance(injector_or_plans, FaultInjector):
+        injector = injector_or_plans
+    elif isinstance(injector_or_plans, FaultPlan):
+        injector = FaultInjector([injector_or_plans])
+    else:
+        injector = FaultInjector(list(injector_or_plans))
+    with _active_lock:
+        if _active is not None:
+            raise RuntimeError("a FaultInjector is already active")
+        _active = injector
+    try:
+        yield injector
+    finally:
+        _active = None

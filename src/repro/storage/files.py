@@ -14,18 +14,29 @@ idea for LSDFile's fixed-width uint8 iSAX words.
 
 from __future__ import annotations
 
+import logging
 import os
 import threading
+import time
 from pathlib import Path
 from typing import Optional, Union
 
 import numpy as np
 
 from repro.errors import StorageError
+from repro.storage import faults
 from repro.storage.iostats import IOStats
 from repro.types import SERIES_DTYPE, SYMBOL_DTYPE
 
+logger = logging.getLogger(__name__)
+
 PathLike = Union[str, Path]
+
+#: Bounded retry of transient read errors: attempts and base backoff.
+#: Exponential: 2ms, 4ms, 8ms — enough to absorb a flaky NFS/EIO blip
+#: without turning a genuinely dead disk into a hang.
+READ_RETRIES = 4
+_RETRY_BACKOFF_SECONDS = 0.002
 
 
 class BinaryFile:
@@ -42,10 +53,12 @@ class BinaryFile:
         path: PathLike,
         stats: Optional[IOStats] = None,
         read_only: bool = False,
+        injector: Optional[faults.FaultInjector] = None,
     ) -> None:
         self.path = Path(path)
         self.stats = stats if stats is not None else IOStats()
         self.read_only = read_only
+        self._injector = injector
         self._lock = threading.Lock()
         self._next_offset = 0  # where a sequential read would continue
         if read_only:
@@ -64,15 +77,42 @@ class BinaryFile:
     def size(self) -> int:
         return self._size
 
+    def _active_injector(self) -> Optional[faults.FaultInjector]:
+        return self._injector if self._injector is not None else faults.active_injector()
+
     def read(self, offset: int, nbytes: int) -> bytes:
-        """Read ``nbytes`` starting at ``offset``, recording the access."""
+        """Read ``nbytes`` starting at ``offset``, recording the access.
+
+        Transient :class:`OSError`s (flaky NFS, an injected
+        :class:`~repro.storage.faults.TransientFault`) are retried up to
+        :data:`READ_RETRIES` times with exponential backoff; crash faults
+        and persistent errors propagate.
+        """
         if offset < 0 or nbytes < 0:
             raise ValueError(f"invalid read range ({offset}, {nbytes})")
-        with self._lock:
-            sequential = offset == self._next_offset
-            self._handle.seek(offset)
-            data = self._handle.read(nbytes)
-            self._next_offset = offset + len(data)
+        for attempt in range(READ_RETRIES):
+            injector = self._active_injector()
+            try:
+                if injector is not None:
+                    injector.on_read(self.path)
+                with self._lock:
+                    sequential = offset == self._next_offset
+                    self._handle.seek(offset)
+                    data = self._handle.read(nbytes)
+                    self._next_offset = offset + len(data)
+                break
+            except faults.CrashFault:
+                raise
+            except OSError as exc:
+                if attempt == READ_RETRIES - 1:
+                    raise
+                delay = _RETRY_BACKOFF_SECONDS * (2 ** attempt)
+                logger.warning(
+                    "transient read error on %s (attempt %d/%d), retrying "
+                    "in %.0f ms: %s",
+                    self.path, attempt + 1, READ_RETRIES, delay * 1e3, exc,
+                )
+                time.sleep(delay)
         if len(data) != nbytes:
             raise StorageError(
                 f"short read from {self.path}: wanted {nbytes} bytes at "
@@ -84,25 +124,54 @@ class BinaryFile:
     def append(self, data: bytes) -> int:
         """Append ``data``, returning the offset it was written at."""
         self._check_writable()
+        injector = self._active_injector()
+        fault: Optional[BaseException] = None
+        if injector is not None:
+            data, fault = injector.intercept_write(self.path, data)
         with self._lock:
             self._handle.seek(0, os.SEEK_END)
             offset = self._handle.tell()
             self._handle.write(data)
             self._size = offset + len(data)
+            # The file cursor no longer matches any read position, so the
+            # next read must be classified as a seek, not a continuation.
+            self._next_offset = -1
         self.stats.record_write(len(data))
+        if fault is not None:
+            # A torn write persists its prefix — flush it through the
+            # buffered handle so the damage is visible on disk, as after
+            # a real mid-write crash.
+            self._handle.flush()
+            raise fault
         return offset
 
     def write_at(self, offset: int, data: bytes) -> None:
         """Write ``data`` at an absolute offset (used to patch headers)."""
         self._check_writable()
+        injector = self._active_injector()
+        fault: Optional[BaseException] = None
+        if injector is not None:
+            data, fault = injector.intercept_write(self.path, data)
         with self._lock:
             self._handle.seek(offset)
             self._handle.write(data)
             self._size = max(self._size, offset + len(data))
+            self._next_offset = -1
         self.stats.record_write(len(data))
+        if fault is not None:
+            self._handle.flush()
+            raise fault
 
     def flush(self) -> None:
+        injector = self._active_injector()
+        if injector is not None:
+            injector.on_flush(self.path)
         self._handle.flush()
+
+    def sync(self) -> None:
+        """Flush and fsync: the contents are durable when this returns."""
+        self.flush()
+        os.fsync(self._handle.fileno())
 
     def close(self) -> None:
         self._handle.close()
@@ -175,9 +244,18 @@ class SeriesFile:
 
         Runs of adjacent positions become single ``read_range`` calls, so
         the I/O accounting sees one seek per run — what page-level reads
-        of a real system would do.  Positions must be sorted ascending.
+        of a real system would do.  Positions must be strictly increasing
+        (sorted, no duplicates); anything else would silently coalesce
+        into the wrong rows, so it raises :class:`ValueError` instead.
         """
         pos = np.asarray(positions, dtype=np.int64)
+        if pos.ndim != 1:
+            raise ValueError(f"positions must be 1-D, got ndim={pos.ndim}")
+        if pos.shape[0] and (np.diff(pos) <= 0).any():
+            raise ValueError(
+                "positions must be strictly increasing (sorted, unique); "
+                "got an unsorted or duplicated sequence"
+            )
         rows: list[np.ndarray] = []
         start = 0
         total = pos.shape[0]
@@ -206,6 +284,9 @@ class SeriesFile:
 
     def flush(self) -> None:
         self._file.flush()
+
+    def sync(self) -> None:
+        self._file.sync()
 
     def close(self) -> None:
         self._file.close()
@@ -271,6 +352,9 @@ class SymbolFile:
 
     def flush(self) -> None:
         self._file.flush()
+
+    def sync(self) -> None:
+        self._file.sync()
 
     def close(self) -> None:
         self._file.close()

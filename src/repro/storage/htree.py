@@ -44,26 +44,54 @@ _INTERNAL_TAIL = struct.Struct("<HBBdII")
 _FLAG_LEAF = 0x01
 
 
+def serialize_tree(root: Node, settings: dict) -> bytes:
+    """Encode ``root`` and ``settings`` as one HTree blob."""
+    payload = json.dumps(settings, sort_keys=True).encode("utf-8")
+    chunks: list[bytes] = [_HEADER.pack(MAGIC, FORMAT_VERSION, len(payload)), payload]
+    for node in root.iter_nodes_preorder():
+        chunks.append(_pack_node(node))
+    return b"".join(chunks)
+
+
+def write_tree_file(
+    path: PathLike,
+    root: Node,
+    settings: dict,
+    stats: Optional[IOStats] = None,
+) -> None:
+    """Write an HTree file in place, replacing any previous contents.
+
+    Not crash-safe on its own — a crash mid-write leaves a truncated
+    file at ``path``.  Use :func:`save_tree` (atomic) unless the caller
+    stages and publishes the file itself.
+    """
+    blob = serialize_tree(root, settings)
+    # BinaryFile appends to existing files, so clear the target first.
+    from pathlib import Path as _Path
+
+    _Path(path).unlink(missing_ok=True)
+    with BinaryFile(path, stats=stats) as handle:
+        handle.append(blob)
+        handle.sync()
+
+
 def save_tree(
     path: PathLike,
     root: Node,
     settings: dict,
     stats: Optional[IOStats] = None,
 ) -> None:
-    """Serialize ``root`` and ``settings`` into an HTree file."""
-    payload = json.dumps(settings, sort_keys=True).encode("utf-8")
-    chunks: list[bytes] = [_HEADER.pack(MAGIC, FORMAT_VERSION, len(payload)), payload]
-    for node in root.iter_nodes_preorder():
-        chunks.append(_pack_node(node))
-    blob = b"".join(chunks)
-    # Saving replaces any previous tree: BinaryFile appends to existing
-    # files, so clear the target first.
-    from pathlib import Path as _Path
+    """Serialize ``root`` and ``settings`` into an HTree file, atomically.
 
-    _Path(path).unlink(missing_ok=True)
-    with BinaryFile(path, stats=stats) as handle:
-        handle.append(blob)
-        handle.flush()
+    The blob is staged under a temporary name, fsynced, and published
+    with an atomic rename — a crash at any point leaves either the old
+    tree or the new one at ``path``, never a truncated mix.
+    """
+    from repro.storage import manifest as _manifest
+
+    staged = _manifest.staging_path(path)
+    write_tree_file(staged, root, settings, stats=stats)
+    _manifest.publish(staged, path)
 
 
 def load_tree(

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.buffers import BufferHalf, DoubleBuffer, HBuffer
+from repro.core.buffers import BufferHalf, HBuffer
 from repro.summarization.eapca import Segmentation
 
 

@@ -1,0 +1,140 @@
+"""Open-time verification levels, legacy directories, and damage reporting."""
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.core import HerculesConfig, HerculesIndex
+from repro.errors import ChecksumError, ManifestError, StorageError
+from repro.storage import manifest as manifest_mod
+
+from ..conftest import make_random_walks
+
+
+@pytest.fixture(scope="module")
+def built(tmp_path_factory):
+    data = make_random_walks(100, 32, seed=9)
+    directory = tmp_path_factory.mktemp("verify") / "index"
+    config = HerculesConfig(leaf_capacity=20, num_build_threads=1, flush_threshold=1)
+    index = HerculesIndex.build(data, config, directory=directory)
+    answer = index.knn(data[0], k=2)
+    index.close()
+    return directory, data, answer
+
+
+def _flip(path, offset=50):
+    blob = bytearray(path.read_bytes())
+    blob[offset % len(blob)] ^= 0xFF
+    path.write_bytes(bytes(blob))
+
+
+class TestVerifyLevels:
+    def test_build_commits_a_manifest(self, built):
+        directory, _, _ = built
+        manifest = manifest_mod.load_manifest(directory)
+        assert set(manifest.artifacts) == {"lrd.bin", "lsd.bin", "htree.bin"}
+        assert manifest.num_series == 100
+
+    def test_full_open_matches_build_answers(self, built):
+        directory, data, ref = built
+        with HerculesIndex.open(directory, verify="full") as index:
+            answer = index.knn(data[0], k=2)
+            np.testing.assert_allclose(answer.distances, ref.distances)
+
+    def test_invalid_level_rejected(self, built):
+        directory, _, _ = built
+        with pytest.raises(ValueError):
+            HerculesIndex.open(directory, verify="paranoid")
+
+    def test_default_level_is_quick(self, built, tmp_path):
+        import shutil
+
+        directory, _, _ = built
+        copy = tmp_path / "copy"
+        shutil.copytree(directory, copy)
+        _flip(copy / "lrd.bin")
+        # quick (default) does not hash artifact bytes...
+        HerculesIndex.open(copy).close()
+        # ...full does.
+        with pytest.raises(ChecksumError, match="lrd.bin"):
+            HerculesIndex.open(copy, verify="full")
+
+
+class TestLegacyDirectories:
+    def test_manifestless_directory_opens_with_warning(
+        self, built, tmp_path, caplog
+    ):
+        import shutil
+
+        directory, data, ref = built
+        legacy = tmp_path / "legacy"
+        shutil.copytree(directory, legacy)
+        (legacy / manifest_mod.MANIFEST_FILENAME).unlink()
+        with caplog.at_level(logging.WARNING, logger="repro.core.index"):
+            index = HerculesIndex.open(legacy)
+        assert any("pre-manifest" in r.message for r in caplog.records)
+        answer = index.knn(data[0], k=2)
+        np.testing.assert_allclose(answer.distances, ref.distances)
+        index.close()
+
+    def test_legacy_full_open_still_checks_invariants(self, built, tmp_path):
+        import shutil
+
+        directory, _, _ = built
+        legacy = tmp_path / "legacy-torn"
+        shutil.copytree(directory, legacy)
+        (legacy / manifest_mod.MANIFEST_FILENAME).unlink()
+        # Drop the last LSD word: counts now disagree across artifacts.
+        lsd = legacy / "lsd.bin"
+        lsd.write_bytes(lsd.read_bytes()[:-16])
+        with pytest.raises(StorageError, match="lsd.bin"):
+            HerculesIndex.open(legacy, verify="full")
+        # The permissive level preserves the old behaviour.
+        HerculesIndex.open(legacy, verify="off").close()
+
+
+class TestDamageDetection:
+    @pytest.mark.parametrize("artifact", ["lrd.bin", "lsd.bin", "htree.bin"])
+    def test_single_flipped_byte_detected_at_full(
+        self, built, tmp_path, artifact
+    ):
+        import shutil
+
+        directory, _, _ = built
+        copy = tmp_path / f"flip-{artifact}"
+        shutil.copytree(directory, copy)
+        _flip(copy / artifact)
+        with pytest.raises(ChecksumError, match=artifact):
+            HerculesIndex.open(copy, verify="full")
+
+    def test_flipped_manifest_byte_detected(self, built, tmp_path):
+        import shutil
+
+        directory, _, _ = built
+        copy = tmp_path / "flip-manifest"
+        shutil.copytree(directory, copy)
+        _flip(copy / manifest_mod.MANIFEST_FILENAME)
+        with pytest.raises(ManifestError):
+            HerculesIndex.open(copy)
+
+    def test_truncation_detected_at_quick(self, built, tmp_path):
+        import shutil
+
+        directory, _, _ = built
+        copy = tmp_path / "trunc"
+        shutil.copytree(directory, copy)
+        lrd = copy / "lrd.bin"
+        lrd.write_bytes(lrd.read_bytes()[:-128])
+        with pytest.raises(ChecksumError, match="lrd.bin"):
+            HerculesIndex.open(copy)  # quick already catches size damage
+
+    def test_missing_artifact_detected_at_quick(self, built, tmp_path):
+        import shutil
+
+        directory, _, _ = built
+        copy = tmp_path / "missing"
+        shutil.copytree(directory, copy)
+        (copy / "lsd.bin").unlink()
+        with pytest.raises(StorageError, match="lsd.bin"):
+            HerculesIndex.open(copy)

@@ -14,12 +14,11 @@ the invariants everything else rests on:
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro import HerculesConfig, HerculesIndex
-from repro.core.construction import build_tree, leaf_data, new_build_context
+from repro.core.construction import build_tree, leaf_data
 from repro.core.config import HerculesConfig as Config
 from repro.storage.dataset import Dataset
 from repro.storage.files import SeriesFile

@@ -1,7 +1,6 @@
 """Tests for the split-policy ablation switches (Section 3.2 claims)."""
 
 import numpy as np
-import pytest
 
 from repro import HerculesConfig, HerculesIndex
 from repro.core.split import choose_split

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.config import HerculesConfig
-from repro.core.construction import build_tree, new_build_context
+from repro.core.construction import build_tree
 from repro.core.writing import (
     HTREE_FILENAME,
     LRD_FILENAME,

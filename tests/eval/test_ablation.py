@@ -4,12 +4,10 @@ import numpy as np
 import pytest
 
 from repro import HerculesConfig, HerculesIndex
-from repro.core.construction import route_to_leaf
 from repro.eval.ablation import (
     build_with_per_leaf_buffers,
     threshold_sensitivity,
 )
-from repro.summarization.eapca import SeriesSketch
 
 from ..conftest import make_random_walks
 

@@ -1,6 +1,5 @@
 """Unit tests for workload measurement and extrapolation."""
 
-import numpy as np
 import pytest
 
 from repro.core.query import QueryProfile

@@ -1,0 +1,111 @@
+"""Unit tests for the storage fault-injection harness."""
+
+import pytest
+
+from repro.storage import faults
+from repro.storage.files import BinaryFile
+from repro.storage.iostats import IOStats
+
+
+class TestFaultPlanValidation:
+    def test_rejects_unknown_op_and_mode(self):
+        with pytest.raises(ValueError):
+            faults.FaultPlan(op="fsyncish")
+        with pytest.raises(ValueError):
+            faults.FaultPlan(mode="explode")
+
+    def test_rejects_torn_read(self):
+        with pytest.raises(ValueError):
+            faults.FaultPlan(op="read", mode="torn")
+
+    def test_rejects_bad_trigger_and_fraction(self):
+        with pytest.raises(ValueError):
+            faults.FaultPlan(at=0)
+        with pytest.raises(ValueError):
+            faults.FaultPlan(mode="torn", torn_fraction=1.0)
+
+
+class TestInjectorCounting:
+    def test_counts_all_operations(self, tmp_path):
+        with faults.inject([]) as injector:
+            with BinaryFile(tmp_path / "b.bin") as f:
+                f.append(b"abcdef")
+                f.read(0, 3)
+                f.read(3, 3)
+                f.flush()
+        assert injector.counts == {"read": 2, "write": 1, "flush": 1}
+
+    def test_nested_install_rejected(self):
+        with faults.inject([]):
+            with pytest.raises(RuntimeError):
+                with faults.inject([]):
+                    pass
+
+    def test_injector_cleared_after_block(self):
+        with faults.inject([]):
+            assert faults.active_injector() is not None
+        assert faults.active_injector() is None
+
+
+class TestCrashFaults:
+    def test_crash_write_persists_nothing(self, tmp_path):
+        with BinaryFile(tmp_path / "b.bin") as f:
+            f.append(b"keep")
+            with faults.inject(faults.FaultPlan(op="write", at=1)):
+                with pytest.raises(faults.CrashFault):
+                    f.append(b"lost")
+            f.flush()
+        assert (tmp_path / "b.bin").read_bytes() == b"keep"
+
+    def test_torn_write_persists_prefix(self, tmp_path):
+        plan = faults.FaultPlan(op="write", at=1, mode="torn", torn_fraction=0.5)
+        with BinaryFile(tmp_path / "b.bin") as f:
+            with faults.inject(plan):
+                with pytest.raises(faults.CrashFault):
+                    f.append(b"abcdefgh")
+        assert (tmp_path / "b.bin").read_bytes() == b"abcd"
+
+    def test_crash_flush(self, tmp_path):
+        with BinaryFile(tmp_path / "b.bin") as f:
+            f.append(b"x")
+            with faults.inject(faults.FaultPlan(op="flush", at=1)):
+                with pytest.raises(faults.CrashFault):
+                    f.flush()
+
+    def test_crash_read_is_not_retried(self, tmp_path):
+        with BinaryFile(tmp_path / "b.bin") as f:
+            f.append(b"abc")
+            f.flush()
+            with faults.inject(
+                faults.FaultPlan(op="read", at=1, mode="crash")
+            ) as injector:
+                with pytest.raises(faults.CrashFault):
+                    f.read(0, 3)
+            assert injector.counts["read"] == 1  # one attempt, no retries
+
+
+class TestTransientFaults:
+    def test_read_retries_until_success(self, tmp_path):
+        stats = IOStats()
+        with BinaryFile(tmp_path / "b.bin", stats=stats) as f:
+            f.append(b"hello")
+            f.flush()
+            plan = faults.FaultPlan(op="read", at=1, mode="transient", failures=2)
+            with faults.inject(plan) as injector:
+                assert f.read(0, 5) == b"hello"
+            assert injector.counts["read"] == 3  # 2 failures + 1 success
+        assert stats.snapshot().read_calls == 1  # only the success is recorded
+
+    def test_read_gives_up_after_bounded_retries(self, tmp_path):
+        from repro.storage.files import READ_RETRIES
+
+        with BinaryFile(tmp_path / "b.bin") as f:
+            f.append(b"hello")
+            f.flush()
+            plan = faults.FaultPlan(
+                op="read", at=1, mode="transient", failures=READ_RETRIES + 5
+            )
+            with faults.inject(plan) as injector:
+                with pytest.raises(faults.TransientFault):
+                    f.read(0, 5)
+            assert injector.counts["read"] == READ_RETRIES

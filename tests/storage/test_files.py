@@ -21,13 +21,13 @@ class TestBinaryFile:
         stats = IOStats()
         with BinaryFile(tmp_path / "blob.bin", stats=stats) as f:
             f.append(b"0123456789")
-            f.read(0, 4)   # first read: offset 0 == initial cursor -> sequential
+            f.read(0, 4)   # first read after a write -> random (seek to 0)
             f.read(4, 4)   # continues -> sequential
             f.read(0, 2)   # rewind -> random
         snap = stats.snapshot()
         assert snap.read_calls == 3
-        assert snap.sequential_reads == 2
-        assert snap.random_seeks == 1
+        assert snap.sequential_reads == 1
+        assert snap.random_seeks == 2
         assert snap.bytes_read == 10
 
     def test_short_read_raises(self, tmp_path):
@@ -50,6 +50,41 @@ class TestBinaryFile:
             f.append(b"xxxxx")
             f.write_at(1, b"abc")
             assert f.read(0, 5) == b"xabcx"
+
+    def test_read_after_append_is_random(self, tmp_path):
+        """Writes move the file offset, so the next read cannot be a
+        sequential continuation — regression for the stale ``_next_offset``
+        misclassification after ``append``."""
+        stats = IOStats()
+        with BinaryFile(tmp_path / "blob.bin", stats=stats) as f:
+            f.append(b"0123456789")
+            f.read(0, 4)      # offset 0 right after an append -> random
+            f.read(4, 4)      # true continuation -> sequential
+            f.append(b"ab")
+            f.read(8, 2)      # would continue read@4, but the append moved
+            #                   the cursor to EOF -> random
+        snap = stats.snapshot()
+        assert snap.read_calls == 3
+        assert snap.random_seeks == 2
+        assert snap.sequential_reads == 1
+
+    def test_read_after_write_at_is_random(self, tmp_path):
+        stats = IOStats()
+        with BinaryFile(tmp_path / "blob.bin", stats=stats) as f:
+            f.append(b"0123456789")
+            f.read(0, 4)
+            f.write_at(0, b"zz")
+            f.read(4, 4)      # continuation of read@0, but write_at seeked
+        snap = stats.snapshot()
+        assert snap.random_seeks == 2
+        assert snap.sequential_reads == 0
+
+    def test_sync_makes_bytes_visible_on_disk(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        with BinaryFile(path) as f:
+            f.append(b"durable")
+            f.sync()
+            assert path.read_bytes() == b"durable"
 
 
 class TestSeriesFile:
@@ -89,6 +124,24 @@ class TestSeriesFile:
         path.write_bytes(b"\x00" * 10)  # not a multiple of 16
         with pytest.raises(StorageError):
             SeriesFile(path, series_length=4)
+
+    def test_read_positions_rejects_unsorted(self, tmp_path):
+        with SeriesFile(tmp_path / "s.bin", series_length=2) as f:
+            f.append_batch(np.zeros((5, 2), dtype=np.float32))
+            with pytest.raises(ValueError):
+                f.read_positions(np.array([3, 1, 4]))
+
+    def test_read_positions_rejects_duplicates(self, tmp_path):
+        with SeriesFile(tmp_path / "s.bin", series_length=2) as f:
+            f.append_batch(np.zeros((5, 2), dtype=np.float32))
+            with pytest.raises(ValueError):
+                f.read_positions(np.array([1, 2, 2, 3]))
+
+    def test_read_positions_empty_is_fine(self, tmp_path):
+        with SeriesFile(tmp_path / "s.bin", series_length=2) as f:
+            f.append_batch(np.zeros((5, 2), dtype=np.float32))
+            rows = f.read_positions(np.array([], dtype=np.int64))
+            assert rows.shape == (0, 2)
 
 
 class TestSymbolFile:

@@ -1,6 +1,5 @@
 """Fuzz tests: the HTree loader must reject garbage, never crash oddly."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -46,6 +45,79 @@ def test_mutated_valid_tree_never_crashes(tmp_path_factory, cut, flip_at, flip_t
     (tmp / "bad.bin").write_bytes(bytes(mutated))
     try:
         load_tree(tmp / "bad.bin")
+    except StorageError:
+        pass
+
+
+# ---------------------------------------------------------------------------
+# Byte-level corruption sweep over the data artifacts (not just htree.bin):
+# verify="full" must catch every flip via the manifest checksums, while
+# verify="off" preserves the old permissive behaviour.
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def built_index(tmp_path_factory):
+    from repro.core import HerculesConfig, HerculesIndex
+
+    from ..conftest import make_random_walks
+
+    directory = tmp_path_factory.mktemp("corrupt") / "index"
+    data = make_random_walks(60, 16, seed=13)
+    config = HerculesConfig(
+        leaf_capacity=12, num_build_threads=1, flush_threshold=1
+    )
+    HerculesIndex.build(data, config, directory=directory).close()
+    return directory
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    artifact=st.sampled_from(["lrd.bin", "lsd.bin"]),
+    offset=st.integers(0, 10_000),
+    flip=st.integers(1, 255),
+)
+def test_data_artifact_flip_sweep(built_index, tmp_path_factory, artifact, offset, flip):
+    """A flipped byte anywhere in LRD/LSD raises ChecksumError at full
+    verification, while verify="off" still opens the file silently."""
+    import shutil
+
+    from repro.core import HerculesIndex
+    from repro.errors import ChecksumError
+
+    copy = tmp_path_factory.mktemp("flip") / "index"
+    shutil.copytree(built_index, copy)
+    path = copy / artifact
+    blob = bytearray(path.read_bytes())
+    blob[offset % len(blob)] ^= flip
+    path.write_bytes(bytes(blob))
+
+    with pytest.raises(ChecksumError):
+        HerculesIndex.open(copy, verify="full")
+    HerculesIndex.open(copy, verify="off").close()  # old permissive path
+
+
+@settings(max_examples=15, deadline=None)
+@given(artifact=st.sampled_from(["lrd.bin", "lsd.bin"]), cut=st.integers(1, 500))
+def test_data_artifact_truncation_sweep(built_index, tmp_path_factory, artifact, cut):
+    """Truncation is caught by full verification via the manifest size;
+    verify="off" behaves as before: StorageError on misalignment, or a
+    silent open when the truncation happens to stay record-aligned."""
+    import shutil
+
+    from repro.core import HerculesIndex
+    from repro.errors import ChecksumError, StorageError
+
+    copy = tmp_path_factory.mktemp("cut") / "index"
+    shutil.copytree(built_index, copy)
+    path = copy / artifact
+    blob = path.read_bytes()
+    path.write_bytes(blob[: max(len(blob) - cut, 1)])
+
+    with pytest.raises(ChecksumError):
+        HerculesIndex.open(copy, verify="full")
+    try:
+        HerculesIndex.open(copy, verify="off").close()
     except StorageError:
         pass
 

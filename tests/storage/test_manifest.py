@@ -1,0 +1,138 @@
+"""Unit tests for MANIFEST.json: integrity, artifact checks, publish."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ChecksumError, ManifestError, StorageError
+from repro.storage import manifest as manifest_mod
+
+
+def _make_manifest(directory):
+    (directory / "lrd.bin").write_bytes(b"\x00" * 64)
+    (directory / "lsd.bin").write_bytes(b"\x01" * 16)
+    return manifest_mod.Manifest(
+        num_series=4,
+        series_length=4,
+        num_leaves=2,
+        config_digest=manifest_mod.config_digest({"leaf_capacity": 2}),
+        artifacts={
+            "lrd.bin": manifest_mod.record_artifact(directory / "lrd.bin", 1),
+            "lsd.bin": manifest_mod.record_artifact(directory / "lsd.bin", 1),
+        },
+    )
+
+
+class TestRoundtrip:
+    def test_save_and_load(self, tmp_path):
+        manifest = _make_manifest(tmp_path)
+        manifest_mod.save_manifest(tmp_path, manifest)
+        loaded = manifest_mod.load_manifest(tmp_path)
+        assert loaded == manifest
+        # No staging residue after the atomic publish.
+        assert not manifest_mod.staging_path(
+            tmp_path / manifest_mod.MANIFEST_FILENAME
+        ).exists()
+
+    def test_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(ManifestError):
+            manifest_mod.load_manifest(tmp_path)
+
+    def test_config_digest_is_stable_and_order_insensitive(self):
+        a = manifest_mod.config_digest({"x": 1, "y": 2})
+        b = manifest_mod.config_digest({"y": 2, "x": 1})
+        assert a == b
+        assert a != manifest_mod.config_digest({"x": 1, "y": 3})
+
+
+class TestManifestIntegrity:
+    def test_every_flipped_byte_is_detected(self, tmp_path):
+        """Any single corrupted byte in MANIFEST.json must raise."""
+        manifest_mod.save_manifest(tmp_path, _make_manifest(tmp_path))
+        path = tmp_path / manifest_mod.MANIFEST_FILENAME
+        pristine = path.read_bytes()
+        for i in range(len(pristine)):
+            mutated = bytearray(pristine)
+            mutated[i] ^= 0xFF
+            path.write_bytes(bytes(mutated))
+            with pytest.raises(ManifestError):
+                manifest_mod.load_manifest(tmp_path)
+        path.write_bytes(pristine)
+        manifest_mod.load_manifest(tmp_path)  # pristine still loads
+
+    def test_missing_checksum_field_raises(self, tmp_path):
+        manifest_mod.save_manifest(tmp_path, _make_manifest(tmp_path))
+        path = tmp_path / manifest_mod.MANIFEST_FILENAME
+        doc = json.loads(path.read_text())
+        del doc["manifest_crc32"]
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ManifestError):
+            manifest_mod.load_manifest(tmp_path)
+
+    def test_unsupported_version_raises(self, tmp_path):
+        manifest = _make_manifest(tmp_path)
+        manifest.version = manifest_mod.MANIFEST_VERSION + 1
+        manifest_mod.save_manifest(tmp_path, manifest)
+        with pytest.raises(ManifestError):
+            manifest_mod.load_manifest(tmp_path)
+
+
+class TestArtifactChecks:
+    def test_healthy_artifacts_pass_full(self, tmp_path):
+        manifest = _make_manifest(tmp_path)
+        manifest_mod.verify_directory(tmp_path, manifest, level="full")
+
+    def test_missing_artifact(self, tmp_path):
+        manifest = _make_manifest(tmp_path)
+        (tmp_path / "lsd.bin").unlink()
+        with pytest.raises(StorageError, match="lsd.bin"):
+            manifest_mod.verify_directory(tmp_path, manifest, level="quick")
+
+    def test_truncation_caught_at_quick_level(self, tmp_path):
+        manifest = _make_manifest(tmp_path)
+        (tmp_path / "lrd.bin").write_bytes(b"\x00" * 32)
+        with pytest.raises(ChecksumError, match="lrd.bin"):
+            manifest_mod.verify_directory(tmp_path, manifest, level="quick")
+
+    def test_flip_caught_only_at_full_level(self, tmp_path):
+        manifest = _make_manifest(tmp_path)
+        blob = bytearray((tmp_path / "lrd.bin").read_bytes())
+        blob[10] ^= 0xFF
+        (tmp_path / "lrd.bin").write_bytes(bytes(blob))
+        manifest_mod.verify_directory(tmp_path, manifest, level="quick")
+        with pytest.raises(ChecksumError, match="lrd.bin"):
+            manifest_mod.verify_directory(tmp_path, manifest, level="full")
+
+    def test_wrong_format_version(self, tmp_path):
+        manifest = _make_manifest(tmp_path)
+        with pytest.raises(StorageError, match="format version"):
+            manifest_mod.check_artifact(
+                tmp_path, manifest.artifacts["lrd.bin"],
+                level="quick", expected_version=99,
+            )
+
+
+class TestPublish:
+    def test_publish_replaces_atomically(self, tmp_path):
+        final = tmp_path / "artifact.bin"
+        final.write_bytes(b"old generation")
+        staged = manifest_mod.staging_path(final)
+        staged.write_bytes(b"new generation")
+        manifest_mod.publish(staged, final)
+        assert final.read_bytes() == b"new generation"
+        assert not staged.exists()
+
+    def test_clear_staging_removes_leftovers(self, tmp_path):
+        for name in ("lrd.bin", "lsd.bin"):
+            manifest_mod.staging_path(tmp_path / name).write_bytes(b"junk")
+        manifest_mod.clear_staging(tmp_path, ["lrd.bin", "lsd.bin"])
+        assert os.listdir(tmp_path) == []
+
+    def test_stream_crc32_matches_zlib(self, tmp_path):
+        import zlib
+
+        blob = os.urandom(3 * 1024 * 1024 + 17)
+        path = tmp_path / "big.bin"
+        path.write_bytes(blob)
+        assert manifest_mod.stream_crc32(path, chunk_size=1 << 16) == zlib.crc32(blob)

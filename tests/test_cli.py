@@ -153,6 +153,72 @@ class TestBuildQueryInspect:
         assert "error:" in capsys.readouterr().err
 
 
+class TestVerifyIndex:
+    @pytest.fixture
+    def index_dir(self, dataset_file, tmp_path):
+        index_dir = tmp_path / "index"
+        code = main(
+            [
+                "build",
+                "--dataset",
+                str(dataset_file),
+                "--length",
+                "32",
+                "--output",
+                str(index_dir),
+                "--threads",
+                "1",
+            ]
+        )
+        assert code == 0
+        return index_dir
+
+    def test_healthy_index_passes(self, index_dir, capsys):
+        capsys.readouterr()
+        code = main(["verify-index", str(index_dir)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MANIFEST.json" in out
+        assert "is healthy" in out
+        for artifact in ("lrd.bin", "lsd.bin", "htree.bin"):
+            assert artifact in out
+
+    def test_damaged_artifact_fails_and_is_named(self, index_dir, capsys):
+        lrd = index_dir / "lrd.bin"
+        blob = bytearray(lrd.read_bytes())
+        blob[64] ^= 0xFF
+        lrd.write_bytes(bytes(blob))
+        capsys.readouterr()
+        code = main(["verify-index", str(index_dir)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "lrd.bin" in out
+        assert "DAMAGED" in out
+
+    def test_damaged_manifest_fails(self, index_dir, capsys):
+        manifest = index_dir / "MANIFEST.json"
+        blob = bytearray(manifest.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        manifest.write_bytes(bytes(blob))
+        capsys.readouterr()
+        assert main(["verify-index", str(index_dir)]) == 1
+        out = capsys.readouterr().out
+        assert "MANIFEST.json" in out and "DAMAGED" in out
+
+    def test_quick_level_skips_checksums(self, index_dir, capsys):
+        lrd = index_dir / "lrd.bin"
+        blob = bytearray(lrd.read_bytes())
+        blob[64] ^= 0xFF
+        lrd.write_bytes(bytes(blob))
+        capsys.readouterr()
+        assert main(["verify-index", str(index_dir), "--level", "quick"]) == 0
+        assert main(["verify-index", str(index_dir), "--level", "full"]) == 1
+
+    def test_missing_directory_fails(self, tmp_path, capsys):
+        assert main(["verify-index", str(tmp_path / "nope")]) == 1
+        assert "not a directory" in capsys.readouterr().err
+
+
 class TestGenerateWorkload:
     def test_writes_loadable_bundle(self, tmp_path, capsys):
         from repro.workloads.io import load_workload_bundle
