@@ -13,6 +13,7 @@ can be raised with the ``REPRO_BENCH_SCALE`` environment variable
 
 from __future__ import annotations
 
+import json
 import os
 
 import pytest
@@ -23,13 +24,27 @@ from repro.eval.report import format_table
 #: during tests is captured by pytest; the terminal summary is not).
 _TABLES: list[str] = []
 
+#: JSON-ready figure payloads, dumped to REPRO_BENCH_JSON when set.  The
+#: cost summaries inside (distance computations, % data accessed, modeled
+#: I/O) are hardware-independent, so the file diffs cleanly across runs.
+_RESULTS: list[dict] = []
+
 
 def record_table(title: str, result) -> None:
     """Queue an ExperimentResult's table for the end-of-run summary."""
     _TABLES.append(f"\n{title}\n" + format_table(result.headers, result.rows))
+    payload = result.to_json() if hasattr(result, "to_json") else None
+    if payload is not None:
+        payload["title"] = title
+        _RESULTS.append(payload)
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config) -> None:
+    json_path = os.environ.get("REPRO_BENCH_JSON")
+    if json_path and _RESULTS:
+        with open(json_path, "w") as handle:
+            json.dump({"figures": _RESULTS}, handle, indent=2, sort_keys=True)
+        terminalreporter.write_line(f"benchmark figures written to {json_path}")
     if not _TABLES:
         return
     terminalreporter.write_line("")

@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.core.node import Node, synopsis_from_stats
 from repro.core.query import QueryAnswer, QueryProfile
+from repro.obs import timed_profile
 from repro.core.results import ResultSet
 from repro.core.split import choose_split
 from repro.distance.euclidean import batch_squared_euclidean
@@ -208,38 +209,42 @@ class DSTreeIndex:
 
     def knn(self, query: np.ndarray, k: int = 1) -> QueryAnswer:
         """Exact k-NN: approximate descent, then best-first LB_EAPCA search."""
-        started = time.perf_counter()
         sketch = SeriesSketch(np.asarray(query, dtype=np.float64))
         results = ResultSet(k)
         profile = QueryProfile()
 
-        # Initial answers from the query's own leaf.
-        node = self.root
-        while not node.is_leaf:
-            node = node.route(sketch)
-        self._scan_leaf(node, sketch, results, profile)
-        first_leaf = node
+        with timed_profile(
+            profile, path="dstree-exact", io_stats=self._heap.stats, k=k
+        ):
+            # Initial answers from the query's own leaf.
+            node = self.root
+            while not node.is_leaf:
+                node = node.route(sketch)
+            self._scan_leaf(node, sketch, results, profile)
+            first_leaf = node
 
-        # Best-first search over the whole tree.
-        pq: list[tuple[float, int, Node]] = []
-        tiebreak = itertools.count()
-        heapq.heappush(pq, (self.root.lower_bound(sketch), next(tiebreak), self.root))
-        while pq:
-            bound, _, node = heapq.heappop(pq)
-            if bound > results.bsf:
-                break
-            if node.is_leaf:
-                if node is not first_leaf:
-                    self._scan_leaf(node, sketch, results, profile)
-            else:
-                for child in (node.left, node.right):
-                    child_bound = child.lower_bound(sketch)
-                    if child_bound < results.bsf:
-                        heapq.heappush(pq, (child_bound, next(tiebreak), child))
+            # Best-first search over the whole tree.
+            pq: list[tuple[float, int, Node]] = []
+            tiebreak = itertools.count()
+            heapq.heappush(
+                pq, (self.root.lower_bound(sketch), next(tiebreak), self.root)
+            )
+            while pq:
+                bound, _, node = heapq.heappop(pq)
+                if bound > results.bsf:
+                    break
+                if node.is_leaf:
+                    if node is not first_leaf:
+                        self._scan_leaf(node, sketch, results, profile)
+                else:
+                    for child in (node.left, node.right):
+                        child_bound = child.lower_bound(sketch)
+                        if child_bound < results.bsf:
+                            heapq.heappush(
+                                pq, (child_bound, next(tiebreak), child)
+                            )
 
         distances, positions = results.items()
-        profile.path = "dstree-exact"
-        profile.time_total = time.perf_counter() - started
         return QueryAnswer(distances, positions, profile)
 
     def _scan_leaf(

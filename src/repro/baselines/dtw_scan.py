@@ -13,12 +13,12 @@ Exactness follows from LB_Keogh ≤ DTW and the DP abandoning rule.
 
 from __future__ import annotations
 
-import time
 from typing import Union
 
 import numpy as np
 
 from repro.core.query import QueryAnswer, QueryProfile
+from repro.obs import timed_profile
 from repro.core.results import ResultSet
 from repro.distance.dtw import (
     dtw_distance_batch,
@@ -48,35 +48,38 @@ class DtwScan:
         self.build_seconds = 0.0
 
     def knn(self, query: np.ndarray, k: int = 1) -> QueryAnswer:
-        started = time.perf_counter()
         query64 = np.asarray(query, dtype=DISTANCE_DTYPE)
         lower, upper = dtw_envelope(query64, self.window)
         results = ResultSet(k)
         profile = QueryProfile()
         filtered = 0
 
-        for start, chunk in self.dataset.iter_batches(self.chunk_size):
-            profile.series_accessed += chunk.shape[0]
-            cutoff = results.bsf
-            bounds = lb_keogh(lower, upper, chunk)
-            survivors = np.nonzero(bounds < cutoff)[0]
-            filtered += chunk.shape[0] - survivors.shape[0]
-            if survivors.shape[0] == 0:
-                continue
-            distances = dtw_distance_batch(
-                query64, chunk[survivors], self.window, cutoff=cutoff
-            )
-            profile.distance_computations += survivors.shape[0]
-            alive = np.isfinite(distances)
-            if alive.any():
-                positions = start + survivors[alive]
-                results.update_batch(distances[alive], positions)
+        with timed_profile(
+            profile, path="dtw-scan", io_stats=self.dataset.stats, k=k
+        ):
+            for start, chunk in self.dataset.iter_batches(self.chunk_size):
+                profile.series_accessed += chunk.shape[0]
+                cutoff = results.bsf
+                bounds = lb_keogh(lower, upper, chunk)
+                survivors = np.nonzero(bounds < cutoff)[0]
+                filtered += chunk.shape[0] - survivors.shape[0]
+                if survivors.shape[0] == 0:
+                    continue
+                distances = dtw_distance_batch(
+                    query64, chunk[survivors], self.window, cutoff=cutoff
+                )
+                profile.distance_computations += survivors.shape[0]
+                alive = np.isfinite(distances)
+                if alive.any():
+                    positions = start + survivors[alive]
+                    results.update_batch(distances[alive], positions)
 
-        profile.candidate_series = self.num_series - filtered
-        profile.sax_pruning = filtered / self.num_series if self.num_series else 0.0
+            profile.candidate_series = self.num_series - filtered
+            profile.sax_pruning = (
+                filtered / self.num_series if self.num_series else 0.0
+            )
+
         distances, positions = results.items()
-        profile.path = "dtw-scan"
-        profile.time_total = time.perf_counter() - started
         return QueryAnswer(distances, positions, profile)
 
     @property

@@ -33,6 +33,7 @@ from repro.core.query import QueryAnswer, QueryProfile
 from repro.core.results import ResultSet
 from repro.distance.euclidean import batch_squared_euclidean
 from repro.errors import ConfigError
+from repro.obs import timed_profile
 from repro.storage.dataset import Dataset
 from repro.summarization.paa import paa
 from repro.summarization.sax import SaxSpace
@@ -321,68 +322,68 @@ class ParisIndex:
     # -- querying --------------------------------------------------------------
 
     def knn(self, query: np.ndarray, k: int = 1) -> QueryAnswer:
-        started = time.perf_counter()
         query64 = np.asarray(query, dtype=DISTANCE_DTYPE)
         results = ResultSet(k)
         profile = QueryProfile()
         space = self.sax_space
+        with timed_profile(
+            profile, path="paris-sims", io_stats=self.dataset.stats, k=k
+        ):
 
-        query_paa = paa(query64, space.segments)
-        query_word = space.symbolize(query_paa)
+            query_paa = paa(query64, space.segments)
+            query_word = space.symbolize(query_paa)
 
-        # Phase 1 (approximate): probe the leaf matching the query's word.
-        leaf = self._probe_leaf(query_word, query_paa)
-        if leaf is not None and leaf.positions:
-            self._refine_positions(
-                query64, np.sort(np.asarray(leaf.positions)), results, profile
+            # Phase 1 (approximate): probe the leaf matching the query's word.
+            leaf = self._probe_leaf(query_word, query_paa)
+            if leaf is not None and leaf.positions:
+                self._refine_positions(
+                    query64, np.sort(np.asarray(leaf.positions)), results, profile
+                )
+            profile.approx_leaves = 1 if leaf is not None else 0
+
+            # Phase 2 (SIMS): parallel LB_SAX over the whole summary array.
+            bsf = results.bsf
+            n = self.num_series
+            bounds = np.empty(n, dtype=DISTANCE_DTYPE)
+            num_threads = self.config.num_query_threads
+            ranges = np.array_split(np.arange(n), num_threads)
+            errors: list[BaseException] = []
+
+            def sims_worker(rows: np.ndarray) -> None:
+                try:
+                    if rows.shape[0]:
+                        bounds[rows] = space.mindist(
+                            query_paa, self.words[rows], query64.shape[0]
+                        )
+                except BaseException as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            if num_threads == 1:
+                sims_worker(ranges[0])
+            else:
+                threads = [
+                    threading.Thread(target=sims_worker, args=(rows,), daemon=True)
+                    for rows in ranges
+                ]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+            if errors:
+                raise errors[0]
+
+            candidates = np.nonzero(bounds < bsf)[0]
+            profile.candidate_series = int(candidates.shape[0])
+            profile.sax_pruning = 1.0 - candidates.shape[0] / n if n else 1.0
+
+            # Phase 3: skip-sequential refinement — visit candidates in file
+            # position order, re-checking each block's LB against the
+            # improving BSF first.
+            self._refine_filtered(
+                query64, np.sort(candidates), bounds, results, profile
             )
-        profile.approx_leaves = 1 if leaf is not None else 0
-
-        # Phase 2 (SIMS): parallel LB_SAX over the whole summary array.
-        bsf = results.bsf
-        n = self.num_series
-        bounds = np.empty(n, dtype=DISTANCE_DTYPE)
-        num_threads = self.config.num_query_threads
-        ranges = np.array_split(np.arange(n), num_threads)
-        errors: list[BaseException] = []
-
-        def sims_worker(rows: np.ndarray) -> None:
-            try:
-                if rows.shape[0]:
-                    bounds[rows] = space.mindist(
-                        query_paa, self.words[rows], query64.shape[0]
-                    )
-            except BaseException as exc:  # noqa: BLE001
-                errors.append(exc)
-
-        if num_threads == 1:
-            sims_worker(ranges[0])
-        else:
-            threads = [
-                threading.Thread(target=sims_worker, args=(rows,), daemon=True)
-                for rows in ranges
-            ]
-            for t in threads:
-                t.start()
-            for t in threads:
-                t.join()
-        if errors:
-            raise errors[0]
-
-        candidates = np.nonzero(bounds < bsf)[0]
-        profile.candidate_series = int(candidates.shape[0])
-        profile.sax_pruning = 1.0 - candidates.shape[0] / n if n else 1.0
-
-        # Phase 3: skip-sequential refinement — visit candidates in file
-        # position order, re-checking each block's LB against the
-        # improving BSF first.
-        self._refine_filtered(
-            query64, np.sort(candidates), bounds, results, profile
-        )
 
         distances, positions = results.items()
-        profile.path = "paris-sims"
-        profile.time_total = time.perf_counter() - started
         return QueryAnswer(distances, positions, profile)
 
     def _probe_leaf(

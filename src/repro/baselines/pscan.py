@@ -19,12 +19,12 @@ from __future__ import annotations
 
 import queue
 import threading
-import time
 from typing import Optional, Union
 
 import numpy as np
 
 from repro.core.query import QueryAnswer, QueryProfile
+from repro.obs import timed_profile
 from repro.core.results import ResultSet
 from repro.distance.euclidean import batch_squared_euclidean, early_abandon_squared
 from repro.errors import ConfigError
@@ -59,49 +59,79 @@ class PScan:
         self.build_seconds = 0.0  # scans build nothing
 
     def knn(self, query: np.ndarray, k: int = 1) -> QueryAnswer:
-        started = time.perf_counter()
         query64 = np.asarray(query, dtype=DISTANCE_DTYPE)
         results = ResultSet(k)
         profile = QueryProfile()
-        profile_lock = threading.Lock()
-        errors: list[BaseException] = []
-        chunks: "queue.Queue[tuple]" = queue.Queue(maxsize=_QUEUE_DEPTH)
+        with timed_profile(
+            profile, path="pscan", io_stats=self.dataset.stats, k=k
+        ):
+            profile_lock = threading.Lock()
+            errors: list[BaseException] = []
+            chunks: "queue.Queue[tuple]" = queue.Queue(maxsize=_QUEUE_DEPTH)
 
-        def offer(item: tuple) -> bool:
-            """Put with periodic error checks so a dead consumer side
-            cannot wedge the reader on a full queue."""
-            while True:
-                try:
-                    chunks.put(item, timeout=0.2)
-                    return True
-                except queue.Full:
-                    if errors:
-                        return False
-
-        def reader() -> None:
-            """The double buffer's producer: one sequential pass."""
-            try:
-                for start, chunk in self.dataset.iter_batches(self.chunk_size):
-                    if not offer((start, chunk)):
-                        break
-            except BaseException as exc:  # noqa: BLE001
-                errors.append(exc)
-            finally:
-                # One sentinel suffices: each worker re-offers it on exit,
-                # forming a shutdown chain that survives dead workers.
-                offer(_SENTINEL)
-
-        def worker() -> None:
-            try:
-                accessed = 0
-                compared = 0
-                length = max(query64.shape[0], 1)
+            def offer(item: tuple) -> bool:
+                """Put with periodic error checks so a dead consumer side
+                cannot wedge the reader on a full queue."""
                 while True:
-                    item = chunks.get()
-                    if item is _SENTINEL or not item:
-                        offer(item)  # pass the shutdown token along
-                        break
-                    start, chunk = item
+                    try:
+                        chunks.put(item, timeout=0.2)
+                        return True
+                    except queue.Full:
+                        if errors:
+                            return False
+
+            def reader() -> None:
+                """The double buffer's producer: one sequential pass."""
+                try:
+                    for start, chunk in self.dataset.iter_batches(self.chunk_size):
+                        if not offer((start, chunk)):
+                            break
+                except BaseException as exc:  # noqa: BLE001
+                    errors.append(exc)
+                finally:
+                    # One sentinel suffices: each worker re-offers it on exit,
+                    # forming a shutdown chain that survives dead workers.
+                    offer(_SENTINEL)
+
+            def worker() -> None:
+                try:
+                    accessed = 0
+                    compared = 0
+                    length = max(query64.shape[0], 1)
+                    while True:
+                        item = chunks.get()
+                        if item is _SENTINEL or not item:
+                            offer(item)  # pass the shutdown token along
+                            break
+                        start, chunk = item
+                        accessed += chunk.shape[0]
+                        cutoff = results.bsf
+                        if np.isinf(cutoff):
+                            squared = batch_squared_euclidean(query64, chunk)
+                            compared += chunk.size
+                        else:
+                            squared, points = early_abandon_squared(
+                                query64, chunk, cutoff * cutoff
+                            )
+                            compared += points
+                        alive = np.isfinite(squared)
+                        if alive.any():
+                            positions = start + np.nonzero(alive)[0]
+                            results.update_batch(np.sqrt(squared[alive]), positions)
+                    with profile_lock:
+                        profile.series_accessed += accessed
+                        profile.distance_computations += compared // length
+                except BaseException as exc:  # noqa: BLE001
+                    errors.append(exc)
+                    offer(_SENTINEL)  # release peers blocked on the queue
+
+            if self.num_threads == 1:
+                # Degenerate case: read and compute on the calling thread.
+                reader_thread: Optional[threading.Thread] = None
+                reader_inline = self.dataset.iter_batches(self.chunk_size)
+                length = max(query64.shape[0], 1)
+                accessed = compared = 0
+                for start, chunk in reader_inline:
                     accessed += chunk.shape[0]
                     cutoff = results.bsf
                     if np.isinf(cutoff):
@@ -116,56 +146,23 @@ class PScan:
                     if alive.any():
                         positions = start + np.nonzero(alive)[0]
                         results.update_batch(np.sqrt(squared[alive]), positions)
-                with profile_lock:
-                    profile.series_accessed += accessed
-                    profile.distance_computations += compared // length
-            except BaseException as exc:  # noqa: BLE001
-                errors.append(exc)
-                offer(_SENTINEL)  # release peers blocked on the queue
-
-        if self.num_threads == 1:
-            # Degenerate case: read and compute on the calling thread.
-            reader_thread: Optional[threading.Thread] = None
-            reader_inline = self.dataset.iter_batches(self.chunk_size)
-            length = max(query64.shape[0], 1)
-            accessed = compared = 0
-            for start, chunk in reader_inline:
-                accessed += chunk.shape[0]
-                cutoff = results.bsf
-                if np.isinf(cutoff):
-                    squared = batch_squared_euclidean(query64, chunk)
-                    compared += chunk.size
-                else:
-                    squared, points = early_abandon_squared(
-                        query64, chunk, cutoff * cutoff
-                    )
-                    compared += points
-                alive = np.isfinite(squared)
-                if alive.any():
-                    positions = start + np.nonzero(alive)[0]
-                    results.update_batch(np.sqrt(squared[alive]), positions)
-            profile.series_accessed = accessed
-            profile.distance_computations = compared // length
-        else:
-            reader_thread = threading.Thread(
-                target=reader, name="pscan-reader", daemon=True
-            )
-            compute = [
-                threading.Thread(target=worker, name=f"pscan-{i}", daemon=True)
-                for i in range(self.num_threads - 1)
-            ]
-            reader_thread.start()
-            for thread in compute:
-                thread.start()
-            reader_thread.join()
-            for thread in compute:
-                thread.join()
-        if errors:
-            raise errors[0]
-
+                profile.series_accessed = accessed
+                profile.distance_computations = compared // length
+            else:
+                reader_thread = threading.Thread(
+                    target=reader, name="pscan-reader", daemon=True
+                )
+                compute = [
+                    threading.Thread(target=worker, name=f"pscan-{i}", daemon=True)
+                    for i in range(self.num_threads - 1)
+                ]
+                reader_thread.start()
+                for thread in compute:
+                    thread.start()
+                reader_thread.join()
+                for thread in compute:
+                    thread.join()
         distances, positions = results.items()
-        profile.path = "pscan"
-        profile.time_total = time.perf_counter() - started
         return QueryAnswer(distances, positions, profile)
 
     @property

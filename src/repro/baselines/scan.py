@@ -8,12 +8,12 @@ ED), with no parallelism and no double buffering.
 
 from __future__ import annotations
 
-import time
 from typing import Union
 
 import numpy as np
 
 from repro.core.query import QueryAnswer, QueryProfile
+from repro.obs import timed_profile
 from repro.core.results import ResultSet
 from repro.distance.euclidean import batch_squared_euclidean, early_abandon_squared
 from repro.storage.dataset import Dataset
@@ -34,33 +34,33 @@ class SerialScan:
         self.build_seconds = 0.0
 
     def knn(self, query: np.ndarray, k: int = 1) -> QueryAnswer:
-        started = time.perf_counter()
         query64 = np.asarray(query, dtype=DISTANCE_DTYPE)
         results = ResultSet(k)
         profile = QueryProfile()
         length = max(self.dataset.series_length, 1)
         points = 0
 
-        for start, chunk in self.dataset.iter_batches(self.chunk_size):
-            profile.series_accessed += chunk.shape[0]
-            cutoff = results.bsf
-            if np.isinf(cutoff):
-                squared = batch_squared_euclidean(query64, chunk)
-                points += chunk.size
-            else:
-                squared, chunk_points = early_abandon_squared(
-                    query64, chunk, cutoff * cutoff
-                )
-                points += chunk_points
-            alive = np.isfinite(squared)
-            if alive.any():
-                positions = start + np.nonzero(alive)[0]
-                results.update_batch(np.sqrt(squared[alive]), positions)
+        with timed_profile(
+            profile, path="serial-scan", io_stats=self.dataset.stats, k=k
+        ):
+            for start, chunk in self.dataset.iter_batches(self.chunk_size):
+                profile.series_accessed += chunk.shape[0]
+                cutoff = results.bsf
+                if np.isinf(cutoff):
+                    squared = batch_squared_euclidean(query64, chunk)
+                    points += chunk.size
+                else:
+                    squared, chunk_points = early_abandon_squared(
+                        query64, chunk, cutoff * cutoff
+                    )
+                    points += chunk_points
+                alive = np.isfinite(squared)
+                if alive.any():
+                    positions = start + np.nonzero(alive)[0]
+                    results.update_batch(np.sqrt(squared[alive]), positions)
+            profile.distance_computations = points // length
 
-        profile.distance_computations = points // length
         distances, positions = results.items()
-        profile.path = "serial-scan"
-        profile.time_total = time.perf_counter() - started
         return QueryAnswer(distances, positions, profile)
 
     @property

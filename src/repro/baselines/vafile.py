@@ -28,6 +28,7 @@ from typing import Optional, Union
 import numpy as np
 
 from repro.core.query import QueryAnswer, QueryProfile
+from repro.obs import timed_profile
 from repro.core.results import ResultSet
 from repro.distance.euclidean import batch_squared_euclidean
 from repro.errors import ConfigError
@@ -191,40 +192,39 @@ class VAFileIndex:
     # -- querying --------------------------------------------------------------
 
     def knn(self, query: np.ndarray, k: int = 1) -> QueryAnswer:
-        started = time.perf_counter()
         query64 = np.asarray(query, dtype=DISTANCE_DTYPE)
         results = ResultSet(k)
         profile = QueryProfile()
+        with timed_profile(
+            profile, path="vafile-skipseq", io_stats=self.dataset.stats, k=k
+        ):
+            q_feat = self.basis.transform(query64)
+            bounds = self._cell_lower_bounds(q_feat)
 
-        q_feat = self.basis.transform(query64)
-        bounds = self._cell_lower_bounds(q_feat)
+            # Phase 1: seed the BSF with real distances of the k most
+            # promising candidates (smallest cell lower bounds).
+            seed_count = min(self.num_series, k)
+            seed = np.argpartition(bounds, seed_count - 1)[:seed_count]
+            self._refine(query64, np.sort(seed), results, profile)
 
-        # Phase 1: seed the BSF with real distances of the k most
-        # promising candidates (smallest cell lower bounds).
-        seed_count = min(self.num_series, k)
-        seed = np.argpartition(bounds, seed_count - 1)[:seed_count]
-        self._refine(query64, np.sort(seed), results, profile)
-
-        # Phase 2: skip-sequential visit of surviving candidates.
-        candidates = np.nonzero(bounds < results.bsf)[0]
-        profile.candidate_series = int(candidates.shape[0])
-        profile.sax_pruning = (
-            1.0 - candidates.shape[0] / self.num_series if self.num_series else 1.0
-        )
-        seeded = set(int(p) for p in seed)
-        remaining = np.array(
-            [p for p in candidates if int(p) not in seeded], dtype=np.int64
-        )
-        block = self.config.refine_block
-        for start in range(0, remaining.shape[0], block):
-            chunk = remaining[start : start + block]
-            alive = chunk[bounds[chunk] < results.bsf]
-            if alive.shape[0]:
-                self._refine(query64, alive, results, profile)
+            # Phase 2: skip-sequential visit of surviving candidates.
+            candidates = np.nonzero(bounds < results.bsf)[0]
+            profile.candidate_series = int(candidates.shape[0])
+            profile.sax_pruning = (
+                1.0 - candidates.shape[0] / self.num_series if self.num_series else 1.0
+            )
+            seeded = set(int(p) for p in seed)
+            remaining = np.array(
+                [p for p in candidates if int(p) not in seeded], dtype=np.int64
+            )
+            block = self.config.refine_block
+            for start in range(0, remaining.shape[0], block):
+                chunk = remaining[start : start + block]
+                alive = chunk[bounds[chunk] < results.bsf]
+                if alive.shape[0]:
+                    self._refine(query64, alive, results, profile)
 
         distances, positions = results.items()
-        profile.path = "vafile-skipseq"
-        profile.time_total = time.perf_counter() - started
         return QueryAnswer(distances, positions, profile)
 
     def _cell_lower_bounds(self, q_feat: np.ndarray) -> np.ndarray:

@@ -9,6 +9,8 @@ method comparison for experimentation:
 * ``build``    — build and materialize a Hercules index over a dataset;
 * ``query``    — answer exact (or ε-approximate) k-NN queries from a
   query file against a materialized index;
+* ``explain``  — answer queries and print per-query cost breakdowns
+  (phase timings, pruning ratios, candidate counts, modeled I/O);
 * ``inspect``  — print structural statistics of a materialized index;
 * ``verify-index`` — check a materialized index directory's manifest,
   artifact checksums, and cross-file invariants;
@@ -22,16 +24,32 @@ artifacts), so ``--length`` must accompany every dataset path.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 import time
 from pathlib import Path
 
+from repro import obs
 from repro.core import HerculesConfig, HerculesIndex
 from repro.core.stats import tree_statistics
 from repro.errors import ReproError
 from repro.storage.dataset import Dataset
 from repro.workloads.datasets import DATASET_ANALOGS, make_analog
 from repro.workloads.generators import random_walks
+
+
+@contextlib.contextmanager
+def _maybe_trace(args: argparse.Namespace):
+    """Activate tracing for the command when ``--trace FILE`` was given."""
+    path = getattr(args, "trace", None)
+    if path is None:
+        yield None
+        return
+    trace = obs.Trace(name=args.command)
+    with obs.use_trace(trace):
+        yield trace
+    trace.save(path)
+    print(f"trace with {len(trace)} spans written to {path}")
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -84,7 +102,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
         num_query_threads=args.threads,
         l_max=args.l_max,
     )
-    with Dataset.open(args.dataset, args.length) as dataset:
+    with _maybe_trace(args), Dataset.open(args.dataset, args.length) as dataset:
         index = HerculesIndex.build(dataset, config, directory=args.output)
     report = index.build_report
     print(
@@ -104,7 +122,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
 def _cmd_query(args: argparse.Namespace) -> int:
     index = HerculesIndex.open(args.index)
     config = index.config.with_options(epsilon=args.epsilon)
-    with Dataset.open(args.queries, index.series_length) as queries:
+    with _maybe_trace(args), Dataset.open(args.queries, index.series_length) as queries:
         count = queries.num_series if args.count is None else min(
             args.count, queries.num_series
         )
@@ -125,6 +143,33 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 f"({answer.profile.time_total * 1e3:.1f} ms)"
             )
     print(f"answered {count} queries in {total:.3f}s")
+    index.close()
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    index = HerculesIndex.open(args.index)
+    config = index.config.with_options(epsilon=args.epsilon)
+    registry = obs.MetricsRegistry()
+    with _maybe_trace(args), Dataset.open(args.queries, index.series_length) as queries:
+        count = queries.num_series if args.count is None else min(
+            args.count, queries.num_series
+        )
+        for i in range(count):
+            query = queries.read_series(i)
+            answer = index.knn(query, k=args.k, config=config)
+            obs.record_profile(
+                registry, answer.profile, num_series=index.num_series
+            )
+            print(
+                obs.explain_profile(
+                    answer.profile,
+                    num_series=index.num_series,
+                    label=f"query {i}",
+                )
+            )
+            print()
+    print(obs.explain_workload_summary(registry))
     index.close()
     return 0
 
@@ -244,7 +289,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.workloads.generators import make_noise_queries
 
     started = time.perf_counter()
-    with Dataset.open(args.dataset, args.length) as dataset:
+    with _maybe_trace(args), Dataset.open(args.dataset, args.length) as dataset:
         data = dataset.load_all()
         queries = make_noise_queries(
             data, args.num_queries, args.noise, seed=args.seed
@@ -323,6 +368,14 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Hercules data-series similarity search (PVLDB 2022 reproduction)",
     )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="increase log verbosity (-v: info, -vv: debug)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="count", default=0,
+        help="decrease log verbosity (errors only)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     gen = sub.add_parser("generate", help="write a synthetic dataset file")
@@ -356,6 +409,8 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--initial-segments", type=int, default=4)
     build.add_argument("--threads", type=int, default=4)
     build.add_argument("--l-max", type=int, default=8)
+    build.add_argument("--trace", type=Path, default=None,
+                       help="write a Chrome-trace JSON of the build to FILE")
     build.set_defaults(func=_cmd_build)
 
     query = sub.add_parser("query", help="answer k-NN queries from a file")
@@ -368,7 +423,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="epsilon-approximate search factor")
     query.add_argument("--approximate", action="store_true",
                        help="approximate-only search (phase 1)")
+    query.add_argument("--trace", type=Path, default=None,
+                       help="write a Chrome-trace JSON of the queries to FILE")
     query.set_defaults(func=_cmd_query)
+
+    explain = sub.add_parser(
+        "explain",
+        help="answer queries and print per-query cost breakdowns "
+        "(phase timings, pruning ratios, modeled I/O)",
+    )
+    explain.add_argument("--index", type=Path, required=True)
+    explain.add_argument("--queries", type=Path, required=True)
+    explain.add_argument("--k", type=int, default=1)
+    explain.add_argument("--count", type=int, default=None,
+                         help="number of queries to explain (default: all)")
+    explain.add_argument("--epsilon", type=float, default=0.0,
+                         help="epsilon-approximate search factor")
+    explain.add_argument("--trace", type=Path, default=None,
+                         help="also write a Chrome-trace JSON to FILE")
+    explain.set_defaults(func=_cmd_explain)
 
     inspect = sub.add_parser("inspect", help="print index statistics")
     inspect.add_argument("--index", type=Path, required=True)
@@ -420,6 +493,8 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--num-queries", type=int, default=10)
     compare.add_argument("--noise", type=float, default=0.05)
     compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument("--trace", type=Path, default=None,
+                         help="write a Chrome-trace JSON of the run to FILE")
     compare.set_defaults(func=_cmd_compare)
 
     return parser
@@ -428,6 +503,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    obs.configure_logging(args.verbose - args.quiet)
     if args.command in ("generate", "generate-workload") and args.length is None:
         if args.kind == "synth":
             args.length = 128

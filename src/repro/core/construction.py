@@ -24,6 +24,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro import obs
 from repro.core.atomic import Barrier, FetchAdd, Flag, HandshakeBit
 from repro.core.buffers import DoubleBuffer, HBuffer
 from repro.core.config import HerculesConfig
@@ -150,19 +151,26 @@ def _split_leaf(ctx: BuildContext, node: Node) -> None:
     spilled series are re-spilled into fresh per-child extents (the old
     extents become dead space in the append-only spill file).
     """
-    data = leaf_data(ctx, node)
-    decision = choose_split(
-        node.segmentation,
-        data,
-        allow_vertical=ctx.config.allow_vertical_splits,
-        allow_std=ctx.config.allow_std_routing,
-    )
-    if decision is None:
-        # Every candidate statistic is constant across the series (e.g. a
-        # degenerate dataset of identical series): the leaf is allowed to
-        # exceed its capacity.
-        return
+    with obs.span("build.split", node=node.node_id, size=node.size) as sp:
+        data = leaf_data(ctx, node)
+        decision = choose_split(
+            node.segmentation,
+            data,
+            allow_vertical=ctx.config.allow_vertical_splits,
+            allow_std=ctx.config.allow_std_routing,
+        )
+        if decision is None:
+            # Every candidate statistic is constant across the series (e.g.
+            # a degenerate dataset of identical series): the leaf is allowed
+            # to exceed its capacity.
+            sp.set("degenerate", True)
+            return
+        _apply_split(ctx, node, data, decision)
+        sp.set("vertical", decision.policy.vertical)
 
+
+def _apply_split(ctx: BuildContext, node: Node, data, decision) -> None:
+    """Redistribute a leaf's series into two children and publish them."""
     policy = decision.policy
     left = Node(ctx.next_node_id(), policy.child_segmentation, parent=node)
     right = Node(ctx.next_node_id(), policy.child_segmentation, parent=node)
@@ -216,15 +224,19 @@ def materialize_flush(ctx: BuildContext) -> None:
     Runs with all InsertWorkers quiescent (they are parked between the
     ContinueBarrier and the FlushBarrier).
     """
-    for leaf in ctx.root.iter_leaves_inorder():
-        if not leaf.sbuffer:
-            continue
-        rows = ctx.hbuffer.get_rows(leaf.sbuffer)
-        position = ctx.spill.append_batch(rows)
-        leaf.spill_extents.append(SpillExtent(position, rows.shape[0]))
-        leaf.sbuffer = []
-    ctx.hbuffer.reset_regions()
-    flush_number = ctx.flushes.fetch_add(1) + 1
+    with obs.io_span("build.flush", ctx.spill.stats) as sp:
+        spilled = 0
+        for leaf in ctx.root.iter_leaves_inorder():
+            if not leaf.sbuffer:
+                continue
+            rows = ctx.hbuffer.get_rows(leaf.sbuffer)
+            position = ctx.spill.append_batch(rows)
+            leaf.spill_extents.append(SpillExtent(position, rows.shape[0]))
+            leaf.sbuffer = []
+            spilled += rows.shape[0]
+        ctx.hbuffer.reset_regions()
+        flush_number = ctx.flushes.fetch_add(1) + 1
+        sp.set_attrs(flush_number=flush_number, spilled_series=spilled)
     logger.debug(
         "flush %d: spill file now holds %d series",
         flush_number,
@@ -290,34 +302,46 @@ def _flush_coordinator(
 ) -> None:
     """Algorithm 3: decide whether to flush, then do it."""
     config = ctx.config
-    shared.handshakes[worker].raise_bit()
-    for bit in shared.handshakes:
-        # Escape hatch: if a peer died before raising its bit, fail this
-        # worker too instead of waiting forever (its error is recorded).
-        while not bit.await_raised(timeout=0.5):
-            if shared.errors:
-                raise RuntimeError("flush handshake aborted: a worker failed")
-    my_region_full = ctx.hbuffer.free_slots(worker) < config.db_size
-    if my_region_full or shared.flush_counter.load() >= config.flush_threshold:
-        shared.flush_order.set(True)
-        shared.flush_counter.store(0)
-    shared.continue_barrier.wait()
-    shared.handshakes[worker].lower_bit()
-    if shared.flush_order.get():
-        materialize_flush(ctx)
-        shared.flush_barrier.wait()
-        shared.flush_order.clear()
+    with obs.span("build.flush.coordinator", worker=worker) as sp:
+        shared.handshakes[worker].raise_bit()
+        for bit in shared.handshakes:
+            # Escape hatch: if a peer died before raising its bit, fail
+            # this worker too instead of waiting forever (its error is
+            # recorded).
+            while not bit.await_raised(timeout=0.5):
+                if shared.errors:
+                    raise RuntimeError(
+                        "flush handshake aborted: a worker failed"
+                    )
+        my_region_full = ctx.hbuffer.free_slots(worker) < config.db_size
+        if (
+            my_region_full
+            or shared.flush_counter.load() >= config.flush_threshold
+        ):
+            shared.flush_order.set(True)
+            shared.flush_counter.store(0)
+        shared.continue_barrier.wait()
+        shared.handshakes[worker].lower_bit()
+        flushed = shared.flush_order.get()
+        sp.set("flushed", flushed)
+        if flushed:
+            materialize_flush(ctx)
+            shared.flush_barrier.wait()
+            shared.flush_order.clear()
 
 
 def _flush_worker(ctx: BuildContext, shared: _BuildShared, worker: int) -> None:
     """Algorithm 4: hand-shake with the coordinator, wait out a flush."""
-    if ctx.hbuffer.free_slots(worker) < ctx.config.db_size:
-        shared.flush_counter.fetch_add(1)
-    shared.handshakes[worker].raise_bit()
-    shared.continue_barrier.wait()
-    shared.handshakes[worker].lower_bit()
-    if shared.flush_order.get():
-        shared.flush_barrier.wait()
+    with obs.span("build.flush.worker", worker=worker) as sp:
+        if ctx.hbuffer.free_slots(worker) < ctx.config.db_size:
+            shared.flush_counter.fetch_add(1)
+        shared.handshakes[worker].raise_bit()
+        shared.continue_barrier.wait()
+        shared.handshakes[worker].lower_bit()
+        waited = shared.flush_order.get()
+        sp.set("waited_for_flush", waited)
+        if waited:
+            shared.flush_barrier.wait()
 
 
 # ---------------------------------------------------------------------------
@@ -346,10 +370,16 @@ def build_tree(
         config.num_build_threads,
         ctx.hbuffer.capacity,
     )
-    if config.num_build_threads == 1:
-        _build_sequential(ctx, dataset)
-    else:
-        _build_parallel(ctx, dataset)
+    with obs.span(
+        "build.tree",
+        num_series=dataset.num_series,
+        num_threads=config.num_build_threads,
+    ) as sp:
+        if config.num_build_threads == 1:
+            _build_sequential(ctx, dataset)
+        else:
+            _build_parallel(ctx, dataset)
+        sp.set_attrs(splits=ctx.splits.load(), flushes=ctx.flushes.load())
     logger.info(
         "tree built: %d splits, %d flushes",
         ctx.splits.load(),
@@ -361,7 +391,18 @@ def build_tree(
 def _build_sequential(ctx: BuildContext, dataset: Dataset) -> None:
     """Single-thread path: same inserts and flushes, no protocol."""
     config = ctx.config
-    for _, batch in dataset.iter_batches(config.db_size):
+    batches = dataset.iter_batches(config.db_size)
+    while True:
+        # The batch read happens lazily inside the generator; pulling it
+        # under an explicit span keeps the buffering phase visible in
+        # traces of the sequential path too.
+        with obs.span("build.buffering") as sp:
+            item = next(batches, None)
+            if item is not None:
+                sp.set_attrs(position=item[0], count=item[1].shape[0])
+        if item is None:
+            break
+        _, batch = item
         if ctx.hbuffer.free_slots(0) < batch.shape[0]:
             materialize_flush(ctx)
         for row in batch:
@@ -376,13 +417,22 @@ def _build_parallel(ctx: BuildContext, dataset: Dataset) -> None:
 
     toggle = 0
     first = min(config.db_size, total)
-    shared.dbuffer[toggle].fill(dataset.read_batch(0, first))
+    with obs.span("build.buffering", position=0, count=first):
+        shared.dbuffer[toggle].fill(dataset.read_batch(0, first))
     toggle = 1 - toggle
+
+    # Worker threads start with an empty span stack, so the tree-build
+    # span is captured here and attached to each worker span explicitly.
+    parent = obs.current_span()
+
+    def run_worker(worker: int) -> None:
+        with obs.span("build.insert_worker", parent=parent, worker=worker):
+            _insert_worker(ctx, shared, worker)
 
     threads = [
         threading.Thread(
-            target=_insert_worker,
-            args=(ctx, shared, worker),
+            target=run_worker,
+            args=(worker,),
             name=f"hercules-insert-{worker}",
             daemon=True,
         )
@@ -395,7 +445,10 @@ def _build_parallel(ctx: BuildContext, dataset: Dataset) -> None:
         position = first
         while position < total:
             count = min(config.db_size, total - position)
-            shared.dbuffer[toggle].fill(dataset.read_batch(position, count))
+            with obs.span("build.buffering", position=position, count=count):
+                shared.dbuffer[toggle].fill(
+                    dataset.read_batch(position, count)
+                )
             toggle = 1 - toggle
             shared.dbarrier.wait()
             # Workers just finished the half filled one iteration earlier,

@@ -30,6 +30,7 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro import obs
 from repro.core.config import HerculesConfig
 from repro.core.construction import build_tree, new_build_context
 from repro.core.node import Node
@@ -142,23 +143,32 @@ class HerculesIndex:
             directory / _SPILL_FILENAME, dataset.series_length, stats=build_stats
         )
         try:
-            started = time.perf_counter()
-            ctx = build_tree(
-                dataset,
-                config,
-                spill,
-                context=new_build_context(dataset, config, spill),
-            )
-            build_seconds = time.perf_counter() - started
+            with obs.span(
+                "build",
+                num_series=dataset.num_series,
+                series_length=dataset.series_length,
+            ):
+                started = time.perf_counter()
+                with obs.io_span("build.phase1", build_stats):
+                    ctx = build_tree(
+                        dataset,
+                        config,
+                        spill,
+                        context=new_build_context(dataset, config, spill),
+                    )
+                build_seconds = time.perf_counter() - started
 
-            settings = {
-                _SETTINGS_KEY_CONFIG: dataclasses.asdict(config),
-                "num_series": dataset.num_series,
-                "series_length": dataset.series_length,
-            }
-            started = time.perf_counter()
-            result = write_index(ctx, directory, sax_space, settings, build_stats)
-            write_seconds = time.perf_counter() - started
+                settings = {
+                    _SETTINGS_KEY_CONFIG: dataclasses.asdict(config),
+                    "num_series": dataset.num_series,
+                    "series_length": dataset.series_length,
+                }
+                started = time.perf_counter()
+                with obs.io_span("build.phase2", build_stats):
+                    result = write_index(
+                        ctx, directory, sax_space, settings, build_stats
+                    )
+                write_seconds = time.perf_counter() - started
         finally:
             spill.close()
         (directory / _SPILL_FILENAME).unlink(missing_ok=True)

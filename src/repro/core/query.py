@@ -38,6 +38,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro import obs
 from repro.core.config import HerculesConfig
 from repro.core.node import Node
 from repro.core.results import ResultSet
@@ -202,46 +203,72 @@ def exact_knn(
 ) -> QueryAnswer:
     """Algorithm 10: Exact-kNN."""
     started = time.perf_counter()
+    io_before = lrd.stats.snapshot()
     state = _SearchState(
         query, k, config, lrd, lsd_words, sax_space, num_leaves, num_series
     )
 
-    _approx_knn(state, root)
-    state.profile.time_approx = time.perf_counter() - started
+    with obs.span("query", k=k) as query_span:
+        with obs.span("query.phase1.approx") as sp:
+            _approx_knn(state, root)
+            sp.set("leaves_visited", state.profile.approx_leaves)
+        state.profile.time_approx = time.perf_counter() - started
 
-    phase2_started = time.perf_counter()
-    lclist = _find_candidate_leaves(state)
-    state.profile.time_candidates = time.perf_counter() - phase2_started
+        phase2_started = time.perf_counter()
+        with obs.span("query.phase2.candidates") as sp:
+            lclist = _find_candidate_leaves(state)
+            sp.set("candidate_leaves", len(lclist))
+        state.profile.time_candidates = time.perf_counter() - phase2_started
 
-    eapca_pr = 1.0 - (len(lclist) / num_leaves if num_leaves else 0.0)
-    state.profile.candidate_leaves = len(lclist)
-    state.profile.eapca_pruning = eapca_pr
+        eapca_pr = 1.0 - (len(lclist) / num_leaves if num_leaves else 0.0)
+        state.profile.candidate_leaves = len(lclist)
+        state.profile.eapca_pruning = eapca_pr
 
-    refine_started = time.perf_counter()
-    if not lclist:
-        state.profile.path = "approx-only"
-    elif config.adaptive_thresholds and eapca_pr < config.eapca_th:
-        _skip_sequential(state, lclist)
-        state.profile.path = "eapca-skipseq"
-    elif not config.use_sax:
-        _compute_results_from_leaves(state, lclist)
-        state.profile.path = "nosax-leaves"
-    else:
-        sclists = _find_candidate_series(state, lclist)
-        total_candidates = sum(len(chunk[0]) for chunk in sclists)
-        sax_pr = 1.0 - (total_candidates / num_series if num_series else 0.0)
-        state.profile.candidate_series = total_candidates
-        state.profile.sax_pruning = sax_pr
-        if config.adaptive_thresholds and sax_pr < config.sax_th:
-            _skip_sequential(state, lclist)
-            state.profile.path = "sax-skipseq"
+        refine_started = time.perf_counter()
+        if not lclist:
+            state.profile.path = "approx-only"
+        elif config.adaptive_thresholds and eapca_pr < config.eapca_th:
+            with obs.span("query.refine.skipseq", reason="eapca"):
+                _skip_sequential(state, lclist)
+            state.profile.path = "eapca-skipseq"
+        elif not config.use_sax:
+            with obs.span("query.phase4.refine", mode="leaves"):
+                _compute_results_from_leaves(state, lclist)
+            state.profile.path = "nosax-leaves"
         else:
-            _compute_results(state, sclists)
-            state.profile.path = "full-four-phase"
+            with obs.span("query.phase3.filter") as sp:
+                sclists = _find_candidate_series(state, lclist)
+                total_candidates = sum(len(chunk[0]) for chunk in sclists)
+                sp.set("candidate_series", total_candidates)
+            sax_pr = 1.0 - (
+                total_candidates / num_series if num_series else 0.0
+            )
+            state.profile.candidate_series = total_candidates
+            state.profile.sax_pruning = sax_pr
+            if config.adaptive_thresholds and sax_pr < config.sax_th:
+                with obs.span("query.refine.skipseq", reason="sax"):
+                    _skip_sequential(state, lclist)
+                state.profile.path = "sax-skipseq"
+            else:
+                with obs.span("query.phase4.refine", mode="series"):
+                    _compute_results(state, sclists)
+                state.profile.path = "full-four-phase"
 
-    state.profile.time_refine = time.perf_counter() - refine_started
-    distances, positions = state.results.items()
-    state.profile.time_total = time.perf_counter() - started
+        state.profile.time_refine = time.perf_counter() - refine_started
+        distances, positions = state.results.items()
+        state.profile.time_total = time.perf_counter() - started
+        state.profile.io = lrd.stats.snapshot() - io_before
+        io = state.profile.io
+        query_span.set_attrs(
+            path=state.profile.path,
+            eapca_pruning=state.profile.eapca_pruning,
+            sax_pruning=state.profile.sax_pruning,
+            series_accessed=state.profile.series_accessed,
+            distance_computations=state.profile.distance_computations,
+            random_seeks=io.random_seeks,
+            sequential_reads=io.sequential_reads,
+            bytes_read=io.bytes_read,
+        )
     return QueryAnswer(distances, positions, state.profile)
 
 
@@ -264,13 +291,22 @@ def approximate_knn(
     exact; recall grows with ``L_max`` (measured in the benchmark suite).
     """
     started = time.perf_counter()
+    io_before = lrd.stats.snapshot()
     state = _SearchState(
         query, k, config, lrd, lsd_words, sax_space, num_leaves, num_series
     )
-    _approx_knn(state, root)
-    distances, positions = state.results.items()
-    state.profile.path = "approximate"
-    state.profile.time_total = time.perf_counter() - started
+    with obs.span("query", k=k, mode="approximate") as sp:
+        with obs.span("query.phase1.approx"):
+            _approx_knn(state, root)
+        distances, positions = state.results.items()
+        state.profile.path = "approximate"
+        state.profile.time_total = time.perf_counter() - started
+        state.profile.io = lrd.stats.snapshot() - io_before
+        sp.set_attrs(
+            path=state.profile.path,
+            leaves_visited=state.profile.approx_leaves,
+            series_accessed=state.profile.series_accessed,
+        )
     return QueryAnswer(distances, positions, state.profile)
 
 
@@ -300,6 +336,7 @@ def progressive_knn(
     yield carries the full exact profile.
     """
     started = time.perf_counter()
+    io_before = lrd.stats.snapshot()
     state = _SearchState(
         query, k, config, lrd, lsd_words, sax_space, num_leaves, num_series
     )
@@ -337,6 +374,7 @@ def progressive_knn(
     distances, positions = state.results.items()
     state.profile.path = "progressive-final"
     state.profile.time_total = time.perf_counter() - started
+    state.profile.io = lrd.stats.snapshot() - io_before
     yield QueryAnswer(distances, positions, state.profile)
 
 
@@ -453,7 +491,9 @@ def _find_candidate_series(
         except BaseException as exc:  # noqa: BLE001
             errors.append(exc)
 
-    _run_workers(cs_worker, num_threads, errors)
+    _run_workers(
+        cs_worker, num_threads, errors, span_name="query.phase3.worker"
+    )
 
     merged: list[tuple[np.ndarray, np.ndarray]] = []
     for chunks in locals_:
@@ -510,7 +550,9 @@ def _compute_results(
         except BaseException as exc:  # noqa: BLE001
             errors.append(exc)
 
-    _run_workers(cr_worker, len(sclists), errors)
+    _run_workers(
+        cr_worker, len(sclists), errors, span_name="query.phase4.worker"
+    )
 
 
 def _compute_results_from_leaves(
@@ -552,16 +594,41 @@ def _compute_results_from_leaves(
         except BaseException as exc:  # noqa: BLE001
             errors.append(exc)
 
-    _run_workers(worker, state.config.num_query_threads, errors)
+    _run_workers(
+        worker,
+        state.config.num_query_threads,
+        errors,
+        span_name="query.phase4.worker",
+    )
 
 
-def _run_workers(target, num_threads: int, errors: list[BaseException]) -> None:
-    """Run ``target(thread_id)`` on N threads (inline when N == 1)."""
+def _run_workers(
+    target,
+    num_threads: int,
+    errors: list[BaseException],
+    span_name: Optional[str] = None,
+) -> None:
+    """Run ``target(thread_id)`` on N threads (inline when N == 1).
+
+    With ``span_name`` each worker's run is recorded as a trace span
+    parented to the phase span that launched the fan-out — worker
+    threads have no ambient span stack of their own, so the parent is
+    captured here, on the calling thread, and attached explicitly.
+    """
+    parent = obs.current_span()
+
+    def run(thread_id: int) -> None:
+        if span_name is None:
+            target(thread_id)
+        else:
+            with obs.span(span_name, parent=parent, worker=thread_id):
+                target(thread_id)
+
     if num_threads == 1:
-        target(0)
+        run(0)
     else:
         threads = [
-            threading.Thread(target=target, args=(i,), daemon=True)
+            threading.Thread(target=run, args=(i,), daemon=True)
             for i in range(num_threads)
         ]
         for thread in threads:

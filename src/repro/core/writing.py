@@ -33,6 +33,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro import obs
 from repro.core.atomic import FetchAdd
 from repro.core.construction import BuildContext, leaf_data
 from repro.core.node import Node, segment_correspondence
@@ -102,12 +103,13 @@ def write_index(
     lrd = SeriesFile(lrd_staged, ctx.hbuffer.series_length, stats=stats)
     lsd = SymbolFile(lsd_staged, sax_space.segments, stats=stats)
     try:
-        if config.parallel_writing and config.num_write_threads > 1:
-            _write_parallel(ctx, leaves, sax_space, lrd, lsd)
-        else:
-            _write_sequential(ctx, leaves, sax_space, lrd, lsd)
-        lrd.sync()
-        lsd.sync()
+        with obs.io_span("build.write", stats, num_leaves=len(leaves)):
+            if config.parallel_writing and config.num_write_threads > 1:
+                _write_parallel(ctx, leaves, sax_space, lrd, lsd)
+            else:
+                _write_sequential(ctx, leaves, sax_space, lrd, lsd)
+            lrd.sync()
+            lsd.sync()
     finally:
         lrd.close()
         lsd.close()
@@ -267,8 +269,21 @@ def _write_parallel(
                 errors.append(exc)
             abort.set()
 
+    # Write workers start on fresh threads; parent their spans to the
+    # enclosing build.write span captured on this (coordinator) thread.
+    parent = obs.current_span()
+
+    def run_worker(index: int) -> None:
+        with obs.span("build.write.worker", parent=parent, worker=index):
+            worker()
+
     threads = [
-        threading.Thread(target=worker, name=f"hercules-write-{i}", daemon=True)
+        threading.Thread(
+            target=run_worker,
+            args=(i,),
+            name=f"hercules-write-{i}",
+            daemon=True,
+        )
         for i in range(ctx.config.num_write_threads)
     ]
     for thread in threads:
@@ -276,13 +291,14 @@ def _write_parallel(
 
     # WriteLeafData: materialize leaves in inorder as they become ready.
     try:
-        for leaf in leaves:
-            while not leaf.processed.wait(timeout=0.1):
+        with obs.span("build.write.coordinator", num_leaves=len(leaves)):
+            for leaf in leaves:
+                while not leaf.processed.wait(timeout=0.1):
+                    if abort.is_set():
+                        break
                 if abort.is_set():
                     break
-            if abort.is_set():
-                break
-            _write_leaf(leaf, lrd, lsd)
+                _write_leaf(leaf, lrd, lsd)
     except BaseException as exc:  # noqa: BLE001
         with error_lock:
             errors.append(exc)

@@ -52,6 +52,30 @@ class ExperimentResult:
     def print(self, title: str) -> None:
         print_table(title, self.headers, self.rows)
 
+    def to_json(self) -> dict:
+        """JSON-ready form: rows plus per-coordinate cost summaries.
+
+        ``raw`` keys are tuples; they become "/"-joined strings.  Values
+        that are :class:`WorkloadResult` collapse to their ``summary()``
+        dict; everything else (plain floats) passes through.
+        """
+        raw = {}
+        for key, value in self.raw.items():
+            name = (
+                "/".join(str(part) for part in key)
+                if isinstance(key, tuple)
+                else str(key)
+            )
+            raw[name] = (
+                value.summary() if isinstance(value, WorkloadResult) else value
+            )
+        return {
+            "figure": self.figure,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "raw": raw,
+        }
+
 
 class _Workspace:
     """A temp directory for datasets and index files, cleaned on exit."""

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.query import QueryProfile
+from repro.obs import record_profile
 
 
 @dataclass
@@ -96,6 +97,22 @@ class WorkloadResult:
             return self.build_seconds + self.total_query_seconds
         return self.build_seconds + self.extrapolated_seconds(num_queries)
 
+    def summary(self) -> dict:
+        """JSON-ready cost summary (hardware-independent counters included)."""
+        return {
+            "method": self.method,
+            "workload": self.workload,
+            "k": self.k,
+            "num_series": self.num_series,
+            "query_count": self.query_count,
+            "build_seconds": self.build_seconds,
+            "avg_query_seconds": self.avg_query_seconds,
+            "avg_data_accessed": self.avg_data_accessed,
+            "avg_distance_computations": self.avg_distance_computations,
+            "avg_modeled_io_seconds": self.avg_modeled_io_seconds,
+            "avg_modeled_query_seconds": self.avg_modeled_query_seconds,
+        }
+
 
 def extrapolate_10k(
     times: list[float], num_queries: int = 10_000, trim: int = 5
@@ -121,12 +138,16 @@ def run_workload(
     *,
     workload: str = "",
     num_series: int | None = None,
+    registry=None,
 ) -> WorkloadResult:
     """Run every query through ``method.knn`` and collect the profiles.
 
     Queries run one after another ("asynchronously" in the paper's sense:
     each must finish before the next is known), with caches staying warm
     between consecutive queries exactly as in the paper's procedure.
+
+    ``registry`` (a :class:`repro.obs.MetricsRegistry`) receives per-query
+    metrics via :func:`repro.obs.record_profile` when given.
     """
     result = WorkloadResult(
         method=getattr(method, "name", method.__class__.__name__),
@@ -141,8 +162,12 @@ def run_workload(
     for query in queries:
         before = io_stats.snapshot() if io_stats is not None else None
         answer = method.knn(query, k=k)
-        if before is not None:
+        # knn implementations now fill profile.io themselves; the snapshot
+        # here is a fallback for methods that do not.
+        if before is not None and answer.profile.io is None:
             answer.profile.io = io_stats.snapshot() - before
+        if registry is not None:
+            record_profile(registry, answer.profile, num_series=result.num_series)
         result.profiles.append(answer.profile)
     return result
 

@@ -1,0 +1,62 @@
+"""Unified observability: tracing, metrics, profiling, logging, EXPLAIN.
+
+One instrumented source for every cost number the reproduction reports:
+
+* :mod:`repro.obs.tracing` — thread-aware spans collected into a
+  :class:`Trace`, exported as Chrome/Perfetto trace-event JSON;
+* :mod:`repro.obs.metrics` — counters, gauges, and histograms with
+  p50/p95/max summaries, bridged from ``QueryProfile``/``IOSnapshot``;
+* :mod:`repro.obs.profiling` — the shared :func:`timed_profile` helper
+  that replaces per-method timing boilerplate;
+* :mod:`repro.obs.explain` — per-query EXPLAIN reports;
+* :mod:`repro.obs.logsetup` — handler configuration for entry points.
+
+Instrumented code imports the module and calls ``obs.span(...)`` /
+``obs.io_span(...)``; both are no-ops until a trace is activated with
+``obs.use_trace(trace)``.
+"""
+
+from repro.obs.explain import explain_profile, explain_workload_summary
+from repro.obs.logsetup import configure_logging
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    record_io,
+    record_profile,
+)
+from repro.obs.profiling import timed_profile
+from repro.obs.tracing import (
+    NULL_SPAN,
+    Span,
+    Trace,
+    current_span,
+    get_trace,
+    io_span,
+    set_trace,
+    span,
+    use_trace,
+)
+
+__all__ = [
+    "NULL_SPAN",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Trace",
+    "configure_logging",
+    "current_span",
+    "explain_profile",
+    "explain_workload_summary",
+    "get_trace",
+    "io_span",
+    "record_io",
+    "record_profile",
+    "set_trace",
+    "span",
+    "timed_profile",
+    "use_trace",
+]

@@ -1,0 +1,118 @@
+"""Per-query EXPLAIN reports: where a query's time and I/O went.
+
+Formats the cost record the query engine already produces (the
+:class:`~repro.core.query.QueryProfile` inside every answer) into the
+breakdown the paper reports around Figures 10-11: per-phase timings,
+pruning ratios, candidate counts, the fraction of raw data touched, and
+the modeled cost of the observed I/O pattern on the paper's testbed
+disks.  Used by the ``repro explain`` CLI command and importable by
+harnesses.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["explain_profile", "explain_workload_summary"]
+
+
+def _pct(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value:.2%}"
+
+
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1e3:8.2f} ms"
+
+
+def explain_profile(
+    profile, num_series: Optional[int] = None, label: str = "query"
+) -> str:
+    """A multi-line report of one query's cost profile."""
+    lines = [f"{label}: path={profile.path or '?'}"]
+    lines.append(
+        f"  phase 1 approx      {_ms(profile.time_approx)}"
+        f"   ({profile.approx_leaves} leaves visited)"
+    )
+    lines.append(
+        f"  phase 2 candidates  {_ms(profile.time_candidates)}"
+        f"   ({profile.candidate_leaves} candidate leaves, "
+        f"EAPCA pruning {_pct(profile.eapca_pruning)})"
+    )
+    refine = f"  phase 3+4 refine    {_ms(profile.time_refine)}"
+    if profile.sax_pruning is not None:
+        refine += (
+            f"   ({profile.candidate_series} candidate series, "
+            f"SAX pruning {_pct(profile.sax_pruning)})"
+        )
+    lines.append(refine)
+    totals = (
+        f"  total               {_ms(profile.time_total)}"
+        f"   ({profile.distance_computations} distance computations, "
+        f"{profile.series_accessed} series read"
+    )
+    if num_series:
+        totals += (
+            f" = {_pct(profile.data_accessed_fraction(num_series))} of data"
+        )
+    totals += ")"
+    lines.append(totals)
+    if profile.io is not None:
+        io = profile.io
+        lines.append(
+            f"  io                  {io.random_seeks} random seeks, "
+            f"{io.sequential_reads} sequential reads, "
+            f"{io.bytes_read / 1e6:.2f} MB read, "
+            f"modeled {profile.modeled_io_seconds() * 1e3:.2f} ms "
+            f"on paper disks"
+        )
+    return "\n".join(lines)
+
+
+def explain_workload_summary(registry) -> str:
+    """A closing summary over every query EXPLAIN fed into ``registry``.
+
+    ``registry`` is a :class:`~repro.obs.metrics.MetricsRegistry` whose
+    ``query.*`` instruments were filled by
+    :func:`repro.obs.metrics.record_profile`.
+    """
+    summary = registry.summary()
+    hist = summary["histograms"]
+    counters = summary["counters"]
+    count = counters.get("query.count", 0)
+    lines = [f"workload summary ({count} queries):"]
+
+    def row(label: str, name: str, scale: float = 1.0, unit: str = "") -> None:
+        stats = hist.get(name)
+        if not stats or not stats["count"]:
+            return
+        lines.append(
+            f"  {label:<22} mean {stats['mean'] * scale:9.3f}{unit}"
+            f"  p50 {stats['p50'] * scale:9.3f}{unit}"
+            f"  p95 {stats['p95'] * scale:9.3f}{unit}"
+            f"  max {stats['max'] * scale:9.3f}{unit}"
+        )
+
+    row("query seconds", "query.seconds", 1e3, " ms")
+    row("phase 1 approx", "query.approx_seconds", 1e3, " ms")
+    row("phase 2 candidates", "query.candidates_seconds", 1e3, " ms")
+    row("phase 3+4 refine", "query.refine_seconds", 1e3, " ms")
+    row("EAPCA pruning", "query.eapca_pruning")
+    row("SAX pruning", "query.sax_pruning")
+    row("data accessed", "query.data_accessed_fraction")
+    row("modeled io seconds", "query.modeled_io_seconds", 1e3, " ms")
+    total_dc = counters.get("query.distance_computations", 0)
+    total_read = counters.get("query.series_accessed", 0)
+    if count:
+        lines.append(
+            f"  totals: {total_dc} distance computations, "
+            f"{total_read} series read"
+        )
+    paths = {
+        name.split("query.path.", 1)[1]: value
+        for name, value in counters.items()
+        if name.startswith("query.path.")
+    }
+    if paths:
+        chosen = ", ".join(f"{k}={v}" for k, v in sorted(paths.items()))
+        lines.append(f"  access paths: {chosen}")
+    return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""Package-level logging configuration for CLI and harness entry points.
+
+Library modules log through ``logging.getLogger(__name__)`` and never
+configure handlers (standard library etiquette); entry points call
+:func:`configure_logging` once to decide where those records go.  The
+CLI maps ``-q`` / (default) / ``-v`` / ``-vv`` onto verbosity
+-1 / 0 / 1 / 2.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, TextIO
+
+__all__ = ["configure_logging"]
+
+#: Marker attribute on handlers we installed, so reconfiguration
+#: replaces them instead of stacking duplicates.
+_HANDLER_MARK = "_repro_obs_handler"
+
+_LEVELS = {
+    -1: logging.ERROR,
+    0: logging.WARNING,
+    1: logging.INFO,
+    2: logging.DEBUG,
+}
+
+
+def configure_logging(
+    verbosity: int = 0, stream: Optional[TextIO] = None
+) -> logging.Logger:
+    """Configure the ``repro`` logger hierarchy; returns the root logger.
+
+    ``verbosity`` clamps to [-1, 2]: -1 errors only, 0 warnings (the
+    default), 1 informational progress (builds, flushes, writes), 2 full
+    debug.  Idempotent — calling again replaces the handler (and its
+    level) rather than adding another one.
+    """
+    level = _LEVELS[max(-1, min(2, verbosity))]
+    logger = logging.getLogger("repro")
+    for handler in list(logger.handlers):
+        if getattr(handler, _HANDLER_MARK, False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(levelname)-7s %(name)s: %(message)s")
+    )
+    setattr(handler, _HANDLER_MARK, True)
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    logger.propagate = False
+    return logger

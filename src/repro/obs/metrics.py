@@ -1,0 +1,228 @@
+"""Metrics registry: counters, gauges, and summarizing histograms.
+
+The hardware-independent cost metrics the reproduction reports next to
+every timing (distance computations, series accessed, pruning ratios,
+I/O operation counts) accumulate here instead of in per-harness ad-hoc
+lists.  :class:`MetricsRegistry` hands out named instruments that are
+individually thread-safe; :func:`record_profile` and :func:`record_io`
+bridge the existing :class:`~repro.core.query.QueryProfile` and
+:class:`~repro.storage.iostats.IOSnapshot` records into a registry so
+every benchmark summary comes from one instrumented source.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "record_io",
+    "record_profile",
+]
+
+
+class Counter:
+    """A monotonically increasing, thread-safe count."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    add = inc
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A thread-safe last-value-wins measurement."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """A thread-safe value distribution with percentile summaries.
+
+    Values are kept exactly (benchmark workloads observe at most a few
+    thousand per histogram); :meth:`summary` reports count, mean, min,
+    p50, p95, and max.
+    """
+
+    __slots__ = ("_lock", "_values")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return len(self._values)
+
+    @property
+    def values(self) -> list[float]:
+        with self._lock:
+            return list(self._values)
+
+    def summary(self) -> dict:
+        with self._lock:
+            values = np.asarray(self._values, dtype=np.float64)
+        if values.shape[0] == 0:
+            return {"count": 0, "mean": 0.0, "min": 0.0, "p50": 0.0,
+                    "p95": 0.0, "max": 0.0}
+        return {
+            "count": int(values.shape[0]),
+            "mean": float(values.mean()),
+            "min": float(values.min()),
+            "p50": float(np.percentile(values, 50)),
+            "p95": float(np.percentile(values, 95)),
+            "max": float(values.max()),
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use and safe to share."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter()
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge()
+            return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram()
+            return instrument
+
+    def summary(self) -> dict:
+        """A JSON-friendly snapshot of every instrument."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {k: v.value for k, v in sorted(counters.items())},
+            "gauges": {k: v.value for k, v in sorted(gauges.items())},
+            "histograms": {
+                k: v.summary() for k, v in sorted(histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+# ---------------------------------------------------------------------------
+# Bridges from the existing measurement records
+# ---------------------------------------------------------------------------
+
+
+def record_io(registry: MetricsRegistry, snapshot, prefix: str = "io") -> None:
+    """Accumulate an :class:`IOSnapshot` (usually a delta) into counters."""
+    registry.counter(f"{prefix}.read_calls").add(snapshot.read_calls)
+    registry.counter(f"{prefix}.write_calls").add(snapshot.write_calls)
+    registry.counter(f"{prefix}.random_seeks").add(snapshot.random_seeks)
+    registry.counter(f"{prefix}.sequential_reads").add(
+        snapshot.sequential_reads
+    )
+    registry.counter(f"{prefix}.bytes_read").add(snapshot.bytes_read)
+    registry.counter(f"{prefix}.bytes_written").add(snapshot.bytes_written)
+
+
+def record_profile(
+    registry: MetricsRegistry,
+    profile,
+    num_series: Optional[int] = None,
+    prefix: str = "query",
+) -> None:
+    """Feed one :class:`QueryProfile` into the registry's instruments.
+
+    Timings land in histograms (so summaries report p50/p95/max), work
+    counters accumulate, and the per-path count makes access-path
+    selection visible (``query.path.<name>``).
+    """
+    registry.counter(f"{prefix}.count").inc()
+    registry.histogram(f"{prefix}.seconds").observe(profile.time_total)
+    registry.histogram(f"{prefix}.approx_seconds").observe(profile.time_approx)
+    registry.histogram(f"{prefix}.candidates_seconds").observe(
+        profile.time_candidates
+    )
+    registry.histogram(f"{prefix}.refine_seconds").observe(profile.time_refine)
+    registry.histogram(f"{prefix}.eapca_pruning").observe(
+        profile.eapca_pruning
+    )
+    if profile.sax_pruning is not None:
+        registry.histogram(f"{prefix}.sax_pruning").observe(
+            profile.sax_pruning
+        )
+    registry.counter(f"{prefix}.distance_computations").add(
+        profile.distance_computations
+    )
+    registry.counter(f"{prefix}.series_accessed").add(profile.series_accessed)
+    registry.counter(f"{prefix}.candidate_leaves").add(
+        profile.candidate_leaves
+    )
+    registry.counter(f"{prefix}.candidate_series").add(
+        profile.candidate_series
+    )
+    if num_series:
+        registry.histogram(f"{prefix}.data_accessed_fraction").observe(
+            profile.data_accessed_fraction(num_series)
+        )
+    if profile.path:
+        registry.counter(f"{prefix}.path.{profile.path}").inc()
+    if profile.io is not None:
+        record_io(registry, profile.io, prefix=f"{prefix}.io")
+        registry.histogram(f"{prefix}.modeled_io_seconds").observe(
+            profile.modeled_io_seconds()
+        )

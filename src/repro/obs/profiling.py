@@ -1,0 +1,70 @@
+"""The shared query-timing helper every method uses.
+
+Each of the six baselines used to hand-roll the same bookkeeping around
+its ``knn`` body::
+
+    started = time.perf_counter()
+    ...
+    profile.path = "..."
+    profile.time_total = time.perf_counter() - started
+
+:func:`timed_profile` replaces that: it times the block into the given
+:class:`~repro.core.query.QueryProfile`, stamps the access path,
+snapshots an :class:`~repro.storage.iostats.IOStats` delta into
+``profile.io`` (so harnesses no longer have to remember to), and — when
+tracing is active — wraps the block in a span carrying the profile's
+cost attributes.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional
+
+from repro.obs.tracing import span
+
+__all__ = ["timed_profile"]
+
+
+@contextmanager
+def timed_profile(
+    profile,
+    path: Optional[str] = None,
+    io_stats=None,
+    span_name: Optional[str] = None,
+    **attributes: Any,
+) -> Iterator:
+    """Time a query body into ``profile``; yields the profile.
+
+    ``path`` is stamped onto ``profile.path`` when the block exits (the
+    body may overwrite it by assigning first — the stamp only applies
+    when given).  ``io_stats`` (an IOStats, or None for in-memory data)
+    has its snapshot delta stored in ``profile.io``.  The block is also
+    recorded as a trace span named ``span_name`` (default
+    ``query.<path>``) when tracing is active.  Timing and I/O are filled
+    even when the body raises, so partial failures still report cost.
+    """
+    name = span_name if span_name is not None else f"query.{path or 'knn'}"
+    before = io_stats.snapshot() if io_stats is not None else None
+    started = time.perf_counter()
+    with span(name, **attributes) as s:
+        try:
+            yield profile
+        finally:
+            profile.time_total = time.perf_counter() - started
+            if path is not None:
+                profile.path = path
+            if before is not None:
+                profile.io = io_stats.snapshot() - before
+            s.set_attrs(
+                path=profile.path,
+                seconds=profile.time_total,
+                series_accessed=profile.series_accessed,
+                distance_computations=profile.distance_computations,
+            )
+            if profile.io is not None:
+                s.set_attrs(
+                    random_seeks=profile.io.random_seeks,
+                    bytes_read=profile.io.bytes_read,
+                )

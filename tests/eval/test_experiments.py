@@ -122,3 +122,29 @@ class TestExperimentsSmoke:
         )
         variants = {row[1] for row in result.rows}
         assert variants == {"Hercules", "NoSAX", "NoPara", "NoThresh"}
+
+
+class TestExperimentResultToJson:
+    def test_tuple_keys_and_workloads_collapse(self):
+        import json
+
+        from repro.core.query import QueryProfile
+        from repro.eval.experiments import ExperimentResult
+        from repro.eval.metrics import WorkloadResult
+
+        wl = WorkloadResult(
+            method="Hercules", workload="5%", k=1, num_series=50,
+            build_seconds=1.0,
+        )
+        wl.profiles.append(QueryProfile(time_total=0.1, series_accessed=5))
+        result = ExperimentResult(
+            figure="figX", headers=["a", "b"], rows=[[1, "x"]],
+        )
+        result.raw[(1000, "Hercules")] = wl
+        result.raw["scalar"] = 2.5
+        payload = result.to_json()
+        assert payload["figure"] == "figX"
+        assert payload["rows"] == [[1, "x"]]
+        assert payload["raw"]["1000/Hercules"]["avg_query_seconds"] == 0.1
+        assert payload["raw"]["scalar"] == 2.5
+        json.dumps(payload)

@@ -106,3 +106,54 @@ class TestRunWorkload:
         result = run_workload(scan, data[:2], k=1)
         assert all(p.io is None for p in result.profiles)
         assert result.avg_modeled_io_seconds == 0.0
+
+
+class TestWorkloadSummaryDict:
+    def test_summary_is_json_ready(self):
+        import json
+
+        result = WorkloadResult(
+            method="m", workload="w", k=3, num_series=100, build_seconds=2.0
+        )
+        result.profiles.append(
+            QueryProfile(time_total=0.5, series_accessed=20,
+                         distance_computations=40)
+        )
+        summary = result.summary()
+        assert summary["method"] == "m"
+        assert summary["k"] == 3
+        assert summary["query_count"] == 1
+        assert summary["avg_query_seconds"] == pytest.approx(0.5)
+        assert summary["avg_data_accessed"] == pytest.approx(0.2)
+        assert summary["avg_distance_computations"] == pytest.approx(40.0)
+        json.dumps(summary)  # must round-trip without custom encoders
+
+
+class TestRunWorkloadRegistry:
+    def test_registry_receives_each_query(self):
+        from repro.baselines import SerialScan
+        from repro.obs import MetricsRegistry
+
+        data = make_random_walks(60, 16, seed=33)
+        scan = SerialScan(data)
+        registry = MetricsRegistry()
+        result = run_workload(scan, data[:3], k=1, registry=registry)
+        assert result.query_count == 3
+        summary = registry.summary()
+        assert summary["counters"]["query.count"] == 3
+        assert summary["counters"]["query.path.serial-scan"] == 3
+        assert summary["histograms"]["query.seconds"]["count"] == 3
+
+    def test_harness_does_not_clobber_method_filled_io(self, tmp_path):
+        from repro.baselines import SerialScan
+        from repro.storage.dataset import Dataset
+
+        data = make_random_walks(40, 16, seed=34)
+        with Dataset.write(tmp_path / "d.bin", data) as dataset:
+            scan = SerialScan(dataset, chunk_size=16)
+            result = run_workload(scan, data[:2], k=1)
+        # SerialScan.knn fills profile.io itself (via timed_profile); the
+        # harness fallback must keep that exact per-query delta.
+        for profile in result.profiles:
+            assert profile.io is not None
+            assert profile.io.bytes_read == 40 * 16 * 4

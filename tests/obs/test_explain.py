@@ -1,0 +1,75 @@
+"""EXPLAIN report formatting."""
+
+from repro.core.query import QueryProfile
+from repro.obs import (
+    MetricsRegistry,
+    explain_profile,
+    explain_workload_summary,
+    record_profile,
+)
+from repro.storage.iostats import IOStats
+
+
+def _profile(path="full-four-phase"):
+    profile = QueryProfile()
+    profile.path = path
+    profile.time_total = 0.02
+    profile.time_approx = 0.005
+    profile.time_candidates = 0.005
+    profile.time_refine = 0.01
+    profile.approx_leaves = 3
+    profile.candidate_leaves = 5
+    profile.eapca_pruning = 0.75
+    profile.candidate_series = 40
+    profile.sax_pruning = 0.6
+    profile.series_accessed = 50
+    profile.distance_computations = 90
+    return profile
+
+
+class TestExplainProfile:
+    def test_contains_phases_pruning_and_totals(self):
+        report = explain_profile(_profile(), num_series=200, label="query 0")
+        assert "query 0: path=full-four-phase" in report
+        assert "phase 1 approx" in report
+        assert "3 leaves visited" in report
+        assert "5 candidate leaves" in report
+        assert "EAPCA pruning 75.00%" in report
+        assert "40 candidate series" in report
+        assert "SAX pruning 60.00%" in report
+        assert "90 distance computations" in report
+        assert "25.00% of data" in report
+
+    def test_io_line_only_when_io_captured(self):
+        profile = _profile()
+        assert "random seeks" not in explain_profile(profile)
+        stats = IOStats()
+        stats.record_read(1_000_000, sequential=False)
+        profile.io = stats.snapshot()
+        report = explain_profile(profile)
+        assert "1 random seeks" in report
+        assert "1.00 MB read" in report
+        assert "on paper disks" in report
+
+    def test_missing_sax_pruning_omitted(self):
+        profile = _profile()
+        profile.sax_pruning = None
+        report = explain_profile(profile)
+        assert "SAX pruning" not in report
+
+
+class TestWorkloadSummary:
+    def test_summarizes_registry(self):
+        registry = MetricsRegistry()
+        for path in ("approx-only", "approx-only", "full-four-phase"):
+            record_profile(registry, _profile(path), num_series=200)
+        report = explain_workload_summary(registry)
+        assert "workload summary (3 queries)" in report
+        assert "query seconds" in report
+        assert "p95" in report
+        assert "270 distance computations" in report
+        assert "access paths: approx-only=2, full-four-phase=1" in report
+
+    def test_empty_registry(self):
+        report = explain_workload_summary(MetricsRegistry())
+        assert "workload summary (0 queries)" in report

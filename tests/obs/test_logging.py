@@ -1,0 +1,58 @@
+"""configure_logging: levels, idempotence, and output routing."""
+
+import io
+import logging
+
+import pytest
+
+from repro.obs import configure_logging
+
+
+@pytest.fixture(autouse=True)
+def _restore_repro_logger():
+    logger = logging.getLogger("repro")
+    handlers = list(logger.handlers)
+    level = logger.level
+    propagate = logger.propagate
+    yield
+    logger.handlers[:] = handlers
+    logger.setLevel(level)
+    logger.propagate = propagate
+
+
+class TestConfigureLogging:
+    @pytest.mark.parametrize(
+        "verbosity, level",
+        [(-1, logging.ERROR), (0, logging.WARNING),
+         (1, logging.INFO), (2, logging.DEBUG)],
+    )
+    def test_verbosity_levels(self, verbosity, level):
+        logger = configure_logging(verbosity, stream=io.StringIO())
+        assert logger.level == level
+
+    def test_out_of_range_verbosity_clamps(self):
+        assert configure_logging(99, stream=io.StringIO()).level == logging.DEBUG
+        assert configure_logging(-99, stream=io.StringIO()).level == logging.ERROR
+
+    def test_idempotent_reconfiguration(self):
+        stream = io.StringIO()
+        configure_logging(1, stream=io.StringIO())
+        logger = configure_logging(1, stream=stream)
+        ours = [
+            h for h in logger.handlers
+            if getattr(h, "_repro_obs_handler", False)
+        ]
+        assert len(ours) == 1
+        logging.getLogger("repro.core.test").info("hello")
+        assert "hello" in stream.getvalue()
+
+    def test_records_route_to_given_stream_only_at_level(self):
+        stream = io.StringIO()
+        configure_logging(0, stream=stream)
+        child = logging.getLogger("repro.core.test")
+        child.info("quiet info")
+        child.warning("loud warning")
+        output = stream.getvalue()
+        assert "quiet info" not in output
+        assert "loud warning" in output
+        assert "WARNING" in output

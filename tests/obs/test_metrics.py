@@ -1,0 +1,150 @@
+"""Counters, gauges, histograms, and the QueryProfile/IOSnapshot bridges."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.query import QueryProfile
+from repro.obs import MetricsRegistry, record_profile
+from repro.storage.iostats import IOStats
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+        counter.inc()
+        counter.add(4)
+        assert counter.value == 5
+        assert registry.counter("hits") is counter
+
+    def test_gauge_is_last_value_wins(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(3)
+        gauge.set(7.5)
+        assert gauge.value == 7.5
+
+    def test_histogram_summary(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency")
+        for value in range(1, 101):
+            hist.observe(float(value))
+        summary = hist.summary()
+        assert summary["count"] == 100
+        assert summary["mean"] == pytest.approx(50.5)
+        assert summary["min"] == 1.0
+        assert summary["p50"] == pytest.approx(50.5)
+        assert summary["p95"] == pytest.approx(95.05)
+        assert summary["max"] == 100.0
+
+    def test_empty_histogram_summary_is_zeroes(self):
+        summary = MetricsRegistry().histogram("empty").summary()
+        assert summary == {
+            "count": 0, "mean": 0.0, "min": 0.0,
+            "p50": 0.0, "p95": 0.0, "max": 0.0,
+        }
+
+    def test_histogram_under_concurrent_updates(self):
+        registry = MetricsRegistry()
+        per_thread = 500
+        num_threads = 8
+
+        def hammer(base):
+            hist = registry.histogram("shared")
+            for i in range(per_thread):
+                hist.observe(base + i)
+            registry.counter("done").inc()
+
+        threads = [
+            threading.Thread(target=hammer, args=(t * per_thread,))
+            for t in range(num_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        summary = registry.histogram("shared").summary()
+        total = per_thread * num_threads
+        assert summary["count"] == total
+        assert summary["min"] == 0.0
+        assert summary["max"] == float(total - 1)
+        assert summary["mean"] == pytest.approx((total - 1) / 2)
+        assert registry.counter("done").value == num_threads
+
+    def test_registry_summary_and_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("c").add(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(3.0)
+        summary = registry.summary()
+        assert summary["counters"] == {"c": 2}
+        assert summary["gauges"] == {"g": 1.5}
+        assert summary["histograms"]["h"]["count"] == 1
+        registry.reset()
+        assert registry.summary() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+
+class TestRecordProfile:
+    def _profile(self):
+        profile = QueryProfile()
+        profile.path = "full-four-phase"
+        profile.time_total = 0.25
+        profile.time_approx = 0.05
+        profile.time_candidates = 0.1
+        profile.time_refine = 0.1
+        profile.eapca_pruning = 0.8
+        profile.sax_pruning = 0.5
+        profile.distance_computations = 40
+        profile.series_accessed = 30
+        profile.candidate_leaves = 4
+        profile.candidate_series = 60
+        return profile
+
+    def test_counters_histograms_and_paths(self):
+        registry = MetricsRegistry()
+        record_profile(registry, self._profile(), num_series=100)
+        record_profile(registry, self._profile(), num_series=100)
+        summary = registry.summary()
+        counters = summary["counters"]
+        assert counters["query.count"] == 2
+        assert counters["query.distance_computations"] == 80
+        assert counters["query.series_accessed"] == 60
+        assert counters["query.path.full-four-phase"] == 2
+        hist = summary["histograms"]
+        assert hist["query.seconds"]["count"] == 2
+        assert hist["query.seconds"]["mean"] == pytest.approx(0.25)
+        assert hist["query.eapca_pruning"]["max"] == pytest.approx(0.8)
+        assert hist["query.data_accessed_fraction"]["mean"] == pytest.approx(0.3)
+
+    def test_io_record_feeds_io_counters(self):
+        stats = IOStats()
+        stats.record_read(4096, sequential=False)
+        stats.record_read(4096, sequential=True)
+        profile = self._profile()
+        profile.io = stats.snapshot()
+        registry = MetricsRegistry()
+        record_profile(registry, profile)
+        counters = registry.summary()["counters"]
+        assert counters["query.io.read_calls"] == 2
+        assert counters["query.io.bytes_read"] == 8192
+        assert registry.summary()["histograms"][
+            "query.modeled_io_seconds"
+        ]["count"] == 1
+
+    def test_missing_sax_pruning_is_skipped(self):
+        profile = QueryProfile()
+        profile.sax_pruning = None
+        registry = MetricsRegistry()
+        record_profile(registry, profile)
+        assert "query.sax_pruning" not in registry.summary()["histograms"]
+
+    def test_numpy_values_are_accepted(self):
+        profile = QueryProfile()
+        profile.time_total = np.float64(0.5)
+        profile.distance_computations = int(np.int64(7))
+        registry = MetricsRegistry()
+        record_profile(registry, profile)
+        assert registry.summary()["counters"]["query.distance_computations"] == 7

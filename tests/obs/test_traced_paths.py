@@ -1,0 +1,124 @@
+"""End-to-end: the instrumented hot paths emit the expected spans."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core import HerculesConfig, HerculesIndex
+from repro.storage.dataset import Dataset
+from repro.workloads.generators import make_noise_queries, random_walks
+
+
+@pytest.fixture(scope="module")
+def data():
+    return random_walks(400, 32, seed=17)
+
+
+@pytest.fixture(scope="module")
+def traced_build(data, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("obs-index")
+    trace = obs.Trace(name="build")
+    config = HerculesConfig(
+        leaf_capacity=50,
+        num_build_threads=3,
+        flush_threshold=1,
+        num_write_threads=2,
+        num_query_threads=2,
+        # A small HBuffer forces flushes so the flush spans appear.
+        db_size=50,
+        buffer_capacity=200,
+    )
+    with Dataset.write(directory / "data.bin", data) as dataset:
+        with obs.use_trace(trace):
+            index = HerculesIndex.build(
+                dataset, config, directory=directory / "idx"
+            )
+        index.close()
+    return trace, directory / "idx"
+
+
+class TestBuildSpans:
+    def test_table4_phases_present(self, traced_build):
+        trace, _ = traced_build
+        names = {s.name for s in trace.spans}
+        assert {
+            "build",
+            "build.phase1",
+            "build.phase2",
+            "build.tree",
+            "build.buffering",
+            "build.flush",
+            "build.split",
+            "build.write",
+        } <= names
+
+    def test_flush_protocol_spans_nest_under_tree(self, traced_build):
+        trace, _ = traced_build
+        tree = trace.find("build.tree")[0]
+        workers = trace.find("build.insert_worker")
+        assert workers, "parallel build should span its insert workers"
+        assert all(w.parent_id == tree.span_id for w in workers)
+        coordinator = trace.find("build.flush.coordinator")
+        helpers = trace.find("build.flush.worker")
+        assert coordinator or helpers, "flush roles should be traced"
+
+    def test_io_attributes_on_phases(self, traced_build):
+        trace, _ = traced_build
+        phase2 = trace.find("build.phase2")[0]
+        assert phase2.attributes["bytes_written"] > 0
+        flush = trace.find("build.flush")[0]
+        assert "spilled_series" in flush.attributes
+
+
+class TestQuerySpans:
+    def test_four_phases_with_worker_children(self, traced_build, data):
+        _, index_dir = traced_build
+        index = HerculesIndex.open(index_dir)
+        # A tight leaf-visit budget leaves candidates after phase 1, and
+        # disabling the adaptive skip-sequential fallback forces them
+        # through phases 3 and 4 with the parallel workers.
+        config = index.config.with_options(l_max=2, adaptive_thresholds=False)
+        queries = make_noise_queries(data, 3, noise_variance=2.0, seed=5)
+        trace = obs.Trace(name="query")
+        with obs.use_trace(trace):
+            answers = [index.knn(q, k=5, config=config) for q in queries]
+        index.close()
+
+        names = {s.name for s in trace.spans}
+        assert {
+            "query",
+            "query.phase1.approx",
+            "query.phase2.candidates",
+            "query.phase3.filter",
+            "query.phase4.refine",
+        } <= names
+        assert all(a.profile.path == "full-four-phase" for a in answers)
+
+        refine = trace.find("query.phase4.refine")
+        workers = trace.find("query.phase4.worker")
+        assert workers, "parallel refine should span its workers"
+        refine_ids = {s.span_id for s in refine}
+        assert all(w.parent_id in refine_ids for w in workers)
+
+        for query_span in trace.find("query"):
+            assert query_span.attributes["k"] == 5
+            assert "path" in query_span.attributes
+
+    def test_profile_io_filled_by_knn_itself(self, traced_build, data):
+        _, index_dir = traced_build
+        index = HerculesIndex.open(index_dir)
+        answer = index.knn(data[0], k=1)
+        index.close()
+        assert answer.profile.io is not None
+        assert answer.profile.io.read_calls >= 1
+
+    def test_approximate_knn_fills_io_and_span(self, traced_build, data):
+        _, index_dir = traced_build
+        index = HerculesIndex.open(index_dir)
+        trace = obs.Trace()
+        with obs.use_trace(trace):
+            answer = index.knn_approx(data[1], k=1)
+        index.close()
+        assert answer.profile.io is not None
+        query_span = trace.find("query")[0]
+        assert query_span.attributes["mode"] == "approximate"

@@ -1,0 +1,230 @@
+"""Spans, traces, cross-thread attribution, and Chrome-trace export."""
+
+import json
+import threading
+
+import numpy as np
+
+from repro import obs
+from repro.obs.tracing import NULL_SPAN
+
+
+class TestSpanNesting:
+    def test_nested_spans_record_parent_ids(self):
+        trace = obs.Trace()
+        with obs.use_trace(trace):
+            with obs.span("outer") as outer:
+                with obs.span("middle") as middle:
+                    with obs.span("inner") as inner:
+                        pass
+        assert outer.parent_id is None
+        assert middle.parent_id == outer.span_id
+        assert inner.parent_id == middle.span_id
+
+    def test_siblings_share_a_parent(self):
+        trace = obs.Trace()
+        with obs.use_trace(trace):
+            with obs.span("parent") as parent:
+                with obs.span("first") as first:
+                    pass
+                with obs.span("second") as second:
+                    pass
+        assert first.parent_id == parent.span_id
+        assert second.parent_id == parent.span_id
+        assert {s.name for s in trace.children_of(parent)} == {"first", "second"}
+
+    def test_spans_record_in_finish_order_with_durations(self):
+        trace = obs.Trace()
+        with obs.use_trace(trace):
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    pass
+        names = [s.name for s in trace.spans]
+        assert names == ["inner", "outer"]
+        outer = trace.find("outer")[0]
+        inner = trace.find("inner")[0]
+        assert outer.duration >= inner.duration >= 0.0
+        assert inner.start >= outer.start
+
+    def test_attributes_and_exception_marking(self):
+        trace = obs.Trace()
+        with obs.use_trace(trace):
+            try:
+                with obs.span("failing", stage=1) as s:
+                    s.set("key", "value")
+                    s.set_attrs(extra=2)
+                    raise ValueError("boom")
+            except ValueError:
+                pass
+        span = trace.find("failing")[0]
+        assert span.attributes["stage"] == 1
+        assert span.attributes["key"] == "value"
+        assert span.attributes["extra"] == 2
+        assert span.attributes["error"] == "ValueError"
+
+    def test_current_span_tracks_the_stack(self):
+        trace = obs.Trace()
+        with obs.use_trace(trace):
+            assert obs.current_span() is None
+            with obs.span("outer") as outer:
+                assert obs.current_span() is outer
+                with obs.span("inner") as inner:
+                    assert obs.current_span() is inner
+                assert obs.current_span() is outer
+            assert obs.current_span() is None
+
+
+class TestDisabledTracing:
+    def test_span_is_shared_null_object(self):
+        assert obs.get_trace() is None
+        s = obs.span("anything", key=1)
+        assert s is NULL_SPAN
+        with s:
+            s.set("k", "v")
+            s.set_attrs(a=1)
+        assert obs.current_span() is None
+
+    def test_use_trace_restores_previous(self):
+        first = obs.Trace("first")
+        second = obs.Trace("second")
+        with obs.use_trace(first):
+            assert obs.get_trace() is first
+            with obs.use_trace(second):
+                assert obs.get_trace() is second
+            assert obs.get_trace() is first
+        assert obs.get_trace() is None
+
+    def test_set_trace_none_turns_tracing_off(self):
+        trace = obs.Trace()
+        obs.set_trace(trace)
+        try:
+            assert obs.get_trace() is trace
+        finally:
+            obs.set_trace(None)
+        assert obs.span("x") is NULL_SPAN
+
+
+class TestCrossThreadAttribution:
+    def test_explicit_parent_attaches_worker_spans(self):
+        trace = obs.Trace()
+        with obs.use_trace(trace):
+            with obs.span("phase") as phase:
+                parent = obs.current_span()
+
+                def worker(i):
+                    with obs.span("phase.worker", parent=parent, worker=i):
+                        pass
+
+                threads = [
+                    threading.Thread(target=worker, args=(i,)) for i in range(3)
+                ]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+        workers = trace.find("phase.worker")
+        assert len(workers) == 3
+        assert all(w.parent_id == phase.span_id for w in workers)
+        assert sorted(w.attributes["worker"] for w in workers) == [0, 1, 2]
+
+    def test_worker_without_parent_is_a_root_span(self):
+        trace = obs.Trace()
+        with obs.use_trace(trace):
+            with obs.span("phase"):
+                done = threading.Event()
+
+                def worker():
+                    with obs.span("orphan"):
+                        done.set()
+
+                t = threading.Thread(target=worker)
+                t.start()
+                t.join()
+                assert done.wait(1.0)
+        orphan = trace.find("orphan")[0]
+        assert orphan.parent_id is None
+
+    def test_threads_get_compact_distinct_ids(self):
+        trace = obs.Trace()
+        with obs.use_trace(trace):
+            with obs.span("main"):
+                def worker():
+                    with obs.span("side"):
+                        pass
+
+                t = threading.Thread(target=worker, name="side-thread")
+                t.start()
+                t.join()
+        main_span = trace.find("main")[0]
+        side_span = trace.find("side")[0]
+        assert {main_span.thread_id, side_span.thread_id} == {1, 2}
+        assert side_span.thread_name == "side-thread"
+
+
+class TestChromeExport:
+    def _trace_with_work(self):
+        trace = obs.Trace(name="unit")
+        with obs.use_trace(trace):
+            with obs.span("outer", count=np.int64(3), ratio=np.float64(0.5)):
+                with obs.span("inner"):
+                    pass
+        return trace
+
+    def test_event_shape(self):
+        trace = self._trace_with_work()
+        events = trace.to_chrome_events()
+        meta = [e for e in events if e["ph"] == "M"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(meta) == 1 and meta[0]["name"] == "thread_name"
+        assert len(complete) == 2
+        for event in complete:
+            assert event["pid"] == 1
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+            assert "span_id" in event["args"]
+        inner = next(e for e in complete if e["name"] == "inner")
+        outer = next(e for e in complete if e["name"] == "outer")
+        assert inner["args"]["parent_id"] == outer["args"]["span_id"]
+
+    def test_numpy_attributes_are_json_clean(self):
+        trace = self._trace_with_work()
+        doc = json.loads(trace.to_chrome_json())
+        assert doc["displayTimeUnit"] == "ms"
+        outer = next(
+            e for e in doc["traceEvents"] if e.get("name") == "outer"
+        )
+        assert outer["args"]["count"] == 3
+        assert outer["args"]["ratio"] == 0.5
+
+    def test_save_writes_parseable_file(self, tmp_path):
+        trace = self._trace_with_work()
+        path = trace.save(tmp_path / "sub" / "trace.json")
+        doc = json.loads(path.read_text())
+        assert {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"} == {
+            "outer",
+            "inner",
+        }
+
+
+class TestIoSpan:
+    def test_attaches_io_delta(self, tmp_path):
+        from repro.storage.dataset import Dataset
+
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal((20, 8)).astype(np.float32)
+        trace = obs.Trace()
+        with Dataset.write(tmp_path / "d.bin", data) as dataset:
+            with obs.use_trace(trace):
+                with obs.io_span("read", dataset.stats):
+                    dataset.read_batch(0, 10)
+        span = trace.find("read")[0]
+        assert span.attributes["read_calls"] >= 1
+        assert span.attributes["bytes_read"] >= 10 * 8 * 4
+
+    def test_disabled_skips_snapshots_entirely(self):
+        class Exploding:
+            def snapshot(self):  # pragma: no cover - must not run
+                raise AssertionError("snapshot taken while tracing off")
+
+        with obs.io_span("quiet", Exploding()) as s:
+            assert s is NULL_SPAN

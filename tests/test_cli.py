@@ -311,3 +311,151 @@ class TestCompare:
         out = capsys.readouterr().out
         for name in ("Hercules", "DSTree*", "ParIS+", "VA+file", "PSCAN"):
             assert name in out
+
+
+class TestTraceAndExplain:
+    @pytest.fixture
+    def index_dir(self, dataset_file, tmp_path):
+        index_dir = tmp_path / "index"
+        code = main(
+            [
+                "build",
+                "--dataset",
+                str(dataset_file),
+                "--length",
+                "32",
+                "--output",
+                str(index_dir),
+                "--threads",
+                "2",
+            ]
+        )
+        assert code == 0
+        return index_dir
+
+    def test_build_trace_has_construction_spans(self, dataset_file, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "build-trace.json"
+        code = main(
+            [
+                "build",
+                "--dataset",
+                str(dataset_file),
+                "--length",
+                "32",
+                "--output",
+                str(tmp_path / "traced-index"),
+                "--threads",
+                "2",
+                "--trace",
+                str(trace_path),
+            ]
+        )
+        assert code == 0
+        assert "trace with" in capsys.readouterr().out
+        doc = json.loads(trace_path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert {"build", "build.tree", "build.buffering", "build.write"} <= names
+
+    def test_query_trace_has_phase_spans(self, index_dir, dataset_file, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "query-trace.json"
+        code = main(
+            [
+                "query",
+                "--index",
+                str(index_dir),
+                "--queries",
+                str(dataset_file),
+                "--count",
+                "2",
+                "--trace",
+                str(trace_path),
+            ]
+        )
+        assert code == 0
+        doc = json.loads(trace_path.read_text())
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert {"query", "query.phase1.approx", "query.phase2.candidates"} <= names
+
+    def test_tracing_is_off_after_traced_command(self, index_dir, dataset_file, tmp_path):
+        from repro import obs
+
+        code = main(
+            [
+                "query",
+                "--index",
+                str(index_dir),
+                "--queries",
+                str(dataset_file),
+                "--count",
+                "1",
+                "--trace",
+                str(tmp_path / "t.json"),
+            ]
+        )
+        assert code == 0
+        assert obs.get_trace() is None
+
+    def test_explain_reports_phases_and_summary(self, index_dir, dataset_file, capsys):
+        code = main(
+            [
+                "explain",
+                "--index",
+                str(index_dir),
+                "--queries",
+                str(dataset_file),
+                "--k",
+                "2",
+                "--count",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "query 0: path=" in out
+        assert "phase 1 approx" in out
+        assert "EAPCA pruning" in out
+        assert "random seeks" in out
+        assert "workload summary (2 queries)" in out
+        assert "access paths:" in out
+
+    def test_verbose_flag_enables_info_logs(self, dataset_file, tmp_path, capsys):
+        code = main(
+            [
+                "-v",
+                "build",
+                "--dataset",
+                str(dataset_file),
+                "--length",
+                "32",
+                "--output",
+                str(tmp_path / "verbose-index"),
+                "--threads",
+                "1",
+            ]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "building tree over 400 series" in err
+
+    def test_quiet_flag_suppresses_info_logs(self, dataset_file, tmp_path, capsys):
+        code = main(
+            [
+                "-q",
+                "build",
+                "--dataset",
+                str(dataset_file),
+                "--length",
+                "32",
+                "--output",
+                str(tmp_path / "quiet-index"),
+                "--threads",
+                "1",
+            ]
+        )
+        assert code == 0
+        assert "building tree" not in capsys.readouterr().err
