@@ -1,0 +1,189 @@
+"""Query-engine micro-benchmark: squared-space pipeline + leaf cache.
+
+Not a paper figure: this pins the two perf properties of the reworked
+query pipeline on a small but disk-backed index —
+
+* early abandoning against the live BSF² skips a substantial fraction
+  of candidate points on hard (high-noise) queries, and
+* a warm leaf-block LRU answers a repeated workload without touching
+  the LRD file at all.
+
+Run with ``REPRO_BENCH_JSON=BENCH_query.json`` to dump the measured
+numbers (all hardware-independent except the kernel throughputs) as a
+JSON artifact.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import HerculesIndex
+from repro.distance.euclidean import (
+    batch_squared_euclidean,
+    early_abandon_squared,
+)
+from repro.eval.experiments import ExperimentResult
+from repro.eval.methods import hercules_config
+from repro.eval.metrics import run_workload
+from repro.workloads.generators import make_noise_queries, random_walks
+
+from .conftest import record_table, scaled
+
+#: Budget big enough to hold every leaf of the benchmark index.
+_WARM_BUDGET = 64 * 1 << 20
+
+
+def _best_seconds(fn, repeats: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+@pytest.fixture(scope="module")
+def data():
+    return random_walks(scaled(4_000), 128, seed=7)
+
+
+@pytest.fixture(scope="module")
+def hard_queries(data):
+    # High noise makes the BSF converge slowly and defeats lower-bound
+    # pruning (these queries touch most of the data): the hard end of
+    # the paper's difficulty spectrum, where abandoning matters most.
+    return make_noise_queries(data, 12, 1.0, seed=11)
+
+
+@pytest.fixture(scope="module")
+def index_dir(tmp_path_factory, data):
+    directory = tmp_path_factory.mktemp("bench-query") / "hercules"
+    # One query thread keeps the set of leaves each query reads
+    # deterministic (with racing CRWorkers the evolving BSF can admit a
+    # leaf in one run that was pruned in another), which is what lets
+    # the warm-cache pass assert *zero* LRD reads.
+    config = hercules_config(data.shape[0], num_query_threads=1)
+    HerculesIndex.build(data, config, directory=directory).close()
+    return directory
+
+
+def test_query_engine(index_dir, data, hard_queries):
+    result = ExperimentResult(
+        figure="bench_query",
+        headers=[
+            "scenario",
+            "mpoints_per_s",
+            "abandoned",
+            "cache_hit_rate",
+            "lrd_read_calls",
+        ],
+    )
+
+    # -- kernel throughput: full matrix vs blocked early abandoning ------------
+    corpus = random_walks(scaled(8_000), 128, seed=3)
+    query = random_walks(1, 128, seed=4)[0]
+    cutoff = float(np.quantile(batch_squared_euclidean(query, corpus), 0.01))
+    points = corpus.shape[0] * corpus.shape[1]
+    full_s = _best_seconds(lambda: batch_squared_euclidean(query, corpus))
+    abandon_s = _best_seconds(
+        lambda: early_abandon_squared(query, corpus, cutoff)
+    )
+    _, compared = early_abandon_squared(query, corpus, cutoff)
+    kernel_abandoned = 1.0 - compared / points
+    result.rows.append(
+        ["kernel/full", points / full_s / 1e6, "0.00%", "-", "-"]
+    )
+    result.rows.append(
+        [
+            "kernel/abandon",
+            points / abandon_s / 1e6,
+            f"{kernel_abandoned:.2%}",
+            "-",
+            "-",
+        ]
+    )
+
+    # -- exact search, cache disabled: early-abandoning savings ----------------
+    index = HerculesIndex.open(index_dir)
+    try:
+        before = index.query_io.snapshot()
+        cold = run_workload(
+            index, hard_queries, k=1, workload="hard", num_series=data.shape[0]
+        )
+        cold_reads = (index.query_io.snapshot() - before).read_calls
+    finally:
+        index.close()
+    result.rows.append(
+        [
+            "exact/no-cache",
+            "-",
+            f"{cold.avg_abandoned_fraction:.2%}",
+            "-",
+            cold_reads,
+        ]
+    )
+
+    # -- exact search, warm cache: repeated workload without LRD reads ---------
+    index = HerculesIndex.open(index_dir, cache_bytes=_WARM_BUDGET)
+    try:
+        run_workload(index, hard_queries, k=1, num_series=data.shape[0])
+        before = index.query_io.snapshot()
+        warm = run_workload(
+            index, hard_queries, k=1, workload="warm", num_series=data.shape[0]
+        )
+        warm_reads = (index.query_io.snapshot() - before).read_calls
+        cache_bytes = index.leaf_cache.current_bytes
+    finally:
+        index.close()
+    warm_hit_rate = warm.avg_cache_hit_rate or 0.0
+    result.rows.append(
+        [
+            "exact/warm-cache",
+            "-",
+            f"{warm.avg_abandoned_fraction:.2%}",
+            f"{warm_hit_rate:.2%}",
+            warm_reads,
+        ]
+    )
+
+    result.raw = {
+        "kernel": {
+            "full_mpoints_per_s": points / full_s / 1e6,
+            "abandon_mpoints_per_s": points / abandon_s / 1e6,
+            "abandoned_fraction": kernel_abandoned,
+        },
+        "exact_no_cache": cold,
+        "exact_warm_cache": warm,
+        "warm_cache": {
+            "hit_rate": warm_hit_rate,
+            "lrd_read_calls": int(warm_reads),
+            "resident_bytes": int(cache_bytes),
+        },
+    }
+    record_table(
+        "Query engine: squared-space early abandoning + leaf cache", result
+    )
+
+    # The perf properties this PR claims, pinned as assertions.
+    assert cold.avg_abandoned_fraction >= 0.30, (
+        f"early abandoning saved only {cold.avg_abandoned_fraction:.2%} "
+        "of points on hard queries"
+    )
+    assert warm_hit_rate >= 0.90, f"warm hit rate {warm_hit_rate:.2%}"
+    assert warm_reads == 0, f"{warm_reads} LRD reads on a warm cache"
+    assert cache_bytes <= _WARM_BUDGET
+
+
+def test_small_cache_respects_budget(index_dir, data, hard_queries):
+    budget = 32 * 1 << 10  # far below the index's total leaf bytes
+    index = HerculesIndex.open(index_dir, cache_bytes=budget)
+    try:
+        run_workload(index, hard_queries, k=1, num_series=data.shape[0])
+        cache = index.leaf_cache
+        assert cache.current_bytes <= budget
+        assert cache.snapshot().evictions > 0
+    finally:
+        index.close()

@@ -40,7 +40,7 @@ from repro.core.query import QueryAnswer, QueryProfile
 from repro.obs import timed_profile
 from repro.core.results import ResultSet
 from repro.core.split import choose_split
-from repro.distance.euclidean import batch_squared_euclidean
+from repro.distance.euclidean import early_abandon_squared
 from repro.errors import ConfigError, StorageError
 from repro.storage.dataset import Dataset
 from repro.storage.files import SeriesFile
@@ -258,10 +258,14 @@ class DSTreeIndex:
             return
         data = self._heap.read_range(leaf.file_position, leaf.size)
         profile.series_accessed += leaf.size
-        distances = np.sqrt(batch_squared_euclidean(sketch.series, data))
+        squared, compared = early_abandon_squared(
+            sketch.series, data, results.bsf_squared
+        )
         profile.distance_computations += leaf.size
+        profile.points_compared += compared
+        profile.points_total += leaf.size * data.shape[1]
         positions = leaf.file_position + np.arange(leaf.size, dtype=np.int64)
-        results.update_batch(distances, positions)
+        results.update_batch_squared(squared, positions)
 
     def get_series(self, position: int) -> np.ndarray:
         return self._heap.read_series(position)

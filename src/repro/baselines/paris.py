@@ -31,7 +31,7 @@ import numpy as np
 
 from repro.core.query import QueryAnswer, QueryProfile
 from repro.core.results import ResultSet
-from repro.distance.euclidean import batch_squared_euclidean
+from repro.distance.euclidean import early_abandon_squared
 from repro.errors import ConfigError
 from repro.obs import timed_profile
 from repro.storage.dataset import Dataset
@@ -431,9 +431,13 @@ class ParisIndex:
             return
         rows = self.dataset.read_positions(positions)
         profile.series_accessed += positions.shape[0]
-        distances = np.sqrt(batch_squared_euclidean(query, rows))
+        squared, compared = early_abandon_squared(
+            query, rows, results.bsf_squared
+        )
         profile.distance_computations += positions.shape[0]
-        results.update_batch(distances, positions)
+        profile.points_compared += compared
+        profile.points_total += positions.shape[0] * rows.shape[1]
+        results.update_batch_squared(squared, positions)
 
     def _refine_filtered(
         self,

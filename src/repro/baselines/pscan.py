@@ -26,7 +26,7 @@ import numpy as np
 from repro.core.query import QueryAnswer, QueryProfile
 from repro.obs import timed_profile
 from repro.core.results import ResultSet
-from repro.distance.euclidean import batch_squared_euclidean, early_abandon_squared
+from repro.distance.euclidean import early_abandon_squared
 from repro.errors import ConfigError
 from repro.storage.dataset import Dataset
 from repro.types import DISTANCE_DTYPE
@@ -105,22 +105,19 @@ class PScan:
                             break
                         start, chunk = item
                         accessed += chunk.shape[0]
-                        cutoff = results.bsf
-                        if np.isinf(cutoff):
-                            squared = batch_squared_euclidean(query64, chunk)
-                            compared += chunk.size
-                        else:
-                            squared, points = early_abandon_squared(
-                                query64, chunk, cutoff * cutoff
-                            )
-                            compared += points
-                        alive = np.isfinite(squared)
-                        if alive.any():
-                            positions = start + np.nonzero(alive)[0]
-                            results.update_batch(np.sqrt(squared[alive]), positions)
+                        squared, points = early_abandon_squared(
+                            query64, chunk, results.bsf_squared
+                        )
+                        compared += points
+                        positions = start + np.arange(
+                            chunk.shape[0], dtype=np.int64
+                        )
+                        results.update_batch_squared(squared, positions)
                     with profile_lock:
                         profile.series_accessed += accessed
                         profile.distance_computations += compared // length
+                        profile.points_compared += compared
+                        profile.points_total += accessed * length
                 except BaseException as exc:  # noqa: BLE001
                     errors.append(exc)
                     offer(_SENTINEL)  # release peers blocked on the queue
@@ -133,21 +130,16 @@ class PScan:
                 accessed = compared = 0
                 for start, chunk in reader_inline:
                     accessed += chunk.shape[0]
-                    cutoff = results.bsf
-                    if np.isinf(cutoff):
-                        squared = batch_squared_euclidean(query64, chunk)
-                        compared += chunk.size
-                    else:
-                        squared, points = early_abandon_squared(
-                            query64, chunk, cutoff * cutoff
-                        )
-                        compared += points
-                    alive = np.isfinite(squared)
-                    if alive.any():
-                        positions = start + np.nonzero(alive)[0]
-                        results.update_batch(np.sqrt(squared[alive]), positions)
+                    squared, points = early_abandon_squared(
+                        query64, chunk, results.bsf_squared
+                    )
+                    compared += points
+                    positions = start + np.arange(chunk.shape[0], dtype=np.int64)
+                    results.update_batch_squared(squared, positions)
                 profile.series_accessed = accessed
                 profile.distance_computations = compared // length
+                profile.points_compared = compared
+                profile.points_total = accessed * length
             else:
                 reader_thread = threading.Thread(
                     target=reader, name="pscan-reader", daemon=True

@@ -3,7 +3,9 @@
 A single thread reads the dataset sequentially and computes full
 Euclidean distances with squared-distance comparisons and early
 abandoning (the UCR-suite optimizations relevant to whole matching under
-ED), with no parallelism and no double buffering.
+ED), with no parallelism and no double buffering.  The whole loop stays
+in squared space: the abandoning cutoff is the live BSF² and candidates
+enter the result set squared — no per-chunk square root.
 """
 
 from __future__ import annotations
@@ -15,7 +17,7 @@ import numpy as np
 from repro.core.query import QueryAnswer, QueryProfile
 from repro.obs import timed_profile
 from repro.core.results import ResultSet
-from repro.distance.euclidean import batch_squared_euclidean, early_abandon_squared
+from repro.distance.euclidean import early_abandon_squared
 from repro.storage.dataset import Dataset
 from repro.types import DISTANCE_DTYPE
 
@@ -45,20 +47,15 @@ class SerialScan:
         ):
             for start, chunk in self.dataset.iter_batches(self.chunk_size):
                 profile.series_accessed += chunk.shape[0]
-                cutoff = results.bsf
-                if np.isinf(cutoff):
-                    squared = batch_squared_euclidean(query64, chunk)
-                    points += chunk.size
-                else:
-                    squared, chunk_points = early_abandon_squared(
-                        query64, chunk, cutoff * cutoff
-                    )
-                    points += chunk_points
-                alive = np.isfinite(squared)
-                if alive.any():
-                    positions = start + np.nonzero(alive)[0]
-                    results.update_batch(np.sqrt(squared[alive]), positions)
+                squared, chunk_points = early_abandon_squared(
+                    query64, chunk, results.bsf_squared
+                )
+                points += chunk_points
+                positions = start + np.arange(chunk.shape[0], dtype=np.int64)
+                results.update_batch_squared(squared, positions)
             profile.distance_computations = points // length
+            profile.points_compared = points
+            profile.points_total = self.num_series * length
 
         distances, positions = results.items()
         return QueryAnswer(distances, positions, profile)

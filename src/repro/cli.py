@@ -119,8 +119,12 @@ def _cmd_build(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cache_bytes(args: argparse.Namespace) -> int:
+    return int(getattr(args, "cache_mb", 0.0) * (1 << 20))
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
-    index = HerculesIndex.open(args.index)
+    index = HerculesIndex.open(args.index, cache_bytes=_cache_bytes(args))
     config = index.config.with_options(epsilon=args.epsilon)
     with _maybe_trace(args), Dataset.open(args.queries, index.series_length) as queries:
         count = queries.num_series if args.count is None else min(
@@ -143,12 +147,20 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 f"({answer.profile.time_total * 1e3:.1f} ms)"
             )
     print(f"answered {count} queries in {total:.3f}s")
+    cache = index.leaf_cache
+    if cache is not None:
+        snap = cache.snapshot()
+        print(
+            f"leaf cache: {snap.hits} hits, {snap.misses} misses "
+            f"(hit rate {snap.hit_rate:.2%}), "
+            f"{snap.current_bytes / 1e6:.1f} MB resident"
+        )
     index.close()
     return 0
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
-    index = HerculesIndex.open(args.index)
+    index = HerculesIndex.open(args.index, cache_bytes=_cache_bytes(args))
     config = index.config.with_options(epsilon=args.epsilon)
     registry = obs.MetricsRegistry()
     with _maybe_trace(args), Dataset.open(args.queries, index.series_length) as queries:
@@ -294,11 +306,14 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         queries = make_noise_queries(
             data, args.num_queries, args.noise, seed=args.seed
         )
-        methods = build_methods(dataset, names=ALL_METHODS)
+        methods = build_methods(
+            dataset, names=ALL_METHODS, cache_bytes=_cache_bytes(args)
+        )
         rows = []
         for name in ALL_METHODS:
             built = methods[name]
             result = run_workload(built.method, queries, k=args.k)
+            hit_rate = result.avg_cache_hit_rate
             rows.append(
                 [
                     name,
@@ -306,13 +321,23 @@ def _cmd_compare(args: argparse.Namespace) -> int:
                     result.avg_query_seconds * 1e3,
                     result.avg_modeled_io_seconds * 1e3,
                     f"{result.avg_data_accessed:.2%}",
+                    f"{result.avg_abandoned_fraction:.2%}",
+                    "-" if hit_rate is None else f"{hit_rate:.2%}",
                 ]
             )
             built.close()
     print_table(
         f"{args.dataset} — {args.num_queries} x {args.k}-NN "
         f"(noise σ²={args.noise})",
-        ["method", "build_s", "query_ms", "modeled_io_ms", "data_accessed"],
+        [
+            "method",
+            "build_s",
+            "query_ms",
+            "modeled_io_ms",
+            "data_accessed",
+            "abandoned",
+            "cache_hit",
+        ],
         rows,
     )
     print(f"\ncompare finished in {time.perf_counter() - started:.1f}s")
@@ -423,6 +448,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="epsilon-approximate search factor")
     query.add_argument("--approximate", action="store_true",
                        help="approximate-only search (phase 1)")
+    query.add_argument("--cache-mb", type=float, default=0.0,
+                       help="leaf-block LRU cache budget in MiB (0: disabled)")
     query.add_argument("--trace", type=Path, default=None,
                        help="write a Chrome-trace JSON of the queries to FILE")
     query.set_defaults(func=_cmd_query)
@@ -439,6 +466,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="number of queries to explain (default: all)")
     explain.add_argument("--epsilon", type=float, default=0.0,
                          help="epsilon-approximate search factor")
+    explain.add_argument("--cache-mb", type=float, default=0.0,
+                         help="leaf-block LRU cache budget in MiB (0: disabled)")
     explain.add_argument("--trace", type=Path, default=None,
                          help="also write a Chrome-trace JSON to FILE")
     explain.set_defaults(func=_cmd_explain)
@@ -493,6 +522,8 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--num-queries", type=int, default=10)
     compare.add_argument("--noise", type=float, default=0.05)
     compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument("--cache-mb", type=float, default=0.0,
+                         help="leaf-block LRU cache budget in MiB (0: disabled)")
     compare.add_argument("--trace", type=Path, default=None,
                          help="write a Chrome-trace JSON of the run to FILE")
     compare.set_defaults(func=_cmd_compare)

@@ -54,6 +54,7 @@ from repro.errors import (
 )
 from repro.storage import htree
 from repro.storage import manifest as manifest_mod
+from repro.storage.cache import LeafCache
 from repro.storage.dataset import Dataset
 from repro.storage.files import SeriesFile, SymbolFile
 from repro.storage.iostats import IOSnapshot, IOStats
@@ -117,12 +118,15 @@ class HerculesIndex:
         config: Optional[HerculesConfig] = None,
         directory: Optional[Union[str, Path]] = None,
         stats: Optional[IOStats] = None,
+        cache_bytes: int = 0,
     ) -> "HerculesIndex":
         """Build and materialize an index over ``data``.
 
         ``data`` may be an in-memory batch or a :class:`Dataset`.  When
         ``directory`` is None a temporary directory is created and removed
         on :meth:`close`.  ``stats`` receives the I/O of construction.
+        ``cache_bytes`` > 0 attaches a byte-budgeted LRU leaf cache to
+        LRDFile for query answering (0 disables caching entirely).
         """
         dataset = data if isinstance(data, Dataset) else Dataset.from_array(data)
         if dataset.num_series == 0:
@@ -204,6 +208,7 @@ class HerculesIndex:
             dataset.series_length,
             stats=query_stats,
             read_only=True,
+            cache=_make_cache(cache_bytes),
         )
         lsd_words = _load_lsd(directory, sax_space)
         return cls(
@@ -219,9 +224,16 @@ class HerculesIndex:
 
     @classmethod
     def open(
-        cls, directory: Union[str, Path], verify: str = "quick"
+        cls,
+        directory: Union[str, Path],
+        verify: str = "quick",
+        cache_bytes: int = 0,
     ) -> "HerculesIndex":
         """Open a previously materialized index.
+
+        ``cache_bytes`` > 0 attaches a byte-budgeted LRU leaf cache to
+        LRDFile for query answering (0, the default, disables caching —
+        identical behaviour to the uncached pipeline).
 
         ``verify`` selects how much of the directory is validated before
         any query is served:
@@ -277,6 +289,7 @@ class HerculesIndex:
             settings["series_length"],
             stats=query_stats,
             read_only=True,
+            cache=_make_cache(cache_bytes),
         )
         lsd_words = _load_lsd(directory, sax_space)
         num_series = settings["num_series"]
@@ -416,6 +429,11 @@ class HerculesIndex:
         return self._lrd.stats
 
     @property
+    def leaf_cache(self) -> Optional[LeafCache]:
+        """The LRU leaf cache under LRDFile (None when disabled)."""
+        return self._lrd.cache
+
+    @property
     def leaves(self) -> list[Node]:
         """Leaves in inorder (= LRDFile order)."""
         return list(self._leaves)
@@ -446,6 +464,13 @@ class HerculesIndex:
             f"HerculesIndex({self.num_series} series, {self.num_leaves} "
             f"leaves, dir={self.directory})"
         )
+
+
+def _make_cache(cache_bytes: int) -> Optional[LeafCache]:
+    """A LeafCache for the given byte budget; None (disabled) for 0."""
+    if cache_bytes < 0:
+        raise ConfigError(f"cache_bytes must be >= 0, got {cache_bytes}")
+    return LeafCache(cache_bytes) if cache_bytes else None
 
 
 def _check_cross_invariants(

@@ -21,9 +21,15 @@ skip-sequential scan of LRDFile over LCList, and when SAX pruning is weak
 seek per surviving *leaf* (contiguous in LRDFile) instead of one per
 surviving *series*, which is exactly why it wins on hard queries.
 
-Distance kernels operate on whole leaf matrices (the SIMD analog).  The
-per-query :class:`QueryProfile` records the path taken, pruning ratios,
-distance-computation and I/O counts, so harnesses can report the paper's
+Distance kernels operate on whole leaf matrices (the SIMD analog) and the
+pipeline runs end-to-end in *squared* distance space (the UCR-suite
+optimization): lower bounds are ε-scaled and squared once, every pruning
+comparison is against ``BSF²`` (:attr:`ResultSet.bsf_squared`), every
+refinement site runs the blocked early-abandoning kernel with the live
+``BSF²`` cutoff, and the one square root per answer happens in
+``ResultSet.items()``.  The per-query :class:`QueryProfile` records the
+path taken, pruning ratios, distance-computation / point-comparison and
+I/O counts, plus leaf-cache hits, so harnesses can report the paper's
 "percentage of accessed data" metric exactly.
 """
 
@@ -42,7 +48,7 @@ from repro import obs
 from repro.core.config import HerculesConfig
 from repro.core.node import Node
 from repro.core.results import ResultSet
-from repro.distance.euclidean import batch_squared_euclidean
+from repro.distance.euclidean import early_abandon_squared
 from repro.storage.files import SeriesFile
 from repro.storage.iostats import IOSnapshot
 from repro.summarization.eapca import SeriesSketch
@@ -72,10 +78,21 @@ class QueryProfile:
     #: did not run).
     candidate_series: int = 0
     sax_pruning: Optional[float] = None
-    #: Full Euclidean distance computations (series compared).
+    #: Full Euclidean distance computations (series compared).  A series
+    #: counts even when the early-abandoning kernel dropped it part-way
+    #: through; the point-level savings show up in ``points_compared``.
     distance_computations: int = 0
+    #: Individual point comparisons actually performed by the refinement
+    #: kernels, and the number a no-abandon kernel would have performed.
+    #: Their ratio is the UCR-suite early-abandoning savings.
+    points_compared: int = 0
+    points_total: int = 0
     #: Raw series read from LRDFile (drives "% of data accessed").
     series_accessed: int = 0
+    #: Leaf-cache lookups served with / without a disk read (zero when no
+    #: cache is attached to LRDFile).
+    cache_hits: int = 0
+    cache_misses: int = 0
     #: Wall-clock seconds.
     time_total: float = 0.0
     #: Per-phase breakdown (approximate search; candidate-leaf collection;
@@ -89,6 +106,19 @@ class QueryProfile:
 
     def data_accessed_fraction(self, num_series: int) -> float:
         return self.series_accessed / num_series if num_series else 0.0
+
+    @property
+    def abandoned_fraction(self) -> float:
+        """Fraction of point comparisons skipped by early abandoning."""
+        if self.points_total <= 0:
+            return 0.0
+        return 1.0 - self.points_compared / self.points_total
+
+    @property
+    def cache_hit_rate(self) -> Optional[float]:
+        """Leaf-cache hit rate for this query; None without any lookups."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else None
 
     def modeled_io_seconds(
         self,
@@ -155,14 +185,30 @@ class _SearchState:
         self.sax_space = sax_space
         self.num_leaves = num_leaves
         self.num_series = num_series
+        self._cache_before = (
+            lrd.cache.snapshot() if lrd.cache is not None else None
+        )
         self.results = ResultSet(k)
         self.profile = QueryProfile()
         # ε-approximate search tightens every pruning comparison by this
         # factor; 1.0 keeps the search exact (Algorithm 10 as published).
+        # All comparisons against BSF happen in squared-distance space, so
+        # the factor is applied to the (linear) lower bound and the product
+        # squared once — never squared twice.
         self.prune_factor = 1.0 + config.epsilon
         self.pq: list[tuple[float, int, Node]] = []
         self._tiebreak = itertools.count()
         self.query_paa = paa(self.query, sax_space.segments)
+
+    def scaled_squared(self, bound: float) -> float:
+        """A linear-space lower bound, ε-scaled and squared for pruning.
+
+        Comparing this against ``results.bsf_squared`` is the squared-space
+        equivalent of comparing ``bound * prune_factor`` against ``bsf``
+        (both sides are non-negative, so squaring preserves the order).
+        """
+        scaled = bound * self.prune_factor
+        return scaled * scaled
 
     # -- priority queue helpers ---------------------------------------------
 
@@ -182,12 +228,35 @@ class _SearchState:
         return data
 
     def scan_leaf(self, leaf: Node) -> None:
-        """Read one leaf and refine the result set with real distances."""
+        """Read one leaf and refine the result set with real distances.
+
+        Refinement runs the blocked early-abandoning kernel against the
+        live BSF²: a candidate abandoned here has distance ≥ the BSF at
+        scan time ≥ the final BSF (it decreases monotonically), so it
+        could never have entered the top-k — results are identical to a
+        full evaluation, only the point comparisons are saved.  The ε
+        factor never applies here: it tightens lower-bound pruning, not
+        real-distance refinement.
+        """
         data = self.read_leaf(leaf)
-        distances = np.sqrt(batch_squared_euclidean(self.query, data))
+        squared, compared = early_abandon_squared(
+            self.query, data, self.results.bsf_squared
+        )
         self.profile.distance_computations += leaf.size
+        self.profile.points_compared += compared
+        self.profile.points_total += leaf.size * self.query.shape[0]
         positions = leaf.file_position + np.arange(leaf.size, dtype=np.int64)
-        self.results.update_batch(distances, positions)
+        # Abandoned rows report inf; the batch update's pre-filter drops
+        # them without ever taking the result-set lock.
+        self.results.update_batch_squared(squared, positions)
+
+    def finish_profile(self) -> None:
+        """Fill the per-query cache counters from LRDFile's leaf cache."""
+        cache = self.lrd.cache
+        if cache is not None and self._cache_before is not None:
+            delta = cache.snapshot() - self._cache_before
+            self.profile.cache_hits = delta.hits
+            self.profile.cache_misses = delta.misses
 
 
 def exact_knn(
@@ -258,6 +327,7 @@ def exact_knn(
         distances, positions = state.results.items()
         state.profile.time_total = time.perf_counter() - started
         state.profile.io = lrd.stats.snapshot() - io_before
+        state.finish_profile()
         io = state.profile.io
         query_span.set_attrs(
             path=state.profile.path,
@@ -265,6 +335,10 @@ def exact_knn(
             sax_pruning=state.profile.sax_pruning,
             series_accessed=state.profile.series_accessed,
             distance_computations=state.profile.distance_computations,
+            points_compared=state.profile.points_compared,
+            abandoned_fraction=state.profile.abandoned_fraction,
+            cache_hits=state.profile.cache_hits,
+            cache_misses=state.profile.cache_misses,
             random_seeks=io.random_seeks,
             sequential_reads=io.sequential_reads,
             bytes_read=io.bytes_read,
@@ -302,6 +376,7 @@ def approximate_knn(
         state.profile.path = "approximate"
         state.profile.time_total = time.perf_counter() - started
         state.profile.io = lrd.stats.snapshot() - io_before
+        state.finish_profile()
         sp.set_attrs(
             path=state.profile.path,
             leaves_visited=state.profile.approx_leaves,
@@ -340,12 +415,11 @@ def progressive_knn(
     state = _SearchState(
         query, k, config, lrd, lsd_words, sax_space, num_leaves, num_series
     )
-    factor = state.prune_factor
     state.push(root, root.lower_bound(state.sketch))
     visited = 0
     while state.pq:
         bound, node = state.pop()
-        if bound * factor > state.results.bsf:
+        if state.scaled_squared(bound) > state.results.bsf_squared:
             state.push(node, bound)
             break
         if node.is_leaf:
@@ -357,13 +431,15 @@ def progressive_knn(
                 approx_leaves=visited,
                 series_accessed=state.profile.series_accessed,
                 distance_computations=state.profile.distance_computations,
+                points_compared=state.profile.points_compared,
+                points_total=state.profile.points_total,
                 time_total=time.perf_counter() - started,
             )
             yield QueryAnswer(distances, positions, snapshot)
         else:
             for child in (node.left, node.right):
                 child_bound = child.lower_bound(state.sketch)
-                if child_bound * factor < state.results.bsf:
+                if state.scaled_squared(child_bound) < state.results.bsf_squared:
                     state.push(child, child_bound)
     state.profile.approx_leaves = visited
 
@@ -375,6 +451,7 @@ def progressive_knn(
     state.profile.path = "progressive-final"
     state.profile.time_total = time.perf_counter() - started
     state.profile.io = lrd.stats.snapshot() - io_before
+    state.finish_profile()
     yield QueryAnswer(distances, positions, state.profile)
 
 
@@ -386,10 +463,9 @@ def progressive_knn(
 def _approx_knn(state: _SearchState, root: Node) -> None:
     state.push(root, root.lower_bound(state.sketch))
     visited = 0
-    factor = state.prune_factor
     while visited < state.config.l_max and state.pq:
         bound, node = state.pop()
-        if bound * factor > state.results.bsf:
+        if state.scaled_squared(bound) > state.results.bsf_squared:
             # Everything else in the queue is at least this far: stop.
             state.push(node, bound)  # keep it for phase 2's termination
             break
@@ -399,7 +475,7 @@ def _approx_knn(state: _SearchState, root: Node) -> None:
         else:
             for child in (node.left, node.right):
                 child_bound = child.lower_bound(state.sketch)
-                if child_bound * factor < state.results.bsf:
+                if state.scaled_squared(child_bound) < state.results.bsf_squared:
                     state.push(child, child_bound)
     state.profile.approx_leaves = visited
 
@@ -410,19 +486,19 @@ def _approx_knn(state: _SearchState, root: Node) -> None:
 
 
 def _find_candidate_leaves(state: _SearchState) -> list[tuple[Node, float]]:
-    bsf = state.results.bsf  # fixed for this phase; no distances computed
-    factor = state.prune_factor
+    # BSF² is fixed for this phase; no distances are computed here.
+    bsf_squared = state.results.bsf_squared
     lclist: list[tuple[Node, float]] = []
     while state.pq:
         bound, node = state.pop()
-        if bound * factor > bsf:
+        if state.scaled_squared(bound) > bsf_squared:
             break  # priority order: all remaining nodes prune too
         if node.is_leaf:
             lclist.append((node, bound))
         else:
             for child in (node.left, node.right):
                 child_bound = child.lower_bound(state.sketch)
-                if child_bound * factor < bsf:
+                if state.scaled_squared(child_bound) < bsf_squared:
                     state.push(child, child_bound)
     lclist.sort(key=lambda pair: pair[0].file_position)
     return lclist
@@ -442,9 +518,8 @@ def _skip_sequential(
     and re-checked against the *current* BSF before each read, so the scan
     tightens as it progresses.
     """
-    factor = state.prune_factor
     for leaf, bound in lclist:
-        if bound * factor >= state.results.bsf:
+        if state.scaled_squared(bound) >= state.results.bsf_squared:
             continue
         state.scan_leaf(leaf)
 
@@ -457,8 +532,13 @@ def _skip_sequential(
 def _find_candidate_series(
     state: _SearchState, lclist: list[tuple[Node, float]]
 ) -> list[tuple[np.ndarray, np.ndarray]]:
-    """Per-thread (positions, lb_sax) candidate lists."""
-    bsf = state.results.bsf  # Algorithm 13 receives BSF_k by value
+    """Per-thread (positions, scaled-squared lb_sax) candidate lists.
+
+    LB_SAX comes out of ``mindist`` in linear space; it is ε-scaled and
+    squared *once* here, so phase 4's re-checks compare the stored value
+    straight against the live BSF² — no per-batch sqrt or re-scaling.
+    """
+    bsf_squared = state.results.bsf_squared  # Algorithm 13: BSF_k by value
     num_threads = state.config.num_query_threads
     counter = itertools.count()
     counter_lock = threading.Lock()
@@ -484,10 +564,12 @@ def _find_candidate_series(
                 bounds = state.sax_space.mindist(
                     state.query_paa, words, state.query.shape[0]
                 )
-                mask = bounds * state.prune_factor < bsf
+                scaled = bounds * state.prune_factor
+                scaled_sq = scaled * scaled
+                mask = scaled_sq < bsf_squared
                 if mask.any():
                     positions = leaf.file_position + np.nonzero(mask)[0]
-                    locals_[thread_id].append((positions, bounds[mask]))
+                    locals_[thread_id].append((positions, scaled_sq[mask]))
         except BaseException as exc:  # noqa: BLE001
             errors.append(exc)
 
@@ -529,24 +611,33 @@ def _compute_results(
 
     def cr_worker(thread_id: int) -> None:
         try:
-            positions, bounds = sclists[thread_id]
+            # bounds arrive ε-scaled and squared from phase 3: each
+            # re-check against the live BSF² is one vector compare.
+            positions, bounds_sq = sclists[thread_id]
+            length = state.query.shape[0]
             read = 0
             computed = 0
+            points = 0
             for start in range(0, positions.shape[0], _REFINE_BATCH):
                 chunk_pos = positions[start : start + _REFINE_BATCH]
-                chunk_lb = bounds[start : start + _REFINE_BATCH]
-                alive = chunk_lb * state.prune_factor < state.results.bsf
+                chunk_lb_sq = bounds_sq[start : start + _REFINE_BATCH]
+                alive = chunk_lb_sq < state.results.bsf_squared
                 if not alive.any():
                     continue
                 keep = chunk_pos[alive]
                 data = state.lrd.read_positions(keep)
                 read += keep.shape[0]
-                distances = np.sqrt(batch_squared_euclidean(state.query, data))
+                squared, compared = early_abandon_squared(
+                    state.query, data, state.results.bsf_squared
+                )
                 computed += keep.shape[0]
-                state.results.update_batch(distances, keep)
+                points += compared
+                state.results.update_batch_squared(squared, keep)
             with profile_lock:
                 state.profile.series_accessed += read
                 state.profile.distance_computations += computed
+                state.profile.points_compared += points
+                state.profile.points_total += computed * length
         except BaseException as exc:  # noqa: BLE001
             errors.append(exc)
 
@@ -570,27 +661,34 @@ def _compute_results_from_leaves(
 
     def worker(thread_id: int) -> None:
         try:
+            length = state.query.shape[0]
             read = 0
             computed = 0
+            points = 0
             while True:
                 with counter_lock:
                     j = next(counter)
                 if j >= len(lclist):
                     break
                 leaf, bound = lclist[j]
-                if bound * state.prune_factor >= state.results.bsf:
+                if state.scaled_squared(bound) >= state.results.bsf_squared:
                     continue
                 data = state.lrd.read_range(leaf.file_position, leaf.size)
                 read += leaf.size
-                distances = np.sqrt(batch_squared_euclidean(state.query, data))
+                squared, compared = early_abandon_squared(
+                    state.query, data, state.results.bsf_squared
+                )
                 computed += leaf.size
+                points += compared
                 positions = leaf.file_position + np.arange(
                     leaf.size, dtype=np.int64
                 )
-                state.results.update_batch(distances, positions)
+                state.results.update_batch_squared(squared, positions)
             with profile_lock:
                 state.profile.series_accessed += read
                 state.profile.distance_computations += computed
+                state.profile.points_compared += points
+                state.profile.points_total += computed * length
         except BaseException as exc:  # noqa: BLE001
             errors.append(exc)
 

@@ -5,6 +5,15 @@ The paper's ``Results`` array holds the k best answers at any time;
 of Algorithm 14 update it under a readers-writers lock; distances are the
 hot read path, so reads of the cached bound are lock-free here (a stale
 bound can only make pruning more conservative, never incorrect).
+
+Distances are stored in *squared* space — the UCR-suite optimization the
+whole query pipeline operates in: candidates arrive as squared Euclidean
+distances straight from the batch kernels, pruning compares squared
+values against ``bsf_squared``, and the single square root per answer is
+taken in :meth:`ResultSet.items`.  The linear-space entry points
+(:meth:`update`, :meth:`update_batch`) square on the way in, so methods
+whose distances are not Euclidean (e.g. DTW) keep working unchanged —
+``sqrt(d * d) == d`` exactly in IEEE round-to-nearest.
 """
 
 from __future__ import annotations
@@ -25,65 +34,123 @@ class ResultSet:
             raise ValueError(f"k must be >= 1, got {k}")
         self.k = k
         self._lock = threading.Lock()
-        # Max-heap via negated distances: the root is the current k-th best.
+        # Max-heap via negated squared distances: the root is the current
+        # k-th best.
         self._heap: list[tuple[float, int]] = []
         # Guard against the same series entering twice (e.g. a position
         # examined by both an approximate probe and a later filter pass).
         self._members: set[int] = set()
-        self._bsf = np.inf
+        self._bsf_squared = np.inf
 
     @property
-    def bsf(self) -> float:
-        """The k-th smallest distance so far (inf until k answers exist).
+    def bsf_squared(self) -> float:
+        """The squared k-th smallest distance so far (inf until k answers).
 
         Read without the lock: Python guarantees the float reference swap
         is atomic, and a momentarily stale value only weakens pruning.
         """
-        return self._bsf
+        return self._bsf_squared
 
-    def update(self, distance: float, position: int) -> bool:
-        """Offer one candidate; returns True if it entered the top-k."""
-        if distance >= self._bsf:
+    @property
+    def bsf(self) -> float:
+        """The k-th smallest distance so far, in linear space."""
+        return float(np.sqrt(self._bsf_squared))
+
+    def update_squared(self, distance_squared: float, position: int) -> bool:
+        """Offer one squared-distance candidate; True if it entered."""
+        if distance_squared >= self._bsf_squared:
             return False
         with self._lock:
             if position in self._members:
                 return False
             if len(self._heap) < self.k:
-                heapq.heappush(self._heap, (-distance, position))
-            elif distance < -self._heap[0][0]:
-                _, evicted = heapq.heapreplace(self._heap, (-distance, position))
+                heapq.heappush(self._heap, (-distance_squared, position))
+            elif distance_squared < -self._heap[0][0]:
+                _, evicted = heapq.heapreplace(
+                    self._heap, (-distance_squared, position)
+                )
                 self._members.discard(evicted)
             else:
                 return False
             self._members.add(position)
             if len(self._heap) == self.k:
-                self._bsf = -self._heap[0][0]
+                self._bsf_squared = -self._heap[0][0]
             return True
 
-    def update_batch(self, distances: np.ndarray, positions: np.ndarray) -> int:
-        """Offer many candidates; returns how many entered the top-k."""
+    def update(self, distance: float, position: int) -> bool:
+        """Offer one linear-space candidate; True if it entered the top-k."""
+        return self.update_squared(distance * distance, position)
+
+    def update_batch_squared(
+        self, distances_squared: np.ndarray, positions: np.ndarray
+    ) -> int:
+        """Offer many squared-distance candidates; returns how many entered.
+
+        A vectorized pre-filter against the lock-free ``bsf_squared``
+        drops the (typical) majority of candidates without taking the
+        lock; survivors are merged into the heap in one locked pass,
+        sorted ascending so the merge stops at the first candidate that
+        cannot enter.  ``inf`` entries (early-abandoned rows) are dropped
+        by the pre-filter for free.
+        """
+        dist = np.asarray(distances_squared, dtype=DISTANCE_DTYPE)
+        pos = np.asarray(positions, dtype=np.int64)
+        if dist.shape != pos.shape or dist.ndim != 1:
+            raise ValueError(
+                f"distances {dist.shape} and positions {pos.shape} must be "
+                "matching 1-D vectors"
+            )
+        # Stale bsf_squared is only ever >= the true bound (it decreases
+        # monotonically), so the pre-filter can admit extras but never
+        # drop a candidate the locked merge would have accepted.
+        mask = dist < self._bsf_squared
+        if not mask.all():
+            dist = dist[mask]
+            pos = pos[mask]
+        if dist.shape[0] == 0:
+            return 0
+        order = np.argsort(dist, kind="stable")
+        dist_list = dist[order].tolist()
+        pos_list = pos[order].tolist()
         accepted = 0
-        # Cheap pre-filter outside the lock, then a single locked pass.
-        bound = self._bsf
-        order = np.argsort(distances, kind="stable")
-        for idx in order:
-            dist = float(distances[idx])
-            if dist >= bound and len(self._heap) >= self.k:
-                break  # sorted: everything after is worse
-            if self.update(dist, int(positions[idx])):
+        with self._lock:
+            heap = self._heap
+            members = self._members
+            for d, p in zip(dist_list, pos_list):
+                if len(heap) >= self.k:
+                    if d >= -heap[0][0]:
+                        break  # sorted: everything after is worse
+                    if p in members:
+                        continue
+                    _, evicted = heapq.heapreplace(heap, (-d, p))
+                    members.discard(evicted)
+                else:
+                    if p in members:
+                        continue
+                    heapq.heappush(heap, (-d, p))
+                members.add(p)
                 accepted += 1
-                bound = self._bsf
+            if len(heap) == self.k:
+                self._bsf_squared = -heap[0][0]
         return accepted
 
-    def items(self) -> tuple[np.ndarray, np.ndarray]:
-        """Current answers sorted by ascending distance.
+    def update_batch(self, distances: np.ndarray, positions: np.ndarray) -> int:
+        """Offer many linear-space candidates; returns how many entered."""
+        dist = np.asarray(distances, dtype=DISTANCE_DTYPE)
+        return self.update_batch_squared(np.square(dist), positions)
 
+    def items(self) -> tuple[np.ndarray, np.ndarray]:
+        """Current answers sorted by ascending distance (linear space).
+
+        The one square root of the squared-space pipeline happens here.
         Returns ``(distances, positions)``; shorter than k if fewer than
         k candidates were ever offered.
         """
         with self._lock:
             pairs = sorted((-d, p) for d, p in self._heap)
-        distances = np.array([d for d, _ in pairs], dtype=DISTANCE_DTYPE)
+        distances = np.sqrt(
+            np.array([d for d, _ in pairs], dtype=DISTANCE_DTYPE)
+        )
         positions = np.array([p for _, p in pairs], dtype=np.int64)
         return distances, positions
 

@@ -68,7 +68,9 @@ def early_abandon_squared(
 
     Accumulates squared differences ``block`` columns at a time and removes
     rows whose partial sum already exceeds ``cutoff_squared``.  Abandoned
-    rows report ``inf``.
+    rows report ``inf``; surviving rows carry exactly the value
+    :func:`batch_squared_euclidean` would compute for them, so callers can
+    mix the two kernels without rounding drift.
 
     Returns
     -------
@@ -88,6 +90,12 @@ def early_abandon_squared(
         )
     if block <= 0:
         raise ValueError(f"block must be positive, got {block}")
+    if count == 0:
+        return np.empty(0, dtype=DISTANCE_DTYPE), 0
+    if not cutoff_squared < np.inf:
+        # Nothing can be abandoned (this also covers a NaN cutoff): one
+        # full evaluation, identical to the plain batch kernel.
+        return batch_squared_euclidean(q, cands), count * n
 
     partial = np.zeros(count, dtype=DISTANCE_DTYPE)
     alive = np.arange(count)
@@ -104,7 +112,13 @@ def early_abandon_squared(
                 break
 
     distances = np.full(count, np.inf, dtype=DISTANCE_DTYPE)
-    distances[alive] = partial[alive]
+    if alive.shape[0]:
+        # Survivors are re-evaluated in one whole-row pass so their values
+        # agree bit-for-bit with ``batch_squared_euclidean`` (blocked
+        # partial sums round differently); abandoning decided who pays
+        # full price, the row kernel decides the exact value.
+        diff = cands[alive] - q
+        distances[alive] = np.einsum("ij,ij->i", diff, diff)
     return distances, points_compared
 
 

@@ -98,11 +98,14 @@ def build_method(
     directory: Optional[Union[str, Path]] = None,
     leaf_capacity: int = DEFAULT_LEAF,
     num_threads: int = DEFAULT_THREADS,
+    cache_bytes: int = 0,
     **overrides,
 ) -> BuiltMethod:
     """Build one method by display name with scaled defaults.
 
     ``overrides`` are forwarded to the method's own configuration type.
+    ``cache_bytes`` sizes the leaf-block LRU of methods that support one
+    (currently Hercules); 0 disables caching.
     """
     num_series = (
         dataset.num_series if isinstance(dataset, Dataset) else dataset.shape[0]
@@ -115,6 +118,7 @@ def build_method(
             dataset,
             config,
             directory=Path(directory) / "hercules" if directory else None,
+            cache_bytes=cache_bytes,
         )
         return BuiltMethod(name, index, index.build_report.total_seconds)
     if name == "DSTree*":

@@ -58,6 +58,35 @@ class WorkloadResult:
         return float(np.mean([p.distance_computations for p in self.profiles]))
 
     @property
+    def avg_abandoned_fraction(self) -> float:
+        """Mean fraction of candidate points skipped by early abandoning.
+
+        Only queries that recorded point counts participate; zero when
+        none did (e.g. a method not yet on the blocked kernel).
+        """
+        fractions = [
+            p.abandoned_fraction for p in self.profiles if p.points_total
+        ]
+        if not fractions:
+            return 0.0
+        return float(np.mean(fractions))
+
+    @property
+    def avg_cache_hit_rate(self) -> float | None:
+        """Mean leaf-cache hit rate over queries that touched the cache.
+
+        ``None`` when no query recorded a cache lookup (cache disabled).
+        """
+        rates = [
+            p.cache_hit_rate
+            for p in self.profiles
+            if p.cache_hit_rate is not None
+        ]
+        if not rates:
+            return None
+        return float(np.mean(rates))
+
+    @property
     def avg_modeled_io_seconds(self) -> float:
         """Mean per-query disk time projected onto the paper's hardware.
 
@@ -109,6 +138,8 @@ class WorkloadResult:
             "avg_query_seconds": self.avg_query_seconds,
             "avg_data_accessed": self.avg_data_accessed,
             "avg_distance_computations": self.avg_distance_computations,
+            "avg_abandoned_fraction": self.avg_abandoned_fraction,
+            "avg_cache_hit_rate": self.avg_cache_hit_rate,
             "avg_modeled_io_seconds": self.avg_modeled_io_seconds,
             "avg_modeled_query_seconds": self.avg_modeled_query_seconds,
         }

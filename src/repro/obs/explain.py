@@ -56,6 +56,18 @@ def explain_profile(
         )
     totals += ")"
     lines.append(totals)
+    if profile.points_total:
+        lines.append(
+            f"  early abandoning    {profile.points_compared} of "
+            f"{profile.points_total} points compared "
+            f"(abandoned {_pct(profile.abandoned_fraction)})"
+        )
+    if profile.cache_hits or profile.cache_misses:
+        lines.append(
+            f"  leaf cache          {profile.cache_hits} hits, "
+            f"{profile.cache_misses} misses "
+            f"(hit rate {_pct(profile.cache_hit_rate)})"
+        )
     if profile.io is not None:
         io = profile.io
         lines.append(
@@ -99,6 +111,8 @@ def explain_workload_summary(registry) -> str:
     row("EAPCA pruning", "query.eapca_pruning")
     row("SAX pruning", "query.sax_pruning")
     row("data accessed", "query.data_accessed_fraction")
+    row("abandoned fraction", "query.abandoned_fraction")
+    row("cache hit rate", "query.cache_hit_rate")
     row("modeled io seconds", "query.modeled_io_seconds", 1e3, " ms")
     total_dc = counters.get("query.distance_computations", 0)
     total_read = counters.get("query.series_accessed", 0)
@@ -107,6 +121,20 @@ def explain_workload_summary(registry) -> str:
             f"  totals: {total_dc} distance computations, "
             f"{total_read} series read"
         )
+        total_points = counters.get("query.points_total", 0)
+        if total_points:
+            compared = counters.get("query.points_compared", 0)
+            lines.append(
+                f"  points: {compared} of {total_points} compared "
+                f"(abandoned {1.0 - compared / total_points:.2%})"
+            )
+        cache_hits = counters.get("query.cache.hits", 0)
+        cache_misses = counters.get("query.cache.misses", 0)
+        if cache_hits or cache_misses:
+            lines.append(
+                f"  leaf cache: {cache_hits} hits, {cache_misses} misses "
+                f"(hit rate {cache_hits / (cache_hits + cache_misses):.2%})"
+            )
     paths = {
         name.split("query.path.", 1)[1]: value
         for name, value in counters.items()

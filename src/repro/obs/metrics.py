@@ -209,6 +209,18 @@ def record_profile(
         profile.distance_computations
     )
     registry.counter(f"{prefix}.series_accessed").add(profile.series_accessed)
+    registry.counter(f"{prefix}.points_compared").add(profile.points_compared)
+    registry.counter(f"{prefix}.points_total").add(profile.points_total)
+    if profile.points_total:
+        registry.histogram(f"{prefix}.abandoned_fraction").observe(
+            profile.abandoned_fraction
+        )
+    registry.counter(f"{prefix}.cache.hits").add(profile.cache_hits)
+    registry.counter(f"{prefix}.cache.misses").add(profile.cache_misses)
+    if profile.cache_hit_rate is not None:
+        registry.histogram(f"{prefix}.cache_hit_rate").observe(
+            profile.cache_hit_rate
+        )
     registry.counter(f"{prefix}.candidate_leaves").add(
         profile.candidate_leaves
     )

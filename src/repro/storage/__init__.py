@@ -8,6 +8,7 @@ that makes random-vs-sequential access patterns measurable.
 """
 
 from repro.storage.iostats import IOSnapshot, IOStats
+from repro.storage.cache import CacheSnapshot, LeafCache
 from repro.storage.faults import CrashFault, FaultInjector, FaultPlan, TransientFault, inject
 from repro.storage.files import BinaryFile, SeriesFile, SymbolFile
 from repro.storage.dataset import Dataset
@@ -23,6 +24,8 @@ from repro.storage.manifest import (
 __all__ = [
     "IOSnapshot",
     "IOStats",
+    "CacheSnapshot",
+    "LeafCache",
     "BinaryFile",
     "SeriesFile",
     "SymbolFile",

@@ -89,6 +89,65 @@ class TestEarlyAbandon:
             early_abandon_squared(np.zeros(4), np.zeros((1, 4)), 1.0, block=0)
 
 
+class TestEarlyAbandonEdges:
+    """Edge cases of the blocked kernel the squared pipeline leans on."""
+
+    def test_empty_candidate_matrix(self):
+        distances, compared = early_abandon_squared(
+            np.zeros(8), np.empty((0, 8)), 1.0
+        )
+        assert distances.shape == (0,)
+        assert compared == 0
+
+    def test_single_row_one_dimensional(self):
+        q = np.array([1.0, 2.0, 3.0])
+        distances, compared = early_abandon_squared(
+            q, np.array([2.0, 2.0, 3.0]), np.inf
+        )
+        assert distances.shape == (1,)
+        assert distances[0] == pytest.approx(1.0)
+        assert compared == 3
+
+    def test_block_larger_than_length(self, small_dataset):
+        query = small_dataset[0]
+        full = batch_squared_euclidean(query, small_dataset)
+        distances, compared = early_abandon_squared(
+            query, small_dataset, np.inf, block=10_000
+        )
+        np.testing.assert_array_equal(distances, full)
+        assert compared == small_dataset.size
+
+    def test_nan_cutoff_behaves_like_infinite(self, small_dataset):
+        query = small_dataset[0]
+        full = batch_squared_euclidean(query, small_dataset)
+        distances, compared = early_abandon_squared(
+            query, small_dataset, float("nan")
+        )
+        np.testing.assert_array_equal(distances, full)
+        assert compared == small_dataset.size
+
+    def test_survivors_agree_with_batch_exactly(self, small_dataset):
+        # Bit-for-bit, not approximately: the squared pipeline depends
+        # on surviving rows matching the unblocked kernel so answers are
+        # identical whichever code path computed them.
+        query = small_dataset[0]
+        full = batch_squared_euclidean(query, small_dataset)
+        cutoff = float(np.quantile(full, 0.4))
+        for block in (1, 7, 32, 200):
+            distances, _ = early_abandon_squared(
+                query, small_dataset, cutoff, block=block
+            )
+            alive = np.isfinite(distances)
+            np.testing.assert_array_equal(distances[alive], full[alive])
+
+    def test_compared_counts_bounded_by_total(self, small_dataset):
+        query = small_dataset[0]
+        full = batch_squared_euclidean(query, small_dataset)
+        cutoff = float(np.quantile(full, 0.1))
+        _, compared = early_abandon_squared(query, small_dataset, cutoff)
+        assert 0 < compared < small_dataset.size
+
+
 class TestKnnSelection:
     def test_returns_sorted_smallest(self):
         dist = np.array([5.0, 1.0, 3.0, 0.5, 4.0])

@@ -79,6 +79,25 @@ class TestWorkloadResult:
         assert result.avg_query_seconds == 0.0
         assert result.avg_data_accessed == 0.0
 
+    def test_abandoned_fraction_and_cache_hit_rate(self):
+        result = self._result_with([0.1, 0.1, 0.1], [10, 10, 10])
+        # No point counts recorded yet -> neutral values.
+        assert result.avg_abandoned_fraction == 0.0
+        assert result.avg_cache_hit_rate is None
+        result.profiles[0].points_compared = 60
+        result.profiles[0].points_total = 100
+        result.profiles[1].points_compared = 100
+        result.profiles[1].points_total = 100
+        result.profiles[0].cache_hits = 9
+        result.profiles[0].cache_misses = 1
+        # Mean over the two profiles with counts: (0.4 + 0.0) / 2.
+        assert result.avg_abandoned_fraction == pytest.approx(0.2)
+        # Only the one profile that touched the cache participates.
+        assert result.avg_cache_hit_rate == pytest.approx(0.9)
+        summary = result.summary()
+        assert summary["avg_abandoned_fraction"] == pytest.approx(0.2)
+        assert summary["avg_cache_hit_rate"] == pytest.approx(0.9)
+
 
 class TestRunWorkload:
     def test_collects_profiles_and_io(self, tmp_path):

@@ -57,6 +57,20 @@ class TestExplainProfile:
         report = explain_profile(profile)
         assert "SAX pruning" not in report
 
+    def test_abandoning_and_cache_lines(self):
+        profile = _profile()
+        assert "early abandoning" not in explain_profile(profile)
+        assert "leaf cache" not in explain_profile(profile)
+        profile.points_compared = 750
+        profile.points_total = 1000
+        profile.cache_hits = 3
+        profile.cache_misses = 1
+        report = explain_profile(profile)
+        assert "750 of 1000 points compared" in report
+        assert "abandoned 25.00%" in report
+        assert "3 hits, 1 misses" in report
+        assert "hit rate 75.00%" in report
+
 
 class TestWorkloadSummary:
     def test_summarizes_registry(self):
@@ -69,6 +83,20 @@ class TestWorkloadSummary:
         assert "p95" in report
         assert "270 distance computations" in report
         assert "access paths: approx-only=2, full-four-phase=1" in report
+
+    def test_summary_includes_points_and_cache_totals(self):
+        registry = MetricsRegistry()
+        profile = _profile()
+        profile.points_compared = 400
+        profile.points_total = 800
+        profile.cache_hits = 8
+        profile.cache_misses = 2
+        record_profile(registry, profile, num_series=200)
+        report = explain_workload_summary(registry)
+        assert "abandoned fraction" in report
+        assert "cache hit rate" in report
+        assert "points: 400 of 800 compared (abandoned 50.00%)" in report
+        assert "leaf cache: 8 hits, 2 misses (hit rate 80.00%)" in report
 
     def test_empty_registry(self):
         report = explain_workload_summary(MetricsRegistry())

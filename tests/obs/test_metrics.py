@@ -134,6 +134,31 @@ class TestRecordProfile:
             "query.modeled_io_seconds"
         ]["count"] == 1
 
+    def test_points_and_cache_instruments(self):
+        profile = self._profile()
+        profile.points_compared = 600
+        profile.points_total = 1000
+        profile.cache_hits = 9
+        profile.cache_misses = 1
+        registry = MetricsRegistry()
+        record_profile(registry, profile)
+        summary = registry.summary()
+        counters = summary["counters"]
+        assert counters["query.points_compared"] == 600
+        assert counters["query.points_total"] == 1000
+        assert counters["query.cache.hits"] == 9
+        assert counters["query.cache.misses"] == 1
+        hist = summary["histograms"]
+        assert hist["query.abandoned_fraction"]["mean"] == pytest.approx(0.4)
+        assert hist["query.cache_hit_rate"]["mean"] == pytest.approx(0.9)
+
+    def test_points_and_cache_instruments_absent_without_data(self):
+        registry = MetricsRegistry()
+        record_profile(registry, self._profile())
+        hist = registry.summary()["histograms"]
+        assert "query.abandoned_fraction" not in hist
+        assert "query.cache_hit_rate" not in hist
+
     def test_missing_sax_pruning_is_skipped(self):
         profile = QueryProfile()
         profile.sax_pruning = None

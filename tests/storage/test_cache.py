@@ -1,0 +1,181 @@
+"""Unit tests for the byte-budgeted leaf-block LRU cache."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.storage.cache import CacheSnapshot, LeafCache
+from repro.storage.files import SeriesFile
+from repro.storage.iostats import IOStats
+
+
+def _block(value: float, floats: int = 8) -> np.ndarray:
+    return np.full(floats, value, dtype=np.float64)
+
+
+class TestLeafCache:
+    def test_rejects_non_positive_budget(self):
+        with pytest.raises(ValueError):
+            LeafCache(0)
+        with pytest.raises(ValueError):
+            LeafCache(-1)
+
+    def test_get_put_roundtrip_counts_hits_and_misses(self):
+        cache = LeafCache(1 << 16)
+        assert cache.get((0, 4)) is None
+        assert cache.put((0, 4), _block(1.0))
+        np.testing.assert_array_equal(cache.get((0, 4)), _block(1.0))
+        snap = cache.snapshot()
+        assert snap.hits == 1
+        assert snap.misses == 1
+        assert snap.entries == 1
+        assert snap.hit_rate == 0.5
+
+    def test_cached_blocks_are_read_only(self):
+        cache = LeafCache(1 << 16)
+        cache.put((0, 4), np.zeros(4))
+        block = cache.get((0, 4))
+        with pytest.raises(ValueError):
+            block[0] = 1.0
+
+    def test_respects_byte_budget_with_lru_eviction(self):
+        one_block = _block(0.0).nbytes
+        cache = LeafCache(3 * one_block)
+        for i in range(5):
+            cache.put((i, 1), _block(float(i)))
+            assert cache.current_bytes <= cache.budget_bytes
+        # Oldest two evicted, newest three resident.
+        assert cache.get((0, 1)) is None
+        assert cache.get((1, 1)) is None
+        for i in (2, 3, 4):
+            assert cache.get((i, 1)) is not None
+        assert cache.snapshot().evictions == 2
+
+    def test_get_refreshes_recency(self):
+        one_block = _block(0.0).nbytes
+        cache = LeafCache(2 * one_block)
+        cache.put((0, 1), _block(0.0))
+        cache.put((1, 1), _block(1.0))
+        cache.get((0, 1))  # (0, 1) is now the most recent
+        cache.put((2, 1), _block(2.0))
+        assert cache.get((1, 1)) is None  # LRU victim
+        assert cache.get((0, 1)) is not None
+
+    def test_oversized_block_is_not_admitted(self):
+        cache = LeafCache(16)
+        assert not cache.put((0, 8), _block(1.0))  # 64 bytes > 16
+        assert len(cache) == 0
+        assert cache.current_bytes == 0
+
+    def test_clear_drops_everything_but_keeps_counters(self):
+        cache = LeafCache(1 << 16)
+        cache.put((0, 1), _block(1.0))
+        cache.get((0, 1))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.current_bytes == 0
+        assert cache.snapshot().hits == 1
+
+    def test_snapshot_delta_mirrors_iosnapshot(self):
+        cache = LeafCache(1 << 16)
+        cache.put((0, 1), _block(1.0))
+        cache.get((0, 1))
+        before = cache.snapshot()
+        cache.get((0, 1))
+        cache.get((9, 9))
+        delta = cache.snapshot() - before
+        assert delta == CacheSnapshot(
+            hits=1, misses=1, evictions=0, current_bytes=_block(1.0).nbytes,
+            entries=1,
+        )
+        assert delta.lookups == 2
+
+    def test_bind_registry_mirrors_counters(self):
+        registry = MetricsRegistry()
+        cache = LeafCache(1 << 16)
+        cache.bind_registry(registry)
+        cache.get((0, 1))
+        cache.put((0, 1), _block(1.0))
+        cache.get((0, 1))
+        summary = registry.summary()
+        assert summary["counters"]["cache.leaf.hits"] == 1
+        assert summary["counters"]["cache.leaf.misses"] == 1
+        assert summary["gauges"]["cache.leaf.bytes"] == _block(1.0).nbytes
+
+    def test_budget_respected_under_concurrency(self):
+        one_block = _block(0.0).nbytes
+        cache = LeafCache(4 * one_block)
+        barrier = threading.Barrier(8)
+
+        def worker(seed):
+            rng = np.random.default_rng(seed)
+            barrier.wait()
+            for _ in range(200):
+                key = (int(rng.integers(0, 32)), 1)
+                if cache.get(key) is None:
+                    cache.put(key, _block(float(key[0])))
+
+        threads = [threading.Thread(target=worker, args=(s,)) for s in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert cache.current_bytes <= cache.budget_bytes
+        assert len(cache) <= 4
+        # Every resident block still holds the value its key promises.
+        for i in range(32):
+            block = cache.get((i, 1))
+            if block is not None:
+                np.testing.assert_array_equal(block, _block(float(i)))
+
+
+class TestSeriesFileCache:
+    def _make_file(self, tmp_path, cache=None, stats=None, name="series.bin"):
+        f = SeriesFile(tmp_path / name, 4, stats=stats, cache=cache)
+        f.append_batch(np.arange(32, dtype=np.float32).reshape(8, 4))
+        return f
+
+    def test_warm_reads_bypass_file_io(self, tmp_path):
+        stats = IOStats()
+        cache = LeafCache(1 << 20)
+        with self._make_file(tmp_path, cache=cache, stats=stats) as f:
+            first = f.read_range(2, 3)
+            before = stats.snapshot()
+            second = f.read_range(2, 3)
+            delta = stats.snapshot() - before
+        assert delta.read_calls == 0
+        assert delta.bytes_read == 0
+        np.testing.assert_array_equal(first, second)
+        assert cache.snapshot().hits == 1
+
+    def test_uncached_behaviour_identical(self, tmp_path):
+        cache = LeafCache(1 << 20)
+        with self._make_file(tmp_path, cache=cache) as cached, self._make_file(
+            tmp_path, cache=None, name="plain.bin"
+        ) as plain:
+            for position, count in ((0, 8), (2, 3), (2, 3), (7, 1)):
+                np.testing.assert_array_equal(
+                    cached.read_range(position, count),
+                    plain.read_range(position, count),
+                )
+
+    def test_append_invalidates_cache(self, tmp_path):
+        cache = LeafCache(1 << 20)
+        with self._make_file(tmp_path, cache=cache) as f:
+            f.read_range(0, 8)
+            assert len(cache) == 1
+            f.append_batch(np.zeros((2, 4), dtype=np.float32))
+            assert len(cache) == 0
+            # A block spanning the old EOF now sees the appended rows.
+            grown = f.read_range(6, 4)
+            np.testing.assert_array_equal(grown[2:], np.zeros((2, 4)))
+
+    def test_out_of_range_still_raises_with_cache(self, tmp_path):
+        from repro.errors import StorageError
+
+        cache = LeafCache(1 << 20)
+        with self._make_file(tmp_path, cache=cache) as f:
+            with pytest.raises(StorageError):
+                f.read_range(6, 10)

@@ -459,3 +459,101 @@ class TestTraceAndExplain:
         )
         assert code == 0
         assert "building tree" not in capsys.readouterr().err
+
+
+class TestCacheFlag:
+    @pytest.fixture
+    def index_dir(self, dataset_file, tmp_path):
+        index_dir = tmp_path / "index"
+        code = main(
+            [
+                "build",
+                "--dataset", str(dataset_file),
+                "--length", "32",
+                "--output", str(index_dir),
+                "--threads", "1",
+            ]
+        )
+        assert code == 0
+        return index_dir
+
+    def _query_lines(self, index_dir, dataset_file, capsys, *extra):
+        code = main(
+            [
+                "query",
+                "--index", str(index_dir),
+                "--queries", str(dataset_file),
+                "--k", "3",
+                "--count", "4",
+                *extra,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        lines = [
+            line.rsplit(" (", 1)[0]  # drop the per-query wall-clock suffix
+            for line in out.splitlines()
+            if line.startswith("query ")
+        ]
+        return lines, out
+
+    def test_cache_mb_reports_hit_rate(self, index_dir, dataset_file, capsys):
+        _, out = self._query_lines(
+            index_dir, dataset_file, capsys, "--cache-mb", "16"
+        )
+        assert "leaf cache:" in out
+        assert "hit rate" in out
+
+    def test_cache_mb_zero_is_silent_and_identical(
+        self, index_dir, dataset_file, capsys
+    ):
+        cached, _ = self._query_lines(
+            index_dir, dataset_file, capsys, "--cache-mb", "16"
+        )
+        plain, out = self._query_lines(index_dir, dataset_file, capsys)
+        assert "leaf cache:" not in out
+        # --cache-mb 0 (the default) changes nothing about the answers.
+        assert cached == plain
+
+    def test_explain_reports_abandoning_and_cache(
+        self, index_dir, dataset_file, capsys
+    ):
+        code = main(
+            [
+                "explain",
+                "--index", str(index_dir),
+                "--queries", str(dataset_file),
+                "--k", "2",
+                "--count", "3",
+                "--cache-mb", "16",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "early abandoning" in out
+        assert "points compared" in out
+        assert "leaf cache" in out
+        assert "abandoned fraction" in out
+        assert "points:" in out
+
+    def test_compare_table_has_abandoned_and_cache_columns(
+        self, dataset_file, capsys
+    ):
+        code = main(
+            [
+                "compare",
+                "--dataset", str(dataset_file),
+                "--length", "32",
+                "--num-queries", "2",
+                "--cache-mb", "8",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "abandoned" in out
+        assert "cache_hit" in out
+        # Hercules ran with the leaf cache; scans have no cache ("-").
+        hercules_row = next(
+            line for line in out.splitlines() if line.lstrip().startswith("Hercules")
+        )
+        assert "%" in hercules_row
