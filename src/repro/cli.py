@@ -101,6 +101,8 @@ def _cmd_build(args: argparse.Namespace) -> int:
         num_write_threads=max(args.threads // 2, 1),
         num_query_threads=args.threads,
         l_max=args.l_max,
+        batched_inserts=not args.per_row,
+        claim_size=args.claim_size,
     )
     with _maybe_trace(args), Dataset.open(args.dataset, args.length) as dataset:
         index = HerculesIndex.build(dataset, config, directory=args.output)
@@ -112,8 +114,25 @@ def _cmd_build(args: argparse.Namespace) -> int:
     )
     print(
         f"building {report.build_seconds:.2f}s + "
-        f"writing {report.write_seconds:.2f}s = {report.total_seconds:.2f}s"
+        f"writing {report.write_seconds:.2f}s = {report.total_seconds:.2f}s "
+        f"({report.series_per_sec:,.0f} series/s)"
     )
+    if args.verbose >= 1:
+        # Table-4-style phase breakdown of the tree-construction stage.
+        phases = (
+            ("routing", report.route_seconds),
+            ("hbuffer stores", report.store_seconds),
+            ("splits", report.split_seconds),
+            ("flushes", report.flush_seconds),
+        )
+        accounted = sum(seconds for _, seconds in phases)
+        print("build phase breakdown:")
+        for label, seconds in phases:
+            share = seconds / report.build_seconds if report.build_seconds else 0.0
+            print(f"  {label:<15} {seconds:8.3f}s  ({share:6.1%})")
+        other = max(report.build_seconds - accounted, 0.0)
+        share = other / report.build_seconds if report.build_seconds else 0.0
+        print(f"  {'other':<15} {other:8.3f}s  ({share:6.1%})")
     print(f"index materialized in {index.directory}")
     index.close()
     return 0
@@ -434,6 +453,12 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--initial-segments", type=int, default=4)
     build.add_argument("--threads", type=int, default=4)
     build.add_argument("--l-max", type=int, default=8)
+    build.add_argument("--claim-size", type=int, default=None,
+                       help="series claimed per FetchAdd during batched "
+                            "insertion (default: auto)")
+    build.add_argument("--per-row", action="store_true",
+                       help="use the per-row reference insertion path "
+                            "instead of grouped batches")
     build.add_argument("--trace", type=Path, default=None,
                        help="write a Chrome-trace JSON of the build to FILE")
     build.set_defaults(func=_cmd_build)

@@ -70,10 +70,38 @@ class HBuffer:
         self._fill[worker] = fill + 1
         return slot
 
-    def get_rows(self, slots) -> np.ndarray:
-        """Copy of the series at the given slot ids, one per row."""
+    def store_batch(self, worker: int, rows: np.ndarray) -> int:
+        """Copy a batch of series contiguously into the worker's region.
+
+        Returns the slot id of the first row; the batch occupies slots
+        ``[start, start + len(rows))``.  One region copy replaces
+        ``len(rows)`` :meth:`store` calls.  Only the owning worker calls
+        this, so no lock is needed.
+        """
+        count = rows.shape[0]
+        fill = self._fill[worker]
+        if fill + count > self._region_size[worker]:
+            raise ConfigError(
+                f"worker {worker} region overflow: {count} series do not fit "
+                f"in {self._region_size[worker] - fill} free slots; the "
+                f"flush protocol must run before the region fills"
+            )
+        start = self._region_start[worker] + fill
+        self._data[start : start + count] = rows
+        self._fill[worker] = fill + count
+        return start
+
+    def get_rows(self, slots, out: np.ndarray = None) -> np.ndarray:
+        """Copy of the series at the given slot ids, one per row.
+
+        ``out`` (shape ``(len(slots), series_length)``, matching dtype)
+        receives the rows in place, avoiding an allocation.
+        """
         index = np.asarray(slots, dtype=np.int64)
-        return self._data[index]
+        if out is None:
+            return self._data[index]
+        np.take(self._data, index, axis=0, out=out)
+        return out
 
     def reset_regions(self) -> None:
         """Mark every region empty (run with all workers quiescent)."""

@@ -54,6 +54,17 @@ class HerculesConfig:
     buffer_capacity: int | None = None
     #: Number of full worker regions that triggers a flush.
     flush_threshold: int = 2
+    #: Grouped batch insertion (the default): whole DBuffer claims are
+    #: routed and stored as vectorized groups.  ``False`` selects the
+    #: per-row reference path (one ``insert_series`` call per series),
+    #: which builds a bit-for-bit identical tree, only slower.
+    batched_inserts: bool = True
+    #: Series claimed per FetchAdd by each InsertWorker (and per
+    #: ``insert_batch`` call on the sequential path).  ``None`` picks a
+    #: size automatically: the whole DBuffer batch when building with one
+    #: thread, ``db_size / (4 · workers)`` otherwise (large enough to
+    #: amortize routing, small enough to balance load).
+    claim_size: int | None = None
 
     # -- index writing -------------------------------------------------------
     num_write_threads: int = 2
@@ -103,6 +114,10 @@ class HerculesConfig:
             raise ConfigError(
                 f"buffer_capacity must be positive, got {self.buffer_capacity}"
             )
+        if self.claim_size is not None and self.claim_size < 1:
+            raise ConfigError(
+                f"claim_size must be >= 1, got {self.claim_size}"
+            )
         num_insert_workers = max(self.num_build_threads - 1, 1)
         if not 1 <= self.flush_threshold <= num_insert_workers:
             raise ConfigError(
@@ -129,6 +144,20 @@ class HerculesConfig:
     def num_insert_workers(self) -> int:
         """InsertWorker count: total build threads minus the coordinator."""
         return max(self.num_build_threads - 1, 1)
+
+    @property
+    def effective_claim_size(self) -> int:
+        """Series claimed per FetchAdd during batched insertion.
+
+        The configured ``claim_size``, or the auto heuristic: the whole
+        DBuffer batch when building sequentially, a quarter of each
+        worker's fair share otherwise.
+        """
+        if self.claim_size is not None:
+            return self.claim_size
+        if self.num_build_threads == 1:
+            return self.db_size
+        return max(self.db_size // (4 * self.num_insert_workers), 1)
 
     def with_options(self, **changes) -> "HerculesConfig":
         """A copy of this configuration with the given fields replaced."""

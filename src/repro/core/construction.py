@@ -9,6 +9,23 @@ leaf's in-memory series to the spill file while the other workers wait
 ContinueBarrier, FlushBarrier, handshake bits, FetchAdd counters — map
 one-to-one onto the paper's pseudocode.
 
+Insertion runs in one of two modes:
+
+* **Grouped batch insertion** (the default, :func:`insert_batch`):
+  workers claim index *ranges* from the DBuffer counter, route the whole
+  claim down the tree with one vectorized predicate per node, and take
+  each leaf lock once per (leaf, group) — bulk HBuffer store, one
+  vectorized synopsis update, splits consuming the group in
+  capacity-sized chunks.  Split order follows the arrival index of the
+  triggering series (a min-heap over pending groups), so the resulting
+  tree — node ids, leaf contents, synopses — is bit-for-bit identical to
+  the per-row path.  This is the ParIS+ move (per-series work → batch
+  passes) applied to the whole construction pipeline.
+* **Per-row insertion** (:func:`insert_series`,
+  ``batched_inserts=False``): the reference implementation, one Python
+  call per series, kept for parity tests and the build benchmark's
+  baseline.
+
 ``num_build_threads == 1`` selects a sequential path that performs the
 same insertions and flushes without worker threads; the resulting tree is
 identical in distribution (thread interleaving only permutes insertion
@@ -17,8 +34,10 @@ order, which the tree's splits do not depend on once all series arrive).
 
 from __future__ import annotations
 
+import heapq
 import logging
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -33,9 +52,35 @@ from repro.core.split import choose_split
 from repro.errors import ConfigError
 from repro.storage.dataset import Dataset
 from repro.storage.files import SeriesFile
-from repro.summarization.eapca import Segmentation, SeriesSketch
+from repro.summarization.eapca import BatchSketch, Segmentation, SeriesSketch
 
 logger = logging.getLogger(__name__)
+
+
+class PhaseTimers:
+    """Thread-safe accumulated wall seconds per construction phase.
+
+    Insert workers accumulate locally and fold in once per batched call,
+    so the hot path pays two ``perf_counter`` reads per phase per group,
+    not a lock per row.  The phases mirror the paper's Table 4
+    decomposition of index building: routing, storing, splitting, and
+    flushing.
+    """
+
+    PHASES = ("route", "store", "split", "flush")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._seconds = {phase: 0.0 for phase in self.PHASES}
+
+    def add(self, phase: str, seconds: float) -> None:
+        with self._lock:
+            self._seconds[phase] += seconds
+
+    def seconds(self) -> dict:
+        """A snapshot of the per-phase totals."""
+        with self._lock:
+            return dict(self._seconds)
 
 
 @dataclass
@@ -51,6 +96,8 @@ class BuildContext:
     splits: FetchAdd = field(default_factory=lambda: FetchAdd(0))
     #: Number of flush phases executed.
     flushes: FetchAdd = field(default_factory=lambda: FetchAdd(0))
+    #: Per-phase wall-time accumulators (route/store/split/flush).
+    timers: PhaseTimers = field(default_factory=PhaseTimers)
 
     def next_node_id(self) -> int:
         return self.node_ids.fetch_add(1)
@@ -125,21 +172,195 @@ def insert_series(ctx: BuildContext, worker: int, series: np.ndarray) -> None:
         node.lock.release()
 
 
+# ---------------------------------------------------------------------------
+# Grouped batch insertion (the batched counterpart of Algorithm 5)
+# ---------------------------------------------------------------------------
+
+
+def insert_batch(ctx: BuildContext, worker: int, rows: np.ndarray) -> None:
+    """Insert a claim of raw series into the tree as routed groups.
+
+    Routing, synopsis updates, and HBuffer stores are whole-group NumPy
+    passes; leaf locks are taken once per (leaf, group).  Groups that
+    will split are processed in ascending order of the arrival index of
+    the series that triggers the split (a min-heap keyed on that index),
+    which reproduces the per-row path's split — and therefore node-id —
+    sequence exactly: the tree built from any claim decomposition is
+    bit-for-bit the tree :func:`insert_series` builds row by row.
+    """
+    count = rows.shape[0]
+    if count == 0:
+        return
+    timers = ctx.timers
+    with obs.span("build.insert_batch", worker=worker, rows=count) as sp:
+        started = time.perf_counter()
+        sketch = BatchSketch(rows)
+        groups = _route_groups(ctx.root, sketch, np.arange(count, dtype=np.int64))
+        timers.add("route", time.perf_counter() - started)
+        sp.set("groups", len(groups))
+        # Heap entries: (trigger arrival index, tiebreak, node, row indices).
+        heap: list = []
+        ticket = 0
+        for node, idx in groups:
+            heapq.heappush(heap, (_trigger(ctx, node, idx), ticket, node, idx))
+            ticket += 1
+        while heap:
+            _, _, node, idx = heapq.heappop(heap)
+            for child, sub in _insert_group(ctx, worker, node, idx, sketch):
+                heapq.heappush(
+                    heap, (_trigger(ctx, child, sub), ticket, child, sub)
+                )
+                ticket += 1
+
+
+def _trigger(ctx: BuildContext, node: Node, idx: np.ndarray) -> int:
+    """Arrival index at which ``node`` would first split absorbing ``idx``.
+
+    Groups too small to split are keyed by their last row: they assign no
+    node ids, so their position in the processing order is immaterial.
+    """
+    need = ctx.config.leaf_capacity + 1 - node.size
+    return int(idx[min(max(need, 1), idx.size) - 1])
+
+
+def _route_groups(
+    node: Node, sketch: BatchSketch, idx: np.ndarray
+) -> list:
+    """Partition ``idx`` among the leaves below ``node`` (lock-free).
+
+    One vectorized routing predicate per internal node; boolean masking
+    preserves ascending order, so every group arrives at its leaf in
+    arrival order.  The same split-publication ordering that makes
+    :func:`route_to_leaf` safe makes these unlocked reads safe.
+    """
+    groups: list = []
+    stack = [(node, idx)]
+    while stack:
+        node, idx = stack.pop()
+        if idx.size == 0:
+            continue
+        if node.is_leaf:
+            groups.append((node, idx))
+            continue
+        policy = node.policy
+        means, stds = sketch.range_stats(
+            policy.route_start, policy.route_end, rows=idx
+        )
+        left = policy.route_left_batch(means, stds)
+        stack.append((node.right, idx[~left]))
+        stack.append((node.left, idx[left]))
+    return groups
+
+
+def _insert_group(
+    ctx: BuildContext,
+    worker: int,
+    node: Node,
+    idx: np.ndarray,
+    sketch: BatchSketch,
+) -> list:
+    """Insert a routed group into ``node`` up to and including one split.
+
+    Returns the sub-groups still to be inserted: the post-split remainder
+    partitioned among the children, the same node again after a
+    degenerate split, or a re-routing of the whole group when another
+    worker split the node before this one acquired the lock.
+    """
+    while True:
+        node.lock.acquire()
+        if node.is_leaf:
+            break
+        # Another thread split this node while we were acquiring the lock.
+        node.lock.release()
+        started = time.perf_counter()
+        groups = _route_groups(node, sketch, idx)
+        ctx.timers.add("route", time.perf_counter() - started)
+        return groups
+    try:
+        need = ctx.config.leaf_capacity + 1 - node.size
+        if idx.size < need:
+            _append_group(ctx, worker, node, idx, sketch)
+            return []
+        # Fill the leaf to one past capacity (``max(need, 1)`` keeps the
+        # one-row-then-retry cadence of the per-row path on leaves left
+        # over capacity by a degenerate split), then split and hand the
+        # remainder back for re-routing.
+        head = max(need, 1)
+        _append_group(ctx, worker, node, idx[:head], sketch)
+        _split_leaf(ctx, node)
+        rest = idx[head:]
+        if rest.size == 0:
+            return []
+        if node.is_leaf:
+            # Degenerate split: the leaf stays over capacity; per-row
+            # semantics retry after every subsequent insert.
+            return [(node, rest)]
+        policy = node.policy
+        started = time.perf_counter()
+        means, stds = sketch.range_stats(
+            policy.route_start, policy.route_end, rows=rest
+        )
+        left = policy.route_left_batch(means, stds)
+        ctx.timers.add("route", time.perf_counter() - started)
+        out = []
+        if left.any():
+            out.append((node.left, rest[left]))
+        if not left.all():
+            out.append((node.right, rest[~left]))
+        return out
+    finally:
+        node.lock.release()
+
+
+def _append_group(
+    ctx: BuildContext,
+    worker: int,
+    node: Node,
+    idx: np.ndarray,
+    sketch: BatchSketch,
+) -> None:
+    """Bulk-append a group to a leaf (caller holds the leaf lock)."""
+    started = time.perf_counter()
+    means, stds = sketch.stats(node.segmentation, rows=idx)
+    node.update_synopsis_batch(means, stds)
+    start = ctx.hbuffer.store_batch(worker, _gather_rows(sketch.rows, idx))
+    node.sbuffer.extend(range(start, start + idx.size))
+    node.size += idx.size
+    ctx.timers.add("store", time.perf_counter() - started)
+
+
+def _gather_rows(rows: np.ndarray, idx: np.ndarray) -> np.ndarray:
+    """The selected rows, as a view when ``idx`` is a contiguous run."""
+    first = int(idx[0])
+    if idx.size == int(idx[-1]) - first + 1:
+        return rows[first : first + idx.size]
+    return rows[idx]
+
+
 def leaf_data(ctx: BuildContext, leaf: Node) -> np.ndarray:
     """All series of a leaf: spilled extents first, then HBuffer rows.
 
     Matches Algorithm 5 line 12 ("get all data series in N from memory
     and disk").  The caller must hold the leaf lock or otherwise have
-    exclusive access.
+    exclusive access.  The gather fills one preallocated matrix (spill
+    extents copied into slices, HBuffer rows taken in place) instead of
+    concatenating per-extent parts — splits and phase-2 leaf processing
+    both sit on this path.
     """
-    parts: list[np.ndarray] = []
+    n_spilled = sum(extent.count for extent in leaf.spill_extents)
+    total = n_spilled + len(leaf.sbuffer)
+    out = np.empty(
+        (total, ctx.hbuffer.series_length), dtype=ctx.hbuffer._data.dtype
+    )
+    row = 0
     for extent in leaf.spill_extents:
-        parts.append(ctx.spill.read_range(extent.position, extent.count))
+        out[row : row + extent.count] = ctx.spill.read_range(
+            extent.position, extent.count
+        )
+        row += extent.count
     if leaf.sbuffer:
-        parts.append(ctx.hbuffer.get_rows(leaf.sbuffer))
-    if not parts:
-        return np.empty((0, ctx.hbuffer.series_length), dtype=ctx.hbuffer._data.dtype)
-    return np.concatenate(parts, axis=0)
+        ctx.hbuffer.get_rows(leaf.sbuffer, out=out[row:])
+    return out
 
 
 def _split_leaf(ctx: BuildContext, node: Node) -> None:
@@ -151,6 +372,7 @@ def _split_leaf(ctx: BuildContext, node: Node) -> None:
     spilled series are re-spilled into fresh per-child extents (the old
     extents become dead space in the append-only spill file).
     """
+    started = time.perf_counter()
     with obs.span("build.split", node=node.node_id, size=node.size) as sp:
         data = leaf_data(ctx, node)
         decision = choose_split(
@@ -164,9 +386,10 @@ def _split_leaf(ctx: BuildContext, node: Node) -> None:
             # a degenerate dataset of identical series): the leaf is allowed
             # to exceed its capacity.
             sp.set("degenerate", True)
-            return
-        _apply_split(ctx, node, data, decision)
-        sp.set("vertical", decision.policy.vertical)
+        else:
+            _apply_split(ctx, node, data, decision)
+            sp.set("vertical", decision.policy.vertical)
+    ctx.timers.add("split", time.perf_counter() - started)
 
 
 def _apply_split(ctx: BuildContext, node: Node, data, decision) -> None:
@@ -224,6 +447,7 @@ def materialize_flush(ctx: BuildContext) -> None:
     Runs with all InsertWorkers quiescent (they are parked between the
     ContinueBarrier and the FlushBarrier).
     """
+    started = time.perf_counter()
     with obs.io_span("build.flush", ctx.spill.stats) as sp:
         spilled = 0
         for leaf in ctx.root.iter_leaves_inorder():
@@ -237,6 +461,7 @@ def materialize_flush(ctx: BuildContext) -> None:
         ctx.hbuffer.reset_regions()
         flush_number = ctx.flushes.fetch_add(1) + 1
         sp.set_attrs(flush_number=flush_number, spilled_series=spilled)
+    ctx.timers.add("flush", time.perf_counter() - started)
     logger.debug(
         "flush %d: spill file now holds %d series",
         flush_number,
@@ -274,12 +499,22 @@ def _insert_worker(
 ) -> None:
     """Algorithm 2 (InsertWorker) with Algorithms 3-4 as its flush phase."""
     is_flush_coordinator = worker == 0
+    batched = ctx.config.batched_inserts
+    claim = ctx.config.effective_claim_size
     toggle = 0
     try:
         while not shared.dbuffer[toggle].finished.get():
             half = shared.dbuffer[toggle]
             region_has_space = ctx.hbuffer.free_slots(worker) >= half.size
-            if region_has_space:
+            if region_has_space and batched:
+                # Claim index *ranges* instead of single positions: one
+                # FetchAdd and one insert_batch per ``claim`` series.
+                pos = half.counter.fetch_add(claim)
+                while pos < half.size:
+                    end = min(pos + claim, half.size)
+                    insert_batch(ctx, worker, half.data[pos:end])
+                    pos = half.counter.fetch_add(claim)
+            elif region_has_space:
                 pos = half.counter.fetch_add(1)
                 while pos < half.size:
                     insert_series(ctx, worker, half.data[pos])
@@ -380,6 +615,12 @@ def build_tree(
         else:
             _build_parallel(ctx, dataset)
         sp.set_attrs(splits=ctx.splits.load(), flushes=ctx.flushes.load())
+        sp.set_attrs(
+            **{
+                f"{phase}_seconds": round(seconds, 6)
+                for phase, seconds in ctx.timers.seconds().items()
+            }
+        )
     logger.info(
         "tree built: %d splits, %d flushes",
         ctx.splits.load(),
@@ -391,6 +632,7 @@ def build_tree(
 def _build_sequential(ctx: BuildContext, dataset: Dataset) -> None:
     """Single-thread path: same inserts and flushes, no protocol."""
     config = ctx.config
+    claim = config.effective_claim_size
     batches = dataset.iter_batches(config.db_size)
     while True:
         # The batch read happens lazily inside the generator; pulling it
@@ -405,8 +647,19 @@ def _build_sequential(ctx: BuildContext, dataset: Dataset) -> None:
         _, batch = item
         if ctx.hbuffer.free_slots(0) < batch.shape[0]:
             materialize_flush(ctx)
-        for row in batch:
-            insert_series(ctx, 0, row)
+        # One check per batch instead of one store-time check per row: a
+        # flush (or the initial sizing) must have left room for the whole
+        # batch, including the boundary case of an exactly-full region.
+        assert ctx.hbuffer.free_slots(0) >= batch.shape[0], (
+            f"HBuffer region cannot absorb a {batch.shape[0]}-series batch "
+            f"after flushing ({ctx.hbuffer.free_slots(0)} slots free)"
+        )
+        if config.batched_inserts:
+            for start in range(0, batch.shape[0], claim):
+                insert_batch(ctx, 0, batch[start : start + claim])
+        else:
+            for row in batch:
+                insert_series(ctx, 0, row)
 
 
 def _build_parallel(ctx: BuildContext, dataset: Dataset) -> None:

@@ -77,10 +77,24 @@ class BuildReport:
     splits: int
     flushes: int
     io: IOSnapshot
+    #: Phase-1 wall time by phase (Table 4): group routing, HBuffer
+    #: stores + synopsis updates, leaf splits, and flush spills.  The
+    #: per-row reference path only accounts split and flush time.
+    route_seconds: float = 0.0
+    store_seconds: float = 0.0
+    split_seconds: float = 0.0
+    flush_seconds: float = 0.0
 
     @property
     def total_seconds(self) -> float:
         return self.build_seconds + self.write_seconds
+
+    @property
+    def series_per_sec(self) -> float:
+        """Phase-1 construction throughput."""
+        if self.build_seconds <= 0.0:
+            return 0.0
+        return self.num_series / self.build_seconds
 
 
 class HerculesIndex:
@@ -183,6 +197,7 @@ class HerculesIndex:
                 f"{dataset.num_series}; series were lost during construction"
             )
 
+        phases = ctx.timers.seconds()
         report = BuildReport(
             build_seconds=build_seconds,
             write_seconds=write_seconds,
@@ -191,6 +206,10 @@ class HerculesIndex:
             splits=ctx.splits.load(),
             flushes=ctx.flushes.load(),
             io=build_stats.snapshot(),
+            route_seconds=phases["route"],
+            store_seconds=phases["store"],
+            split_seconds=phases["split"],
+            flush_seconds=phases["flush"],
         )
 
         logger.info(

@@ -158,6 +158,21 @@ class Node:
         np.minimum(syn[:, SD_MIN], stds, out=syn[:, SD_MIN])
         np.maximum(syn[:, SD_MAX], stds, out=syn[:, SD_MAX])
 
+    def update_synopsis_batch(self, means: np.ndarray, stds: np.ndarray) -> None:
+        """Absorb a whole group's statistics at once (caller holds lock).
+
+        ``means``/``stds`` are ``(k, m)`` matrices; the column-wise min/max
+        collapse followed by the min/max merge is exactly equivalent to k
+        sequential :meth:`update_synopsis` calls (min/max are associative
+        and commutative), so batched and per-row builds produce identical
+        synopses.
+        """
+        syn = self.synopsis
+        np.minimum(syn[:, MU_MIN], means.min(axis=0), out=syn[:, MU_MIN])
+        np.maximum(syn[:, MU_MAX], means.max(axis=0), out=syn[:, MU_MAX])
+        np.minimum(syn[:, SD_MIN], stds.min(axis=0), out=syn[:, SD_MIN])
+        np.maximum(syn[:, SD_MAX], stds.max(axis=0), out=syn[:, SD_MAX])
+
     def merge_synopsis_rows(
         self, own_rows: np.ndarray, other: np.ndarray, other_rows: np.ndarray
     ) -> None:

@@ -23,6 +23,7 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    record_build,
     record_io,
     record_profile,
 )
@@ -53,6 +54,7 @@ __all__ = [
     "explain_workload_summary",
     "get_trace",
     "io_span",
+    "record_build",
     "record_io",
     "record_profile",
     "set_trace",

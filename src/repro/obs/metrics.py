@@ -22,6 +22,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "record_build",
     "record_io",
     "record_profile",
 ]
@@ -177,6 +178,27 @@ def record_io(registry: MetricsRegistry, snapshot, prefix: str = "io") -> None:
     )
     registry.counter(f"{prefix}.bytes_read").add(snapshot.bytes_read)
     registry.counter(f"{prefix}.bytes_written").add(snapshot.bytes_written)
+
+
+def record_build(registry: MetricsRegistry, report, prefix: str = "build") -> None:
+    """Feed one :class:`~repro.core.index.BuildReport` into the registry.
+
+    Throughput and the per-phase wall-clock breakdown (Table 4's shape:
+    routing, HBuffer stores, splits, flushes) land in gauges; the work
+    counters accumulate so repeated builds in one process sum up.
+    """
+    registry.gauge(f"{prefix}.series_per_sec").set(report.series_per_sec)
+    registry.gauge(f"{prefix}.build_seconds").set(report.build_seconds)
+    registry.gauge(f"{prefix}.write_seconds").set(report.write_seconds)
+    registry.gauge(f"{prefix}.route_seconds").set(report.route_seconds)
+    registry.gauge(f"{prefix}.store_seconds").set(report.store_seconds)
+    registry.gauge(f"{prefix}.split_seconds").set(report.split_seconds)
+    registry.gauge(f"{prefix}.flush_seconds").set(report.flush_seconds)
+    registry.counter(f"{prefix}.num_series").add(report.num_series)
+    registry.counter(f"{prefix}.splits").add(report.splits)
+    registry.counter(f"{prefix}.flushes").add(report.flushes)
+    if report.io is not None:
+        record_io(registry, report.io, prefix=f"{prefix}.io")
 
 
 def record_profile(

@@ -140,9 +140,11 @@ def segment_stats(
     lengths = (ends - starts).astype(DISTANCE_DTYPE)
 
     cumsum = np.zeros((arr.shape[0], arr.shape[1] + 1), dtype=DISTANCE_DTYPE)
-    np.cumsum(arr, axis=1, out=cumsum[:, 1:])
+    cumsum[:, 1:] = arr
     cumsq = np.zeros_like(cumsum)
-    np.cumsum(arr * arr, axis=1, out=cumsq[:, 1:])
+    np.square(cumsum[:, 1:], out=cumsq[:, 1:])
+    np.cumsum(cumsq[:, 1:], axis=1, out=cumsq[:, 1:])
+    np.cumsum(cumsum[:, 1:], axis=1, out=cumsum[:, 1:])
 
     sums = cumsum[:, ends] - cumsum[:, starts]
     sq_sums = cumsq[:, ends] - cumsq[:, starts]
@@ -170,10 +172,15 @@ class SeriesSketch:
         if arr.ndim != 1:
             raise ValueError(f"expected a 1-D series, got ndim={arr.ndim}")
         self.series = arr
+        # In-place construction: the squares are written straight into the
+        # cumsq buffer and both running sums accumulate in place, so the
+        # only allocations are the two sketch vectors themselves.
         self._cumsum = np.zeros(arr.shape[0] + 1, dtype=DISTANCE_DTYPE)
-        np.cumsum(arr, out=self._cumsum[1:])
+        self._cumsum[1:] = arr
         self._cumsq = np.zeros_like(self._cumsum)
-        np.cumsum(arr * arr, out=self._cumsq[1:])
+        np.square(self._cumsum[1:], out=self._cumsq[1:])
+        np.cumsum(self._cumsq[1:], out=self._cumsq[1:])
+        np.cumsum(self._cumsum[1:], out=self._cumsum[1:])
         self._memo: dict[Segmentation, tuple[np.ndarray, np.ndarray]] = {}
 
     @property
@@ -213,3 +220,92 @@ class SeriesSketch:
         result = (means, stds)
         self._memo[segmentation] = result
         return result
+
+
+class BatchSketch:
+    """Cumulative-sum sketch of a whole batch of series.
+
+    The batch analogue of :class:`SeriesSketch`, and the workhorse of
+    grouped batch insertion (construction routes *groups* of series with
+    one vectorized predicate per tree node instead of one Python call per
+    series).  Two cumulative sums of shape ``(batch, n + 1)`` are computed
+    with two NumPy calls up front; :meth:`stats` and :meth:`range_stats`
+    then answer per-segment or per-range (μ, σ) for *any subset of rows*
+    via fancy-indexed slice arithmetic.
+
+    All arithmetic is performed in ``DISTANCE_DTYPE`` (float64) in the
+    same order as :class:`SeriesSketch`, so the statistics — and therefore
+    every routing and synopsis decision made from them — are bit-for-bit
+    identical to the per-row reference path.
+    """
+
+    __slots__ = ("rows", "_cumsum", "_cumsq")
+
+    def __init__(self, rows: np.ndarray):
+        arr = np.asarray(rows)
+        if arr.ndim != 2:
+            raise ValueError(f"expected a 2-D batch, got ndim={arr.ndim}")
+        #: The raw batch (original dtype), for bulk stores into HBuffer.
+        self.rows = arr
+        self._cumsum = np.zeros(
+            (arr.shape[0], arr.shape[1] + 1), dtype=DISTANCE_DTYPE
+        )
+        self._cumsum[:, 1:] = arr
+        self._cumsq = np.zeros_like(self._cumsum)
+        np.square(self._cumsum[:, 1:], out=self._cumsq[:, 1:])
+        np.cumsum(self._cumsq[:, 1:], axis=1, out=self._cumsq[:, 1:])
+        np.cumsum(self._cumsum[:, 1:], axis=1, out=self._cumsum[:, 1:])
+
+    @property
+    def count(self) -> int:
+        return self.rows.shape[0]
+
+    @property
+    def length(self) -> int:
+        return self.rows.shape[1]
+
+    def range_stats(
+        self, start: int, end: int, rows: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-series (means, stds) over ``[start, end)``.
+
+        ``rows`` selects a subset of the batch (any int index array);
+        ``None`` covers the whole batch with plain slice arithmetic.
+        """
+        if not 0 <= start < end <= self.length:
+            raise ValueError(f"invalid range [{start}, {end})")
+        count = end - start
+        if rows is None:
+            totals = self._cumsum[:, end] - self._cumsum[:, start]
+            totals_sq = self._cumsq[:, end] - self._cumsq[:, start]
+        else:
+            totals = self._cumsum[rows, end] - self._cumsum[rows, start]
+            totals_sq = self._cumsq[rows, end] - self._cumsq[rows, start]
+        means = totals / count
+        variances = totals_sq / count - means * means
+        np.maximum(variances, 0.0, out=variances)
+        return means, np.sqrt(variances)
+
+    def stats(
+        self, segmentation: Segmentation, rows: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-segment (means, stds) of the selected rows, shape (k, m)."""
+        if segmentation.length != self.length:
+            raise ValueError(
+                f"segmentation length {segmentation.length} does not match "
+                f"series length {self.length}"
+            )
+        ends = np.asarray(segmentation.ends, dtype=np.int64)
+        starts = np.asarray(segmentation.starts, dtype=np.int64)
+        lengths = (ends - starts).astype(DISTANCE_DTYPE)
+        if rows is None:
+            sums = self._cumsum[:, ends] - self._cumsum[:, starts]
+            sq_sums = self._cumsq[:, ends] - self._cumsq[:, starts]
+        else:
+            idx = np.asarray(rows, dtype=np.int64)[:, None]
+            sums = self._cumsum[idx, ends] - self._cumsum[idx, starts]
+            sq_sums = self._cumsq[idx, ends] - self._cumsq[idx, starts]
+        means = sums / lengths
+        variances = sq_sums / lengths - means * means
+        np.maximum(variances, 0.0, out=variances)
+        return means, np.sqrt(variances)

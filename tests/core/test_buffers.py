@@ -48,6 +48,41 @@ class TestHBuffer:
         with pytest.raises(ConfigError):
             HBuffer(capacity=1, series_length=2, num_workers=2)
 
+    def test_store_batch_is_contiguous_and_matches_store(self):
+        buf = HBuffer(capacity=8, series_length=3, num_workers=2)
+        rows = np.arange(9, dtype=np.float32).reshape(3, 3)
+        start = buf.store_batch(0, rows)
+        assert start == 0
+        np.testing.assert_array_equal(
+            buf.get_rows(range(start, start + 3)), rows
+        )
+        assert buf.free_slots(0) == 1
+        # A following single store lands right after the batch.
+        slot = buf.store(0, np.full(3, 9.0, dtype=np.float32))
+        assert slot == start + 3
+
+    def test_store_batch_exactly_filling_region(self):
+        buf = HBuffer(capacity=4, series_length=2, num_workers=2)
+        rows = np.ones((2, 2), dtype=np.float32)
+        buf.store_batch(0, rows)  # region size is exactly 2
+        assert buf.free_slots(0) == 0
+
+    def test_store_batch_overflow_rejected_atomically(self):
+        buf = HBuffer(capacity=4, series_length=2, num_workers=2)
+        buf.store(0, np.zeros(2, dtype=np.float32))
+        with pytest.raises(ConfigError):
+            buf.store_batch(0, np.ones((2, 2), dtype=np.float32))
+        # Nothing was written: the region still has its one free slot.
+        assert buf.free_slots(0) == 1
+
+    def test_get_rows_into_preallocated_output(self):
+        buf = HBuffer(capacity=6, series_length=2, num_workers=1)
+        buf.store_batch(0, np.arange(8, dtype=np.float32).reshape(4, 2))
+        out = np.empty((2, 2), dtype=np.float32)
+        returned = buf.get_rows([3, 1], out=out)
+        assert returned is out
+        np.testing.assert_array_equal(out, [[6, 7], [2, 3]])
+
 
 class TestDoubleBuffer:
     def test_fill_resets_counter(self):

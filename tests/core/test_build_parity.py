@@ -1,0 +1,302 @@
+"""Bit-for-bit parity of grouped batch insertion vs the per-row path.
+
+Grouped batch insertion (``batched_inserts=True``, the default) promises
+a tree *identical* to the per-row reference path — not equivalent,
+identical: same node ids, same segmentations and split policies, same
+synopsis bytes, same per-leaf series in the same order.  These tests pin
+that promise at leaf capacities small enough to force splits in the
+middle of batches, across claim sizes (including pathological ones), and
+through flush/spill cycles.
+
+HBuffer slot *numbers* are allowed to differ (groups store contiguously,
+rows store in arrival order); leaf contents via :func:`leaf_data` are
+not.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import HerculesConfig, HerculesIndex
+from repro.core.construction import build_tree, leaf_data
+from repro.storage.dataset import Dataset
+from repro.storage.files import SeriesFile
+from repro.summarization.eapca import segment_stats
+
+from ..conftest import make_random_walks
+
+
+def build(tmp_path, data, tag, **config_kwargs):
+    config = HerculesConfig(**config_kwargs)
+    spill = SeriesFile(tmp_path / f"spill-{tag}.bin", data.shape[1])
+    ctx = build_tree(Dataset.from_array(data), config, spill)
+    return ctx, spill
+
+
+def tree_fingerprint(ctx, include_storage: bool = True):
+    """Everything observable about a tree, as comparable plain data.
+
+    ``include_storage=False`` drops spill extents and HBuffer bookkeeping
+    (used when comparing builds whose flush points legitimately differ —
+    the *series* of every leaf are still compared byte-for-byte).
+    """
+    nodes = []
+    for node in ctx.root.iter_nodes_preorder():
+        policy = node.policy
+        entry = {
+            "id": node.node_id,
+            "leaf": node.is_leaf,
+            "size": node.size,
+            "ends": node.segmentation.ends,
+            "synopsis": node.synopsis.tobytes(),
+            "policy": None
+            if policy is None
+            else (
+                policy.split_segment,
+                policy.vertical,
+                policy.use_std,
+                policy.threshold,
+                policy.route_start,
+                policy.route_end,
+                policy.child_segmentation.ends,
+            ),
+        }
+        if node.is_leaf:
+            entry["data"] = leaf_data(ctx, node).tobytes()
+            if include_storage:
+                entry["extents"] = [
+                    (e.position, e.count) for e in node.spill_extents
+                ]
+        nodes.append(entry)
+    return {"nodes": nodes, "splits": ctx.splits.load(),
+            "next_id": ctx.node_ids.load()}
+
+
+class TestSequentialParity:
+    """Per-row vs batched on the single-thread path: full identity."""
+
+    def test_batched_matches_per_row(self, tmp_path):
+        data = make_random_walks(600, 32, seed=200)
+        kwargs = dict(leaf_capacity=10, num_build_threads=1, flush_threshold=1)
+        per_row, _ = build(
+            tmp_path, data, "row", batched_inserts=False, **kwargs
+        )
+        batched, _ = build(
+            tmp_path, data, "batch", batched_inserts=True, **kwargs
+        )
+        assert tree_fingerprint(batched) == tree_fingerprint(per_row)
+
+    def test_claim_size_is_immaterial(self, tmp_path):
+        # Any claim decomposition — row-at-a-time, a prime stride, whole
+        # DBuffer batches — must produce the identical tree.  Capacity 10
+        # with claims of 64 forces splits in the middle of every group.
+        data = make_random_walks(500, 32, seed=201)
+        kwargs = dict(leaf_capacity=10, num_build_threads=1, flush_threshold=1)
+        reference, _ = build(
+            tmp_path, data, "row", batched_inserts=False, **kwargs
+        )
+        expected = tree_fingerprint(reference)
+        for claim in (1, 7, 64, None):
+            ctx, _ = build(
+                tmp_path, data, f"claim-{claim}",
+                batched_inserts=True, claim_size=claim, **kwargs,
+            )
+            assert tree_fingerprint(ctx) == expected, f"claim_size={claim}"
+
+    def test_parity_through_flush_and_spill_cycles(self, tmp_path):
+        # A small HBuffer forces repeated flushes; split redistribution
+        # then re-spills leaf data.  Flush points depend only on batch
+        # boundaries, so even spill extents must line up exactly.
+        data = make_random_walks(700, 32, seed=202)
+        kwargs = dict(
+            leaf_capacity=25,
+            num_build_threads=1,
+            flush_threshold=1,
+            db_size=64,
+            buffer_capacity=192,
+        )
+        per_row, _ = build(
+            tmp_path, data, "row", batched_inserts=False, **kwargs
+        )
+        batched, _ = build(
+            tmp_path, data, "batch", batched_inserts=True, **kwargs
+        )
+        assert per_row.flushes.load() > 0  # the scenario exercises flushes
+        assert tree_fingerprint(batched) == tree_fingerprint(per_row)
+
+    def test_parity_on_degenerate_data(self, tmp_path):
+        # Identical series defeat every split statistic: leaves go over
+        # capacity through degenerate splits, which the batched path must
+        # emulate row by row (insert one, retry) to keep id parity.
+        data = np.ones((120, 16), dtype=np.float32)
+        kwargs = dict(leaf_capacity=8, num_build_threads=1, flush_threshold=1)
+        per_row, _ = build(
+            tmp_path, data, "row", batched_inserts=False, **kwargs
+        )
+        batched, _ = build(
+            tmp_path, data, "batch", batched_inserts=True, **kwargs
+        )
+        assert tree_fingerprint(batched) == tree_fingerprint(per_row)
+
+
+class TestParallelParity:
+    def test_single_worker_build_matches_sequential(self, tmp_path):
+        # Two build threads = one InsertWorker claiming ranges in order:
+        # the arrival order is the dataset order, so the tree must be
+        # bit-for-bit the sequential one.  Sized so no flush runs (flush
+        # *timing* differs between the protocols; leaf bytes would still
+        # match, ids and extents would not).
+        data = make_random_walks(600, 32, seed=203)
+        per_row, _ = build(
+            tmp_path, data, "row",
+            leaf_capacity=10, num_build_threads=1, flush_threshold=1,
+            batched_inserts=False, buffer_capacity=600 + 64, db_size=64,
+        )
+        threaded, _ = build(
+            tmp_path, data, "thread",
+            leaf_capacity=10, num_build_threads=2, flush_threshold=1,
+            batched_inserts=True, buffer_capacity=600 + 64, db_size=64,
+        )
+        assert tree_fingerprint(threaded) == tree_fingerprint(per_row)
+
+    def test_multi_worker_build_same_leaves_any_order(self, tmp_path):
+        # With racing workers the arrival order is nondeterministic, so
+        # node ids may differ — but splits do not depend on insertion
+        # order once every series arrived: the *set* of leaf contents
+        # and the total shape statistics must match the sequential tree.
+        data = make_random_walks(800, 32, seed=204)
+        kwargs = dict(leaf_capacity=20, db_size=64, buffer_capacity=None)
+        sequential, _ = build(
+            tmp_path, data, "seq",
+            num_build_threads=1, flush_threshold=1,
+            batched_inserts=False, **kwargs,
+        )
+        threaded, _ = build(
+            tmp_path, data, "thread",
+            num_build_threads=4, flush_threshold=2,
+            batched_inserts=True, claim_size=16, **kwargs,
+        )
+        total = sum(
+            leaf.size for leaf in threaded.root.iter_leaves_inorder()
+        )
+        assert total == data.shape[0]
+        stored = np.concatenate(
+            [
+                leaf_data(threaded, leaf)
+                for leaf in threaded.root.iter_leaves_inorder()
+            ]
+        )
+        reference = np.concatenate(
+            [
+                leaf_data(sequential, leaf)
+                for leaf in sequential.root.iter_leaves_inorder()
+            ]
+        )
+        np.testing.assert_array_equal(
+            stored[np.lexsort(stored.T[::-1])],
+            reference[np.lexsort(reference.T[::-1])],
+        )
+
+
+class TestQueryParity:
+    def test_exact_answers_identical_across_build_modes(self, tmp_path):
+        # Exact k-NN does not depend on tree shape at all: a per-row
+        # sequential index and a batched multi-threaded index must return
+        # the same distances — and the same *series* — for every query.
+        # (Positions are LRDFile offsets, which do depend on the leaf
+        # layout, so the answers are compared by content.)
+        data = make_random_walks(600, 64, seed=205)
+        queries = make_random_walks(10, 64, seed=206)
+        ref = HerculesIndex.build(
+            data,
+            HerculesConfig(
+                leaf_capacity=32, num_build_threads=1, flush_threshold=1,
+                batched_inserts=False, num_query_threads=1,
+            ),
+            directory=tmp_path / "ref",
+        )
+        fast = HerculesIndex.build(
+            data,
+            HerculesConfig(
+                leaf_capacity=32, num_build_threads=4, flush_threshold=2,
+                batched_inserts=True, num_query_threads=1,
+            ),
+            directory=tmp_path / "fast",
+        )
+        try:
+            for query in queries:
+                a = ref.knn(query, k=5)
+                b = fast.knn(query, k=5)
+                np.testing.assert_array_equal(a.distances, b.distances)
+                rows_a = np.stack(
+                    [ref._lrd.read_series(int(p)) for p in a.positions]
+                )
+                rows_b = np.stack(
+                    [fast._lrd.read_series(int(p)) for p in b.positions]
+                )
+                np.testing.assert_array_equal(rows_a, rows_b)
+        finally:
+            ref.close()
+            fast.close()
+
+
+class TestHBufferBoundary:
+    def test_batch_exactly_filling_region_does_not_flush(self, tmp_path):
+        # 96-slot region, 32-series batches: the third batch lands the
+        # region at exactly full.  The free-slots check must admit it
+        # (free == batch size) and flush only before the *fourth* batch.
+        data = make_random_walks(200, 16, seed=207)
+        for batched in (False, True):
+            ctx, _ = build(
+                tmp_path, data, f"boundary-{batched}",
+                leaf_capacity=30, num_build_threads=1, flush_threshold=1,
+                db_size=32, buffer_capacity=96, batched_inserts=batched,
+            )
+            # 200 series = 96 + 96 + 8: exactly two flushes, never one
+            # triggered by the exactly-full boundary itself.
+            assert ctx.flushes.load() == 2
+            total = sum(
+                leaf.size for leaf in ctx.root.iter_leaves_inorder()
+            )
+            assert total == data.shape[0]
+
+
+# Building per example is expensive; keep the example count modest.
+_SETTINGS = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@_SETTINGS
+@given(
+    count=st.integers(80, 300),
+    leaf_capacity=st.integers(5, 40),
+    claim=st.sampled_from([1, 13, 64, None]),
+    seed=st.integers(0, 10_000),
+)
+def test_leaf_synopses_bound_their_rows(
+    tmp_path_factory, count, leaf_capacity, claim, seed
+):
+    """Every leaf's synopsis is a bounding box of its stored rows."""
+    from repro.distance.lower_bounds import MU_MAX, MU_MIN, SD_MAX, SD_MIN
+
+    data = make_random_walks(count, 32, seed=seed)
+    tmp = tmp_path_factory.mktemp("parity-prop")
+    ctx, _ = build(
+        tmp, data, "prop",
+        leaf_capacity=leaf_capacity, num_build_threads=1,
+        flush_threshold=1, batched_inserts=True, claim_size=claim,
+    )
+    for leaf in ctx.root.iter_leaves_inorder():
+        rows = leaf_data(ctx, leaf)
+        assert rows.shape[0] == leaf.size
+        means, stds = segment_stats(rows, leaf.segmentation)
+        syn = leaf.synopsis
+        assert np.all(syn[:, MU_MIN] <= means.min(axis=0) + 1e-9)
+        assert np.all(syn[:, MU_MAX] >= means.max(axis=0) - 1e-9)
+        assert np.all(syn[:, SD_MIN] <= stds.min(axis=0) + 1e-9)
+        assert np.all(syn[:, SD_MAX] >= stds.max(axis=0) - 1e-9)

@@ -30,25 +30,32 @@ def _active_worker_threads() -> int:
 
 
 class TestConstructionFailures:
+    @pytest.mark.parametrize("batched", [False, True])
     def test_insert_error_propagates_from_parallel_build(
-        self, tmp_path, monkeypatch
+        self, tmp_path, monkeypatch, batched
     ):
         data = make_random_walks(300, 32, seed=160)
         boom_after = {"count": 0}
-        original = construction.insert_series
+        name = "insert_batch" if batched else "insert_series"
+        original = getattr(construction, name)
+        # Fail partway through: after ~150 series on the per-row path,
+        # on the third claimed group on the batched path.
+        trip = 3 if batched else 150
 
-        def flaky(ctx, worker, series):
+        def flaky(ctx, worker, payload):
             boom_after["count"] += 1
-            if boom_after["count"] == 150:
+            if boom_after["count"] == trip:
                 raise RuntimeError("injected insert failure")
-            original(ctx, worker, series)
+            original(ctx, worker, payload)
 
-        monkeypatch.setattr(construction, "insert_series", flaky)
+        monkeypatch.setattr(construction, name, flaky)
         config = HerculesConfig(
             leaf_capacity=30,
             num_build_threads=3,
             db_size=64,
             flush_threshold=1,
+            batched_inserts=batched,
+            claim_size=16 if batched else None,
         )
         spill = SeriesFile(tmp_path / "spill.bin", 32)
         with pytest.raises(RuntimeError, match="injected insert failure"):

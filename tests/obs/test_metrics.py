@@ -173,3 +173,67 @@ class TestRecordProfile:
         registry = MetricsRegistry()
         record_profile(registry, profile)
         assert registry.summary()["counters"]["query.distance_computations"] == 7
+
+
+class TestRecordBuild:
+    @staticmethod
+    def _report(**overrides):
+        from repro.core.index import BuildReport
+        from repro.storage.iostats import IOSnapshot
+
+        fields = dict(
+            build_seconds=2.0,
+            write_seconds=1.0,
+            num_series=10_000,
+            num_leaves=40,
+            splits=39,
+            flushes=3,
+            io=IOSnapshot(write_calls=5, bytes_written=1 << 20),
+            route_seconds=0.5,
+            store_seconds=0.75,
+            split_seconds=0.25,
+            flush_seconds=0.1,
+        )
+        fields.update(overrides)
+        return BuildReport(**fields)
+
+    def test_gauges_and_counters(self):
+        from repro.obs import record_build
+
+        registry = MetricsRegistry()
+        record_build(registry, self._report())
+        summary = registry.summary()
+        gauges = summary["gauges"]
+        assert gauges["build.series_per_sec"] == pytest.approx(5_000.0)
+        assert gauges["build.build_seconds"] == 2.0
+        assert gauges["build.write_seconds"] == 1.0
+        assert gauges["build.route_seconds"] == 0.5
+        assert gauges["build.store_seconds"] == 0.75
+        assert gauges["build.split_seconds"] == 0.25
+        assert gauges["build.flush_seconds"] == 0.1
+        counters = summary["counters"]
+        assert counters["build.num_series"] == 10_000
+        assert counters["build.splits"] == 39
+        assert counters["build.flushes"] == 3
+        assert counters["build.io.write_calls"] == 5
+        assert counters["build.io.bytes_written"] == 1 << 20
+
+    def test_repeated_builds_accumulate_counters(self):
+        from repro.obs import record_build
+
+        registry = MetricsRegistry()
+        record_build(registry, self._report())
+        record_build(registry, self._report(build_seconds=1.0))
+        summary = registry.summary()
+        assert summary["counters"]["build.num_series"] == 20_000
+        # Gauges are last-value-wins: the second (faster) build.
+        assert summary["gauges"]["build.series_per_sec"] == pytest.approx(
+            10_000.0
+        )
+
+    def test_zero_build_seconds_reports_zero_throughput(self):
+        from repro.obs import record_build
+
+        registry = MetricsRegistry()
+        record_build(registry, self._report(build_seconds=0.0))
+        assert registry.summary()["gauges"]["build.series_per_sec"] == 0.0

@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.summarization.eapca import Segmentation, SeriesSketch, segment_stats
+from repro.summarization.eapca import (
+    BatchSketch,
+    Segmentation,
+    SeriesSketch,
+    segment_stats,
+)
 
 
 class TestSegmentation:
@@ -92,3 +97,62 @@ class TestSeriesSketch:
         sketch = SeriesSketch(np.zeros(4, dtype=np.float32))
         with pytest.raises(ValueError):
             sketch.range_stats(2, 2)
+
+
+class TestBatchSketch:
+    """The batch sketch must be *bit-identical* to per-row sketches.
+
+    Grouped batch insertion's parity guarantee rests on this: the same
+    float64 arithmetic in the same order means ``==``, not ``allclose``.
+    """
+
+    def test_stats_bit_identical_to_series_sketch(self, small_dataset):
+        seg = Segmentation([7, 20, 40, 64])
+        batch = BatchSketch(small_dataset)
+        means, stds = batch.stats(seg)
+        for i, series in enumerate(small_dataset):
+            ref_means, ref_stds = SeriesSketch(series).stats(seg)
+            np.testing.assert_array_equal(means[i], ref_means)
+            np.testing.assert_array_equal(stds[i], ref_stds)
+
+    def test_stats_row_subset(self, small_dataset):
+        seg = Segmentation([16, 64])
+        batch = BatchSketch(small_dataset)
+        rows = np.array([4, 1, 7], dtype=np.int64)
+        means, stds = batch.stats(seg, rows=rows)
+        full_means, full_stds = batch.stats(seg)
+        np.testing.assert_array_equal(means, full_means[rows])
+        np.testing.assert_array_equal(stds, full_stds[rows])
+
+    def test_range_stats_bit_identical_to_series_sketch(self, small_dataset):
+        batch = BatchSketch(small_dataset)
+        means, stds = batch.range_stats(5, 23)
+        for i, series in enumerate(small_dataset):
+            mean, std = SeriesSketch(series).range_stats(5, 23)
+            assert means[i] == mean
+            assert stds[i] == std
+
+    def test_range_stats_row_subset(self, small_dataset):
+        batch = BatchSketch(small_dataset)
+        rows = np.array([3, 0], dtype=np.int64)
+        means, stds = batch.range_stats(2, 9, rows=rows)
+        full_means, full_stds = batch.range_stats(2, 9)
+        np.testing.assert_array_equal(means, full_means[rows])
+        np.testing.assert_array_equal(stds, full_stds[rows])
+
+    def test_keeps_raw_rows_in_original_dtype(self, small_dataset):
+        batch = BatchSketch(small_dataset)
+        assert batch.rows.dtype == small_dataset.dtype
+        assert batch.count == small_dataset.shape[0]
+        assert batch.length == small_dataset.shape[1]
+
+    def test_rejects_one_dimensional_input(self):
+        with pytest.raises(ValueError):
+            BatchSketch(np.zeros(8, dtype=np.float32))
+
+    def test_rejects_bad_ranges_and_segmentations(self, small_dataset):
+        batch = BatchSketch(small_dataset)
+        with pytest.raises(ValueError):
+            batch.range_stats(3, 3)
+        with pytest.raises(ValueError):
+            batch.stats(Segmentation([16]))  # wrong length

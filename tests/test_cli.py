@@ -95,6 +95,75 @@ class TestBuildQueryInspect:
         assert "leaves" in out
         assert "series length      32" in out
 
+    def test_verbose_build_prints_phase_breakdown(
+        self, dataset_file, tmp_path, capsys
+    ):
+        index_dir = tmp_path / "index"
+        code = main(
+            [
+                "-v",
+                "build",
+                "--dataset",
+                str(dataset_file),
+                "--length",
+                "32",
+                "--output",
+                str(index_dir),
+                "--leaf-capacity",
+                "50",
+                "--threads",
+                "1",
+                "--claim-size",
+                "64",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "series/s)" in out
+        assert "build phase breakdown:" in out
+        for phase in ("routing", "hbuffer stores", "splits", "flushes",
+                      "other"):
+            assert phase in out
+
+    def test_per_row_build_matches_batched(self, dataset_file, tmp_path, capsys):
+        code = main(
+            [
+                "build",
+                "--dataset",
+                str(dataset_file),
+                "--length",
+                "32",
+                "--output",
+                str(tmp_path / "per-row"),
+                "--leaf-capacity",
+                "50",
+                "--threads",
+                "1",
+                "--per-row",
+            ]
+        )
+        assert code == 0
+        per_row = capsys.readouterr().out
+        code = main(
+            [
+                "build",
+                "--dataset",
+                str(dataset_file),
+                "--length",
+                "32",
+                "--output",
+                str(tmp_path / "batched"),
+                "--leaf-capacity",
+                "50",
+                "--threads",
+                "1",
+            ]
+        )
+        assert code == 0
+        batched = capsys.readouterr().out
+        # Identical trees: same leaf/split/flush counts in the summary.
+        assert per_row.splitlines()[0] == batched.splitlines()[0]
+
     def test_approximate_and_epsilon_flags(self, dataset_file, tmp_path, capsys):
         index_dir = tmp_path / "index"
         assert (
