@@ -22,11 +22,16 @@ from repro.core import (
     HerculesIndex,
     QueryAnswer,
     QueryProfile,
+    ShardedBuildReport,
+    ShardedIndex,
+    ShardedQueryAnswer,
+    open_index,
 )
 from repro.errors import (
     ConfigError,
     IndexStateError,
     ReproError,
+    ShardError,
     StorageError,
     WorkloadError,
 )
@@ -40,9 +45,14 @@ __all__ = [
     "BuildReport",
     "QueryAnswer",
     "QueryProfile",
+    "ShardedBuildReport",
+    "ShardedIndex",
+    "ShardedQueryAnswer",
+    "open_index",
     "Dataset",
     "ReproError",
     "ConfigError",
+    "ShardError",
     "StorageError",
     "IndexStateError",
     "WorkloadError",

@@ -30,7 +30,14 @@ import time
 from pathlib import Path
 
 from repro import obs
-from repro.core import HerculesConfig, HerculesIndex
+from repro.core import (
+    HerculesConfig,
+    HerculesIndex,
+    ShardedIndex,
+    ShardedQueryAnswer,
+    open_index,
+    record_sharded_profile,
+)
 from repro.core.stats import tree_statistics
 from repro.errors import ReproError
 from repro.storage.dataset import Dataset
@@ -103,20 +110,34 @@ def _cmd_build(args: argparse.Namespace) -> int:
         l_max=args.l_max,
         batched_inserts=not args.per_row,
         claim_size=args.claim_size,
+        num_shards=args.shards,
+        shard_workers=args.shard_workers,
     )
     with _maybe_trace(args), Dataset.open(args.dataset, args.length) as dataset:
-        index = HerculesIndex.build(dataset, config, directory=args.output)
+        # Delegates to the classic single-index build when --shards 1,
+        # keeping that layout byte-identical to previous releases.
+        index = ShardedIndex.build(dataset, config, directory=args.output)
     report = index.build_report
     print(
         f"built index over {report.num_series} series: "
         f"{report.num_leaves} leaves, {report.splits} splits, "
         f"{report.flushes} flushes"
     )
-    print(
-        f"building {report.build_seconds:.2f}s + "
-        f"writing {report.write_seconds:.2f}s = {report.total_seconds:.2f}s "
-        f"({report.series_per_sec:,.0f} series/s)"
-    )
+    if isinstance(index, ShardedIndex):
+        sizes = ", ".join(str(s.num_series) for s in index.shards)
+        print(
+            f"{index.num_shards} shards [{sizes}] built in "
+            f"{report.wall_seconds:.2f}s wall "
+            f"({report.series_per_sec:,.0f} series/s end-to-end; "
+            f"critical path {report.build_seconds:.2f}s build + "
+            f"{report.write_seconds:.2f}s write)"
+        )
+    else:
+        print(
+            f"building {report.build_seconds:.2f}s + "
+            f"writing {report.write_seconds:.2f}s = {report.total_seconds:.2f}s "
+            f"({report.series_per_sec:,.0f} series/s)"
+        )
     if args.verbose >= 1:
         # Table-4-style phase breakdown of the tree-construction stage.
         phases = (
@@ -143,7 +164,11 @@ def _cache_bytes(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    index = HerculesIndex.open(args.index, cache_bytes=_cache_bytes(args))
+    index = open_index(
+        args.index,
+        cache_bytes=_cache_bytes(args),
+        workers=getattr(args, "shard_workers", None),
+    )
     config = index.config.with_options(epsilon=args.epsilon)
     with _maybe_trace(args), Dataset.open(args.queries, index.series_length) as queries:
         count = queries.num_series if args.count is None else min(
@@ -166,6 +191,24 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 f"({answer.profile.time_total * 1e3:.1f} ms)"
             )
     print(f"answered {count} queries in {total:.3f}s")
+    _print_cache_stats(index)
+    index.close()
+    return 0
+
+
+def _print_cache_stats(index) -> None:
+    """Leaf-cache summary lines; per shard for a sharded index."""
+    if isinstance(index, ShardedIndex):
+        for shard_id, shard in enumerate(index.shards):
+            cache = shard.leaf_cache
+            if cache is not None:
+                snap = cache.snapshot()
+                print(
+                    f"leaf cache shard {shard_id}: {snap.hits} hits, "
+                    f"{snap.misses} misses (hit rate {snap.hit_rate:.2%}), "
+                    f"{snap.current_bytes / 1e6:.1f} MB resident"
+                )
+        return
     cache = index.leaf_cache
     if cache is not None:
         snap = cache.snapshot()
@@ -174,12 +217,14 @@ def _cmd_query(args: argparse.Namespace) -> int:
             f"(hit rate {snap.hit_rate:.2%}), "
             f"{snap.current_bytes / 1e6:.1f} MB resident"
         )
-    index.close()
-    return 0
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
-    index = HerculesIndex.open(args.index, cache_bytes=_cache_bytes(args))
+    index = open_index(
+        args.index,
+        cache_bytes=_cache_bytes(args),
+        workers=getattr(args, "shard_workers", None),
+    )
     config = index.config.with_options(epsilon=args.epsilon)
     registry = obs.MetricsRegistry()
     with _maybe_trace(args), Dataset.open(args.queries, index.series_length) as queries:
@@ -189,9 +234,14 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         for i in range(count):
             query = queries.read_series(i)
             answer = index.knn(query, k=args.k, config=config)
-            obs.record_profile(
-                registry, answer.profile, num_series=index.num_series
-            )
+            if isinstance(answer, ShardedQueryAnswer):
+                record_sharded_profile(
+                    registry, answer, num_series=index.num_series
+                )
+            else:
+                obs.record_profile(
+                    registry, answer.profile, num_series=index.num_series
+                )
             print(
                 obs.explain_profile(
                     answer.profile,
@@ -199,6 +249,16 @@ def _cmd_explain(args: argparse.Namespace) -> int:
                     label=f"query {i}",
                 )
             )
+            if isinstance(answer, ShardedQueryAnswer):
+                for shard_id, shard_answer in answer.shard_answers:
+                    p = shard_answer.profile
+                    print(
+                        f"  shard {shard_id}: path={p.path or '?'}  "
+                        f"{p.candidate_leaves} cand leaves  "
+                        f"{p.distance_computations} dists  "
+                        f"{p.series_accessed} series read  "
+                        f"{p.time_total * 1e3:.1f} ms"
+                    )
             print()
     print(obs.explain_workload_summary(registry))
     index.close()
@@ -206,11 +266,25 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
-    index = HerculesIndex.open(args.index)
-    stats = tree_statistics(index.root, index.config.leaf_capacity)
-    print(f"index at {index.directory}")
-    print(f"series length      {index.series_length}")
-    print(stats.format())
+    index = open_index(args.index)
+    if isinstance(index, ShardedIndex):
+        print(f"sharded index at {index.directory}")
+        print(f"generation         {index.generation}")
+        print(f"shards             {index.num_shards}")
+        print(f"series length      {index.series_length}")
+        print(f"total series       {index.num_series}")
+        for shard_id, shard in enumerate(index.shards):
+            stats = tree_statistics(shard.root, shard.config.leaf_capacity)
+            print(
+                f"\n-- shard {shard_id:04d}: {shard.num_series} series, "
+                f"row base {index.row_bases[shard_id]}"
+            )
+            print(stats.format())
+    else:
+        stats = tree_statistics(index.root, index.config.leaf_capacity)
+        print(f"index at {index.directory}")
+        print(f"series length      {index.series_length}")
+        print(stats.format())
     index.close()
     return 0
 
@@ -225,6 +299,8 @@ def _cmd_verify_index(args: argparse.Namespace) -> int:
     if not directory.is_dir():
         print(f"error: {directory} is not a directory", file=sys.stderr)
         return 1
+    if manifest_mod.is_sharded_directory(directory):
+        return _verify_sharded_directory(directory, args.level)
     failures = 0
     manifest = None
     name_width = max(len(manifest_mod.MANIFEST_FILENAME), 12) + 2
@@ -285,6 +361,92 @@ def _cmd_verify_index(args: argparse.Namespace) -> int:
     return 0
 
 
+def _verify_sharded_directory(directory: Path, level: str) -> int:
+    """The sharded branch of ``verify-index``: recurse into every shard.
+
+    Prints one row per artifact as ``shard-XXXX/name`` and always names
+    the failing shard, so a damaged shard is locatable at a glance.
+    """
+    from repro.errors import ReproError, StorageError
+    from repro.storage import manifest as manifest_mod
+    from repro.storage.htree import FORMAT_VERSION as HTREE_FORMAT_VERSION
+    from repro.core.writing import HTREE_FILENAME, LRD_FILENAME, LSD_FILENAME
+
+    failures = 0
+    name_width = (
+        max(len(manifest_mod.SHARDS_FILENAME),
+            len(manifest_mod.shard_dirname(0))
+            + 1 + len(manifest_mod.MANIFEST_FILENAME)) + 2
+    )
+    try:
+        shard_manifest = manifest_mod.load_shard_manifest(directory)
+    except StorageError as exc:
+        print(f"{manifest_mod.SHARDS_FILENAME:<{name_width}}DAMAGED — {exc}")
+        print(f"\n1 damaged artifact(s) in {directory}")
+        return 1
+    print(
+        f"{manifest_mod.SHARDS_FILENAME:<{name_width}}ok "
+        f"(generation {shard_manifest.generation}, "
+        f"{shard_manifest.num_shards} shards, "
+        f"{shard_manifest.num_series} series, "
+        f"config {shard_manifest.config_digest})"
+    )
+    expected = {
+        LRD_FILENAME: manifest_mod.LRD_FORMAT_VERSION,
+        LSD_FILENAME: manifest_mod.LSD_FORMAT_VERSION,
+        HTREE_FILENAME: HTREE_FORMAT_VERSION,
+    }
+    for record in shard_manifest.shards:
+        label = f"{record.name}/{manifest_mod.MANIFEST_FILENAME}"
+        try:
+            sub_manifest = manifest_mod.verify_shard_record(directory, record)
+        except StorageError as exc:
+            print(f"{label:<{name_width}}DAMAGED — {exc}")
+            failures += 1
+            continue
+        print(
+            f"{label:<{name_width}}ok ({record.num_series} series, "
+            f"{record.num_leaves} leaves)"
+        )
+        for name, artifact in sorted(sub_manifest.artifacts.items()):
+            row = f"{record.name}/{name}"
+            try:
+                manifest_mod.check_artifact(
+                    directory / record.name,
+                    artifact,
+                    level=level,
+                    expected_version=expected.get(name),
+                )
+                detail = f"ok ({artifact.size} bytes"
+                if level == "full":
+                    detail += f", crc32 {artifact.crc32:#010x} verified"
+                print(f"{row:<{name_width}}{detail})")
+            except StorageError as exc:
+                print(
+                    f"{row:<{name_width}}DAMAGED — shard {record.name}: {exc}"
+                )
+                failures += 1
+    if failures == 0:
+        # Per-shard bytes are sound; prove the whole directory opens as
+        # one coherent generation (contiguous row bases included).
+        try:
+            index = ShardedIndex.open(directory, verify=level)
+            print(
+                f"{'index':<{name_width}}ok ({index.num_series} series "
+                f"over {index.num_shards} shards, length "
+                f"{index.series_length})"
+            )
+            index.close()
+        except ReproError as exc:
+            print(f"{'index':<{name_width}}DAMAGED — {exc}")
+            failures += 1
+    if failures:
+        print(f"\n{failures} damaged artifact(s) in {directory}")
+        return 1
+    print(f"\n{directory} is healthy ({level} verification, sharded)")
+    return 0
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.eval.methods import ALL_METHODS, build_methods
     from repro.eval.verify import verify_epsilon, verify_exactness
@@ -326,7 +488,11 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             data, args.num_queries, args.noise, seed=args.seed
         )
         methods = build_methods(
-            dataset, names=ALL_METHODS, cache_bytes=_cache_bytes(args)
+            dataset,
+            names=ALL_METHODS,
+            cache_bytes=_cache_bytes(args),
+            num_shards=args.shards,
+            shard_workers=args.shard_workers,
         )
         rows = []
         for name in ALL_METHODS:
@@ -459,6 +625,14 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--per-row", action="store_true",
                        help="use the per-row reference insertion path "
                             "instead of grouped batches")
+    build.add_argument("--shards", type=int, default=1,
+                       help="partition the dataset into N index shards "
+                            "(1: classic single-tree layout, byte-identical "
+                            "to previous releases)")
+    build.add_argument("--shard-workers", type=int, default=None,
+                       help="worker processes building shards in parallel "
+                            "(default: min(shards, cpu_count); 0/1: build "
+                            "shards sequentially in-process)")
     build.add_argument("--trace", type=Path, default=None,
                        help="write a Chrome-trace JSON of the build to FILE")
     build.set_defaults(func=_cmd_build)
@@ -474,7 +648,11 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--approximate", action="store_true",
                        help="approximate-only search (phase 1)")
     query.add_argument("--cache-mb", type=float, default=0.0,
-                       help="leaf-block LRU cache budget in MiB (0: disabled)")
+                       help="leaf-block LRU cache budget in MiB (0: disabled; "
+                            "split evenly across shards of a sharded index)")
+    query.add_argument("--shard-workers", type=int, default=None,
+                       help="persistent query worker processes for a sharded "
+                            "index (default: in-process threads)")
     query.add_argument("--trace", type=Path, default=None,
                        help="write a Chrome-trace JSON of the queries to FILE")
     query.set_defaults(func=_cmd_query)
@@ -493,6 +671,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="epsilon-approximate search factor")
     explain.add_argument("--cache-mb", type=float, default=0.0,
                          help="leaf-block LRU cache budget in MiB (0: disabled)")
+    explain.add_argument("--shard-workers", type=int, default=None,
+                         help="persistent query worker processes for a "
+                              "sharded index (default: in-process threads)")
     explain.add_argument("--trace", type=Path, default=None,
                          help="also write a Chrome-trace JSON to FILE")
     explain.set_defaults(func=_cmd_explain)
@@ -549,6 +730,12 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--seed", type=int, default=0)
     compare.add_argument("--cache-mb", type=float, default=0.0,
                          help="leaf-block LRU cache budget in MiB (0: disabled)")
+    compare.add_argument("--shards", type=int, default=1,
+                         help="build Hercules as N shards (other methods "
+                              "are unaffected)")
+    compare.add_argument("--shard-workers", type=int, default=None,
+                         help="worker processes for the sharded Hercules "
+                              "build (default: min(shards, cpu_count))")
     compare.add_argument("--trace", type=Path, default=None,
                          help="write a Chrome-trace JSON of the run to FILE")
     compare.set_defaults(func=_cmd_compare)

@@ -1,13 +1,23 @@
 """The Hercules index: the paper's primary contribution.
 
-Public entry points: :class:`HerculesIndex` (build/open/knn) and
-:class:`HerculesConfig` (all tunables including ablation switches).
+Public entry points: :class:`HerculesIndex` (build/open/knn),
+:class:`HerculesConfig` (all tunables including ablation switches), and
+the shard-parallel engine (:class:`ShardedIndex` / :func:`open_index`)
+that scales construction and query answering past the GIL.
 """
 
 from repro.core.config import HerculesConfig
 from repro.core.index import BuildReport, HerculesIndex
 from repro.core.query import QueryAnswer, QueryProfile
-from repro.core.results import ResultSet
+from repro.core.results import LinkedResultSet, ResultSet, SharedBsf
+from repro.core.sharding import (
+    ShardedBuildReport,
+    ShardedIndex,
+    ShardedQueryAnswer,
+    open_index,
+    partition_rows,
+    record_sharded_profile,
+)
 
 __all__ = [
     "HerculesConfig",
@@ -16,4 +26,12 @@ __all__ = [
     "QueryAnswer",
     "QueryProfile",
     "ResultSet",
+    "LinkedResultSet",
+    "SharedBsf",
+    "ShardedBuildReport",
+    "ShardedIndex",
+    "ShardedQueryAnswer",
+    "open_index",
+    "partition_rows",
+    "record_sharded_profile",
 ]

@@ -71,6 +71,20 @@ class HerculesConfig:
     #: NoWPara ablation: post-process leaves sequentially when False.
     parallel_writing: bool = True
 
+    # -- sharding (ParIS+/MESSI-style scale-out past the GIL) ----------------
+    #: Number of independent shard indexes the dataset is partitioned
+    #: into.  1 (the default) is the classic single-tree layout,
+    #: byte-identical to a non-sharded build.  N > 1 builds N disjoint
+    #: sub-indexes under ``shard-XXXX/`` directories coordinated by a
+    #: :class:`~repro.core.sharding.ShardedIndex`; exact k-NN over the
+    #: disjoint union stays exact by construction.
+    num_shards: int = 1
+    #: Worker *processes* used to build shards (and, when > 0 at open
+    #: time, to answer queries).  ``None`` picks ``min(num_shards,
+    #: cpu_count)`` for builds and in-process threads for queries;
+    #: ``0`` forces everything inline in the coordinator process.
+    shard_workers: int | None = None
+
     # -- query answering -----------------------------------------------------
     #: Maximum leaves visited by the approximate search (paper default 80).
     l_max: int = 80
@@ -139,6 +153,14 @@ class HerculesConfig:
             )
         if self.epsilon < 0.0:
             raise ConfigError(f"epsilon must be >= 0, got {self.epsilon}")
+        if self.num_shards < 1:
+            raise ConfigError(
+                f"num_shards must be >= 1, got {self.num_shards}"
+            )
+        if self.shard_workers is not None and self.shard_workers < 0:
+            raise ConfigError(
+                f"shard_workers must be >= 0, got {self.shard_workers}"
+            )
 
     @property
     def num_insert_workers(self) -> int:

@@ -335,11 +335,15 @@ class HerculesIndex:
         query: np.ndarray,
         k: int = 1,
         config: Optional[HerculesConfig] = None,
+        results=None,
     ) -> QueryAnswer:
         """Exact k-NN search (Algorithm 10).
 
         ``config`` overrides query-time settings (threads, thresholds,
-        ablation switches) without rebuilding the index.
+        ablation switches) without rebuilding the index.  ``results``
+        optionally supplies the :class:`~repro.core.results.ResultSet`
+        searched into — the shard scatter-gather coordinator passes a
+        linked set so this index prunes against the global BSF².
         """
         self._check_open()
         effective = config if config is not None else self.config
@@ -353,6 +357,7 @@ class HerculesIndex:
             self.sax_space,
             num_leaves=len(self._leaves),
             num_series=self.num_series,
+            results=results,
         )
 
     def knn_batch(
@@ -377,11 +382,13 @@ class HerculesIndex:
         query: np.ndarray,
         k: int = 1,
         l_max: Optional[int] = None,
+        results=None,
     ) -> QueryAnswer:
         """Approximate k-NN (Algorithm 11 alone; see the paper's §5).
 
         Visits at most ``l_max`` leaves (default: the configured value)
         and returns the best-so-far answers without the exact phases.
+        ``results`` plays the same role as in :meth:`knn`.
         """
         self._check_open()
         config = self.config
@@ -397,6 +404,7 @@ class HerculesIndex:
             self.sax_space,
             num_leaves=len(self._leaves),
             num_series=self.num_series,
+            results=results,
         )
 
     def knn_progressive(

@@ -175,6 +175,7 @@ class _SearchState:
         sax_space: SaxSpace,
         num_leaves: int,
         num_series: int,
+        results: Optional[ResultSet] = None,
     ) -> None:
         self.query = as_series(query).astype(DISTANCE_DTYPE)
         self.sketch = SeriesSketch(self.query)
@@ -188,7 +189,10 @@ class _SearchState:
         self._cache_before = (
             lrd.cache.snapshot() if lrd.cache is not None else None
         )
-        self.results = ResultSet(k)
+        # An externally supplied ResultSet lets a coordinator link this
+        # search to others (shard scatter-gather shares the global BSF²
+        # through a LinkedResultSet); the default is a private set.
+        self.results = results if results is not None else ResultSet(k)
         self.profile = QueryProfile()
         # ε-approximate search tightens every pruning comparison by this
         # factor; 1.0 keeps the search exact (Algorithm 10 as published).
@@ -269,12 +273,20 @@ def exact_knn(
     sax_space: SaxSpace,
     num_leaves: int,
     num_series: int,
+    results: Optional[ResultSet] = None,
 ) -> QueryAnswer:
-    """Algorithm 10: Exact-kNN."""
+    """Algorithm 10: Exact-kNN.
+
+    ``results`` optionally supplies the result set to search into —
+    shard coordinators pass a linked set whose ``bsf_squared`` reflects
+    the global best-so-far, tightening every pruning site here without
+    any other change to the pipeline.
+    """
     started = time.perf_counter()
     io_before = lrd.stats.snapshot()
     state = _SearchState(
-        query, k, config, lrd, lsd_words, sax_space, num_leaves, num_series
+        query, k, config, lrd, lsd_words, sax_space, num_leaves, num_series,
+        results=results,
     )
 
     with obs.span("query", k=k) as query_span:
@@ -356,6 +368,7 @@ def approximate_knn(
     sax_space: SaxSpace,
     num_leaves: int,
     num_series: int,
+    results: Optional[ResultSet] = None,
 ) -> QueryAnswer:
     """Approximate k-NN: Algorithm 11 alone (phase 1, then stop).
 
@@ -363,11 +376,13 @@ def approximate_knn(
     to: the best-first descent visits at most ``L_max`` leaves and the
     best-so-far answers become the result.  Answers are not guaranteed
     exact; recall grows with ``L_max`` (measured in the benchmark suite).
+    ``results`` plays the same role as in :func:`exact_knn`.
     """
     started = time.perf_counter()
     io_before = lrd.stats.snapshot()
     state = _SearchState(
-        query, k, config, lrd, lsd_words, sax_space, num_leaves, num_series
+        query, k, config, lrd, lsd_words, sax_space, num_leaves, num_series,
+        results=results,
     )
     with obs.span("query", k=k, mode="approximate") as sp:
         with obs.span("query.phase1.approx"):

@@ -157,3 +157,93 @@ class ResultSet:
     def __len__(self) -> int:
         with self._lock:
             return len(self._heap)
+
+
+class SharedBsf:
+    """A thread-shared global BSF² cell for scatter-gather coordination.
+
+    Each shard search holds a :class:`LinkedResultSet` pointing at one of
+    these; a shard that tightens its local k-th best publishes the new
+    bound here, and every other shard's next (throttled) refresh picks it
+    up.  The value only ever decreases, so readers can act on a stale
+    copy safely — stale means conservative pruning, never a wrong answer.
+    """
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = np.inf
+
+    def get(self) -> float:
+        with self._lock:
+            return self._value
+
+    def publish(self, value: float) -> None:
+        with self._lock:
+            if value < self._value:
+                self._value = value
+
+    def reset(self) -> None:
+        """Back to +inf before a new query reuses the cell."""
+        with self._lock:
+            self._value = np.inf
+
+
+class LinkedResultSet(ResultSet):
+    """A shard-local result set pruning against a shared global BSF².
+
+    The scatter-gather coordinator gives every shard search one of these,
+    all linked to the same bound cell (:class:`SharedBsf` for threads, a
+    process-shared equivalent for worker processes).  Reads of
+    :attr:`bsf_squared` — the hot pruning path — return
+    ``min(local k-th best, cached global bound)`` and refresh the cached
+    global bound only every ``_REFRESH_READS`` reads, so the per-read
+    cost stays one comparison instead of a lock (or semaphore) acquire.
+    Local improvements are published to the link immediately.
+
+    Correctness does not depend on freshness: the global bound is an
+    upper bound on the final global k-th distance at all times (it is the
+    min over shards of *local* k-th bests, each ≥ the final global k-th),
+    so pruning against any past value of it can only discard candidates
+    that provably cannot enter the global top-k — up to ties at the k-th
+    distance, which are reported arbitrarily exactly as a single index
+    does.
+    """
+
+    _REFRESH_READS = 32
+
+    def __init__(self, k: int, link) -> None:
+        super().__init__(k)
+        self._link = link
+        self._reads = 0
+        self._link_bsf = float(link.get())
+
+    @property
+    def bsf_squared(self) -> float:
+        self._reads += 1
+        if self._reads >= self._REFRESH_READS:
+            self._reads = 0
+            self._link_bsf = float(self._link.get())
+        local = self._bsf_squared
+        return local if local < self._link_bsf else self._link_bsf
+
+    def _publish_if_better(self) -> None:
+        local = self._bsf_squared
+        if local < self._link_bsf:
+            self._link.publish(local)
+            self._link_bsf = float(self._link.get())
+
+    def update_squared(self, distance_squared: float, position: int) -> bool:
+        entered = super().update_squared(distance_squared, position)
+        if entered:
+            self._publish_if_better()
+        return entered
+
+    def update_batch_squared(
+        self, distances_squared: np.ndarray, positions: np.ndarray
+    ) -> int:
+        accepted = super().update_batch_squared(distances_squared, positions)
+        if accepted:
+            self._publish_if_better()
+        return accepted

@@ -1,0 +1,471 @@
+"""Process workers behind the sharded engine.
+
+Two worker kinds live here, both plain top-level functions so they are
+picklable under every ``multiprocessing`` start method:
+
+* **build workers** (:func:`build_worker_main`) pull ``(shard_id, row
+  range, directory)`` tasks off a queue, attach to the dataset published
+  once in :class:`~multiprocessing.shared_memory.SharedMemory` (zero
+  copies per worker beyond the one slice each shard owns), run the
+  ordinary single-index :meth:`HerculesIndex.build`, and ship a
+  picklable reply home: the :class:`~repro.core.index.BuildReport` plus
+  the worker's metrics registry state and trace spans, which the
+  coordinator folds into its own registry/trace for cross-process
+  attribution;
+
+* **query workers** (:func:`query_worker_main`) are *persistent*: each
+  owns a subset of the opened shards for the life of the pool and
+  answers ``("query", ...)`` requests over a pipe.  They prune against
+  the coordinator's global BSF² through :class:`ProcessBsf` — a raw
+  shared double guarded by a process-shared lock, read through the same
+  throttled :class:`~repro.core.results.LinkedResultSet` the thread path
+  uses — and reply with shard answers whose positions are already
+  globalized (``row_base`` added).
+
+The start method defaults to ``fork`` where available (cheap, and
+``repro.obs`` re-initializes its locks in forked children); set
+``REPRO_MP_START=spawn`` to override.  Everything shipped between
+processes is a plain dict/ndarray — no live index objects ever cross
+the boundary.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import dataclasses
+import math
+import os
+import traceback
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro import obs
+from repro.core.config import HerculesConfig
+from repro.core.results import LinkedResultSet
+from repro.errors import ShardError
+
+__all__ = [
+    "ProcessBsf",
+    "ShardQueryPool",
+    "build_shards_in_processes",
+    "build_worker_main",
+    "mp_context",
+    "query_worker_main",
+]
+
+#: Seconds without any worker progress before a build is declared dead.
+_BUILD_STALL_TIMEOUT = 600.0
+
+
+def mp_context():
+    """The multiprocessing context sharded workers run under.
+
+    ``fork`` when the platform offers it (Linux/macOS; child inherits
+    the parent's pages so SharedMemory attach is instant), else
+    ``spawn``.  ``REPRO_MP_START`` forces a specific method — the test
+    suite uses it to exercise spawn-compatibility on fork platforms.
+    """
+    import multiprocessing as mp
+
+    method = os.environ.get("REPRO_MP_START")
+    if method:
+        return mp.get_context(method)
+    return mp.get_context(
+        "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+    )
+
+
+class ProcessBsf:
+    """A process-shared global BSF² cell (the cross-process link).
+
+    Same contract as :class:`~repro.core.results.SharedBsf`, backed by a
+    raw shared ``double`` plus a process-shared lock.  A raw value (not
+    the synchronized ``multiprocessing.Value`` wrapper) keeps reads from
+    paying a semaphore acquire *twice*; the explicit lock on both sides
+    rules out torn reads of the 8-byte cell on exotic platforms.  The
+    :class:`~repro.core.results.LinkedResultSet` read throttle keeps the
+    lock off the hot path.
+    """
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self, ctx=None) -> None:
+        ctx = ctx if ctx is not None else mp_context()
+        self._value = ctx.RawValue(ctypes.c_double, math.inf)
+        self._lock = ctx.Lock()
+
+    def get(self) -> float:
+        with self._lock:
+            return self._value.value
+
+    def publish(self, value: float) -> None:
+        with self._lock:
+            if value < self._value.value:
+                self._value.value = value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value.value = math.inf
+
+
+# ---------------------------------------------------------------------------
+# Build workers
+# ---------------------------------------------------------------------------
+
+
+def build_worker_main(
+    task_queue,
+    result_queue,
+    shm_name: str,
+    shape: tuple,
+    dtype_str: str,
+    config_fields: dict,
+    trace_enabled: bool,
+) -> None:
+    """Entry point of one build worker process.
+
+    Consumes ``(shard_id, start, stop, shard_dir)`` tasks until the
+    ``None`` sentinel.  Each reply is ``("ok", shard_id, payload)`` or
+    ``("error", shard_id, traceback_text)``; the payload carries the
+    build report as a dict plus the worker's observability state.
+    """
+    from multiprocessing import shared_memory
+
+    from repro.core.index import HerculesIndex
+
+    config = HerculesConfig(**config_fields)
+    shm = shared_memory.SharedMemory(name=shm_name)
+    try:
+        data = np.ndarray(shape, dtype=np.dtype(dtype_str), buffer=shm.buf)
+        while True:
+            task = task_queue.get()
+            if task is None:
+                break
+            shard_id, start, stop, shard_dir = task
+            try:
+                registry = obs.MetricsRegistry()
+                trace = obs.Trace(f"shard-{shard_id}") if trace_enabled else None
+                if trace is not None:
+                    with obs.use_trace(trace):
+                        report = _build_one_shard(
+                            HerculesIndex, data, start, stop, shard_dir, config
+                        )
+                else:
+                    report = _build_one_shard(
+                        HerculesIndex, data, start, stop, shard_dir, config
+                    )
+                obs.record_build(registry, report)
+                result_queue.put(
+                    (
+                        "ok",
+                        shard_id,
+                        {
+                            "report": dataclasses.asdict(report),
+                            "metrics": registry.export_state(),
+                            "spans": trace.export_spans() if trace else [],
+                            "pid": os.getpid(),
+                        },
+                    )
+                )
+            except BaseException:
+                result_queue.put(("error", shard_id, traceback.format_exc()))
+    finally:
+        shm.close()
+
+
+def _build_one_shard(index_cls, data, start, stop, shard_dir, config):
+    """Build one shard from its SharedMemory slice; returns the report."""
+    # Copy the slice out of shared memory: the build keeps references to
+    # its input rows, and they must outlive the SharedMemory mapping.
+    rows = np.array(data[start:stop])
+    with obs.span("build.shard", rows=int(stop - start)):
+        index = index_cls.build(rows, config, directory=Path(shard_dir))
+    report = index.build_report
+    index.close()
+    return report
+
+
+def build_shards_in_processes(
+    data: np.ndarray,
+    ranges: list,
+    shard_dirs: list,
+    config: HerculesConfig,
+    workers: int,
+    trace_enabled: bool,
+) -> dict:
+    """Build every shard in worker processes; returns id → reply payload.
+
+    The dataset is published once in SharedMemory; ``workers`` processes
+    pull shard tasks off a queue (so N shards load-balance over fewer
+    workers).  Raises :class:`~repro.errors.ShardError` with the worker
+    traceback if any shard fails, or if all workers die without
+    finishing.
+    """
+    from multiprocessing import shared_memory
+    from queue import Empty
+
+    ctx = mp_context()
+    data = np.ascontiguousarray(data)
+    shm = shared_memory.SharedMemory(create=True, size=data.nbytes)
+    procs = []
+    try:
+        view = np.ndarray(data.shape, dtype=data.dtype, buffer=shm.buf)
+        view[:] = data
+        task_queue = ctx.Queue()
+        result_queue = ctx.Queue()
+        n_workers = max(1, min(workers, len(ranges)))
+        for _ in range(n_workers):
+            proc = ctx.Process(
+                target=build_worker_main,
+                args=(
+                    task_queue,
+                    result_queue,
+                    shm.name,
+                    data.shape,
+                    str(data.dtype),
+                    dataclasses.asdict(config),
+                    trace_enabled,
+                ),
+                daemon=True,
+            )
+            proc.start()
+            procs.append(proc)
+        for shard_id, ((start, stop), shard_dir) in enumerate(
+            zip(ranges, shard_dirs)
+        ):
+            task_queue.put((shard_id, start, stop, str(shard_dir)))
+        for _ in procs:
+            task_queue.put(None)
+
+        replies: dict[int, dict] = {}
+        waited = 0.0
+        while len(replies) < len(ranges):
+            try:
+                status, shard_id, payload = result_queue.get(timeout=1.0)
+                waited = 0.0
+            except Empty:
+                waited += 1.0
+                if not any(p.is_alive() for p in procs):
+                    raise ShardError(
+                        "all shard build workers exited before every shard "
+                        f"reported ({len(replies)}/{len(ranges)} done)"
+                    ) from None
+                if waited > _BUILD_STALL_TIMEOUT:
+                    raise ShardError(
+                        f"shard build stalled: no worker progress for "
+                        f"{_BUILD_STALL_TIMEOUT:.0f}s"
+                    ) from None
+                continue
+            if status == "error":
+                raise ShardError(
+                    f"shard {shard_id} build failed in worker:\n{payload}"
+                )
+            replies[shard_id] = payload
+        for proc in procs:
+            proc.join(timeout=30.0)
+        return replies
+    finally:
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - double unlink
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Query workers
+# ---------------------------------------------------------------------------
+
+
+def query_worker_main(
+    conn,
+    specs: list,
+    cache_bytes_per_shard: int,
+    verify: str,
+    bsf_link: ProcessBsf,
+) -> None:
+    """Entry point of one persistent query worker process.
+
+    ``specs`` is a list of ``(shard_id, directory, row_base)`` this
+    worker owns.  The protocol over ``conn``:
+
+    * ``("query", query, k, mode, config_fields_or_None, l_max)`` →
+      ``("ok", [(shard_id, answer), ...])`` with globalized positions,
+      or ``("error", traceback_text)``;
+    * ``("close",)`` (or EOF) → clean shutdown.
+
+    Every request prunes through a fresh
+    :class:`~repro.core.results.LinkedResultSet` per shard, all linked
+    to the coordinator's shared BSF² cell — so a tight bound found by
+    any process prunes every other process's remaining work.
+    """
+    from repro.core.index import HerculesIndex
+
+    indexes = []
+    try:
+        for shard_id, directory, row_base in specs:
+            index = HerculesIndex.open(
+                directory, verify=verify, cache_bytes=cache_bytes_per_shard
+            )
+            indexes.append((shard_id, row_base, index))
+        conn.send(("ready", os.getpid()))
+        while True:
+            try:
+                message = conn.recv()
+            except EOFError:
+                break
+            kind = message[0]
+            if kind == "close":
+                break
+            if kind != "query":  # pragma: no cover - protocol guard
+                conn.send(("error", f"unknown request {kind!r}"))
+                continue
+            _, query, k, mode, config_fields, l_max = message
+            try:
+                config = (
+                    HerculesConfig(**config_fields) if config_fields else None
+                )
+                out = []
+                for shard_id, row_base, index in indexes:
+                    results = LinkedResultSet(k, bsf_link)
+                    if mode == "approx":
+                        answer = index.knn_approx(
+                            query, k=k, l_max=l_max, results=results
+                        )
+                    else:
+                        answer = index.knn(
+                            query, k=k, config=config, results=results
+                        )
+                    answer.positions = answer.positions + row_base
+                    answer.profile.io = index.query_io.snapshot()
+                    index.query_io.reset()
+                    out.append((shard_id, answer))
+                conn.send(("ok", out))
+            except BaseException:
+                conn.send(("error", traceback.format_exc()))
+    except BaseException:  # pragma: no cover - open failure surfaces below
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        for _, _, index in indexes:
+            index.close()
+        conn.close()
+
+
+class ShardQueryPool:
+    """A persistent pool of query worker processes over opened shards.
+
+    Shards are distributed round-robin over ``workers`` processes; each
+    worker opens its shards once (cold) and keeps them — and their leaf
+    caches — warm across queries, matching the paper's asynchronous
+    warm-cache workload model.  One :class:`ProcessBsf` cell links every
+    worker's pruning to the global best-so-far; the coordinator resets
+    it before each scatter.
+    """
+
+    def __init__(
+        self,
+        shard_specs: list,
+        workers: int,
+        cache_bytes_per_shard: int,
+        verify: str,
+    ) -> None:
+        ctx = mp_context()
+        self.bsf = ProcessBsf(ctx)
+        self._conns = []
+        self._procs = []
+        workers = max(1, min(workers, len(shard_specs)))
+        groups = [shard_specs[i::workers] for i in range(workers)]
+        for group in groups:
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=query_worker_main,
+                args=(
+                    child_conn,
+                    [(sid, str(path), base) for sid, path, base in group],
+                    cache_bytes_per_shard,
+                    verify,
+                    self.bsf,
+                ),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+        for conn in self._conns:
+            reply = self._recv(conn)
+            if reply[0] != "ready":
+                self.close()
+                raise ShardError(f"query worker failed to open shards:\n{reply[1]}")
+
+    @staticmethod
+    def _recv(conn):
+        try:
+            return conn.recv()
+        except EOFError:
+            raise ShardError(
+                "query worker process died (pipe closed); rerun with "
+                "shard workers disabled to debug in-process"
+            ) from None
+
+    def query(
+        self,
+        query: np.ndarray,
+        k: int,
+        mode: str = "exact",
+        config: Optional[HerculesConfig] = None,
+        l_max: Optional[int] = None,
+    ) -> list:
+        """Scatter one query to every worker; gather ``(shard_id, answer)``.
+
+        Returned pairs are sorted by shard id; positions are global.
+        """
+        self.bsf.reset()
+        payload = (
+            "query",
+            np.ascontiguousarray(query),
+            int(k),
+            mode,
+            dataclasses.asdict(config) if config is not None else None,
+            l_max,
+        )
+        for conn in self._conns:
+            conn.send(payload)
+        pairs = []
+        errors = []
+        for conn in self._conns:
+            reply = self._recv(conn)
+            if reply[0] == "error":
+                errors.append(reply[1])
+            else:
+                pairs.extend(reply[1])
+        if errors:
+            raise ShardError(
+                "shard query failed in worker:\n" + "\n".join(errors)
+            )
+        pairs.sort(key=lambda pair: pair[0])
+        return pairs
+
+    def close(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(("close",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=10.0)
+        for proc in self._procs:
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+        for conn in self._conns:
+            conn.close()
+        self._conns = []
+        self._procs = []

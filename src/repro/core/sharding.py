@@ -1,0 +1,753 @@
+"""Shard-parallel engine: IndexShard partitioning + scatter-gather.
+
+Python's GIL caps the single-process Hercules build at one core of
+useful CPU work (the paper's 24-thread numbers assume real parallelism).
+This module scales past it the way ParIS+/MESSI scale distance-series
+indexes across cores: partition the dataset into ``N`` disjoint row
+ranges, build one *complete, self-contained* Hercules index per range
+(an **index shard** — its own DBuffer space, tree, LRDFile/LSDFile and
+MANIFEST under ``shard-XXXX/``), and coordinate queries scatter-gather.
+
+Correctness rests on two facts:
+
+* exact k-NN over a disjoint union is exact by construction — the global
+  top-k is a subset of the union of per-shard top-k sets;
+* the min over shards of *local* k-th-best distances is, at every
+  moment, an upper bound on the final *global* k-th best — so shards may
+  prune against a shared global BSF² (broadcast through
+  :class:`~repro.core.results.LinkedResultSet`) and a stale bound only
+  weakens pruning, never the answer.
+
+Layout on disk::
+
+    index-dir/
+      SHARDS.json          top-level manifest: generation, shard list
+      shard-0000/          a complete single-index directory
+        MANIFEST.json  htree.bin  lrd.bin  lsd.bin
+      shard-0001/
+        ...
+
+``num_shards=1`` never takes this path: :meth:`ShardedIndex.build`
+delegates to the classic :meth:`~repro.core.index.HerculesIndex.build`,
+keeping today's single-directory layout byte-identical.  Global answer
+positions are ``shard row_base + shard-local LRDFile position``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+import functools
+import logging
+import os
+import shutil
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro import obs
+from repro.core.config import HerculesConfig
+from repro.core.index import BuildReport, HerculesIndex
+from repro.core.query import QueryAnswer, QueryProfile
+from repro.core.results import LinkedResultSet, SharedBsf
+from repro.core.shard_worker import (
+    ShardQueryPool,
+    build_shards_in_processes,
+)
+from repro.errors import (
+    ConfigError,
+    IndexStateError,
+    ManifestError,
+    ReproError,
+)
+from repro.storage import manifest as manifest_mod
+from repro.storage.dataset import Dataset
+from repro.storage.iostats import IOSnapshot
+
+logger = logging.getLogger(__name__)
+
+__all__ = [
+    "ShardedBuildReport",
+    "ShardedIndex",
+    "ShardedQueryAnswer",
+    "open_index",
+    "partition_rows",
+    "record_sharded_profile",
+]
+
+
+def partition_rows(num_series: int, num_shards: int) -> list[tuple[int, int]]:
+    """Contiguous, balanced ``[start, stop)`` row ranges, one per shard.
+
+    The first ``num_series % num_shards`` shards get one extra row, so
+    shard sizes differ by at most 1.  Contiguity is what makes the
+    global position space trivial (``row_base + local position``) and
+    keeps ``--shards 1`` equal to the unpartitioned input order.
+    """
+    if num_shards < 1:
+        raise ConfigError(f"num_shards must be >= 1, got {num_shards}")
+    if num_series < num_shards:
+        raise ConfigError(
+            f"cannot partition {num_series} series into {num_shards} shards "
+            "(each shard needs at least one series)"
+        )
+    base, extra = divmod(num_series, num_shards)
+    ranges = []
+    start = 0
+    for shard_id in range(num_shards):
+        stop = start + base + (1 if shard_id < extra else 0)
+        ranges.append((start, stop))
+        start = stop
+    return ranges
+
+
+@dataclass(frozen=True)
+class ShardedBuildReport:
+    """Aggregate timings of one sharded construction.
+
+    Field-compatible with :class:`~repro.core.index.BuildReport` (so
+    :func:`repro.obs.record_build` works on either): per-phase seconds
+    are the **max over shards** — the critical path of a parallel build
+    — while the work counters (series, splits, flushes, I/O) sum.
+    ``wall_seconds`` is the coordinator's end-to-end wall-clock, which
+    is what shard-scaling benchmarks should compare.
+    """
+
+    wall_seconds: float
+    build_seconds: float
+    write_seconds: float
+    num_series: int
+    num_leaves: int
+    splits: int
+    flushes: int
+    io: IOSnapshot
+    route_seconds: float = 0.0
+    store_seconds: float = 0.0
+    split_seconds: float = 0.0
+    flush_seconds: float = 0.0
+    #: Per-shard reports in shard-id order.
+    shard_reports: tuple = ()
+
+    @property
+    def total_seconds(self) -> float:
+        return self.wall_seconds
+
+    @property
+    def series_per_sec(self) -> float:
+        """End-to-end construction throughput (wall-clock based).
+
+        Unlike the single-index report this divides by *wall* time, not
+        the phase-1 critical path: wall-clock is the honest number for a
+        multi-process build (it includes the SharedMemory publish and
+        worker startup the single-process path does not pay).
+        """
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.num_series / self.wall_seconds
+
+
+@dataclass
+class ShardedQueryAnswer(QueryAnswer):
+    """A merged scatter-gather answer plus every shard's own answer.
+
+    ``shard_answers`` holds ``(shard_id, QueryAnswer)`` pairs in shard
+    order, positions already global — ``repro explain`` renders one row
+    per shard from them.
+    """
+
+    shard_answers: tuple = ()
+
+
+def _merge_pairs(
+    k: int,
+    pairs: list,
+    num_leaves: int,
+    num_series: int,
+    wall_seconds: float,
+) -> ShardedQueryAnswer:
+    """One global answer from per-shard answers (positions global).
+
+    Distances concatenate and the k smallest win (ties broken by
+    position, like a stable single-index heap drain).  The aggregate
+    profile sums work counters, takes per-phase times as the max over
+    shards (phases run concurrently), and recomputes pruning ratios
+    against the *global* leaf/series counts.
+    """
+    distances = np.concatenate([answer.distances for _, answer in pairs])
+    positions = np.concatenate([answer.positions for _, answer in pairs])
+    order = np.lexsort((positions, distances))[:k]
+    profile = QueryProfile(path="sharded", time_total=wall_seconds)
+    sax_ran = False
+    io_parts = []
+    for _, answer in pairs:
+        p = answer.profile
+        profile.approx_leaves += p.approx_leaves
+        profile.candidate_leaves += p.candidate_leaves
+        profile.candidate_series += p.candidate_series
+        profile.distance_computations += p.distance_computations
+        profile.points_compared += p.points_compared
+        profile.points_total += p.points_total
+        profile.series_accessed += p.series_accessed
+        profile.cache_hits += p.cache_hits
+        profile.cache_misses += p.cache_misses
+        profile.time_approx = max(profile.time_approx, p.time_approx)
+        profile.time_candidates = max(profile.time_candidates, p.time_candidates)
+        profile.time_refine = max(profile.time_refine, p.time_refine)
+        if p.sax_pruning is not None:
+            sax_ran = True
+        if p.io is not None:
+            io_parts.append(p.io)
+    profile.eapca_pruning = (
+        1.0 - profile.candidate_leaves / num_leaves if num_leaves else 0.0
+    )
+    if sax_ran and num_series:
+        profile.sax_pruning = 1.0 - profile.candidate_series / num_series
+    if io_parts:
+        profile.io = functools.reduce(lambda a, b: a + b, io_parts)
+    return ShardedQueryAnswer(
+        distances=distances[order],
+        positions=positions[order],
+        profile=profile,
+        shard_answers=tuple(pairs),
+    )
+
+
+def _revive_report(doc: dict) -> BuildReport:
+    """A BuildReport back from the dict a build worker shipped home."""
+    fields = dict(doc)
+    fields["io"] = IOSnapshot(**fields["io"])
+    return BuildReport(**fields)
+
+
+class ShardedIndex:
+    """N disjoint index shards behind one scatter-gather facade.
+
+    Query answering defaults to one coordinator *thread* per shard —
+    query phases release the GIL inside NumPy kernels, and threads share
+    the global BSF² at memory speed.  Opening with ``workers > 0``
+    instead keeps a persistent pool of worker *processes* (each owning a
+    subset of shards, caches staying warm across queries) for workloads
+    whose per-query Python overhead dominates.
+    """
+
+    def __init__(
+        self,
+        directory: Path,
+        shards: list[HerculesIndex],
+        row_bases: list[int],
+        manifest,
+        config: HerculesConfig,
+        build_report: Optional[ShardedBuildReport] = None,
+        owns_directory: bool = False,
+        pool: Optional[ShardQueryPool] = None,
+        worker_metric_states: Optional[list] = None,
+    ) -> None:
+        self.directory = directory
+        self.shards = shards
+        self.row_bases = row_bases
+        self.manifest = manifest
+        self.config = config
+        self.build_report = build_report
+        self._owns_directory = owns_directory
+        self._pool = pool
+        self._worker_metric_states = worker_metric_states or []
+        self._closed = False
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        data: Union[np.ndarray, Dataset],
+        config: Optional[HerculesConfig] = None,
+        directory: Optional[Union[str, Path]] = None,
+        cache_bytes: int = 0,
+    ):
+        """Build a sharded index (or a plain one when ``num_shards=1``).
+
+        ``config.num_shards`` selects the partition count and
+        ``config.shard_workers`` the build processes (``None`` →
+        ``min(num_shards, cpu_count)``; ``0``/``1`` builds the shards
+        sequentially in this process, which is what deterministic tests
+        use).  With one shard this delegates to
+        :meth:`HerculesIndex.build` — same files, same bytes.
+        """
+        config = config if config is not None else HerculesConfig()
+        dataset = data if isinstance(data, Dataset) else Dataset.from_array(data)
+        n = config.num_shards
+        if n <= 1:
+            if directory is not None:
+                # A leftover SHARDS.json would shadow the plain layout.
+                Path(directory).mkdir(parents=True, exist_ok=True)
+                (Path(directory) / manifest_mod.SHARDS_FILENAME).unlink(
+                    missing_ok=True
+                )
+            return HerculesIndex.build(
+                dataset, config, directory=directory, cache_bytes=cache_bytes
+            )
+
+        owns_directory = directory is None
+        directory = (
+            Path(tempfile.mkdtemp(prefix="hercules-shards-"))
+            if directory is None
+            else Path(directory)
+        )
+        directory.mkdir(parents=True, exist_ok=True)
+        generation = manifest_mod.next_generation(directory)
+        ranges = partition_rows(dataset.num_series, n)
+        shard_dirs = [
+            directory / manifest_mod.shard_dirname(i) for i in range(n)
+        ]
+        shard_config = config.with_options(num_shards=1, shard_workers=None)
+        workers = (
+            config.shard_workers
+            if config.shard_workers is not None
+            else min(n, os.cpu_count() or 1)
+        )
+
+        reports: list[BuildReport] = []
+        worker_metric_states: list = []
+        wall_started = time.perf_counter()
+        trace = obs.get_trace()
+        with obs.span(
+            "build.sharded", num_shards=n, workers=workers
+        ) as parent_span:
+            if workers > 1:
+                replies = build_shards_in_processes(
+                    dataset.load_all(),
+                    ranges,
+                    shard_dirs,
+                    shard_config,
+                    workers,
+                    trace_enabled=trace is not None,
+                )
+                for shard_id in range(n):
+                    payload = replies[shard_id]
+                    reports.append(_revive_report(payload["report"]))
+                    worker_metric_states.append(payload["metrics"])
+                    if trace is not None and payload["spans"]:
+                        trace.absorb_spans(
+                            payload["spans"],
+                            thread_prefix=f"shard{shard_id}/",
+                            parent=parent_span,
+                        )
+            else:
+                for shard_id, (start, stop) in enumerate(ranges):
+                    rows = dataset.read_batch(start, stop - start)
+                    with obs.span("build.shard", shard=shard_id):
+                        shard = HerculesIndex.build(
+                            rows, shard_config, directory=shard_dirs[shard_id]
+                        )
+                    reports.append(shard.build_report)
+                    worker_metric_states.append(None)
+                    shard.close()
+        wall_seconds = time.perf_counter() - wall_started
+
+        records = []
+        for shard_id, (start, _) in enumerate(ranges):
+            shard_dir = shard_dirs[shard_id]
+            sub = manifest_mod.load_manifest(shard_dir)
+            crc = manifest_mod.stream_crc32(
+                shard_dir / manifest_mod.MANIFEST_FILENAME
+            )
+            records.append(
+                manifest_mod.ShardRecord(
+                    name=manifest_mod.shard_dirname(shard_id),
+                    row_base=start,
+                    num_series=sub.num_series,
+                    num_leaves=sub.num_leaves,
+                    manifest_crc32=crc,
+                )
+            )
+        shard_manifest = manifest_mod.ShardManifest(
+            num_shards=n,
+            num_series=dataset.num_series,
+            series_length=dataset.series_length,
+            generation=generation,
+            config_digest=manifest_mod.config_digest(
+                dataclasses.asdict(config)
+            ),
+            shards=records,
+        )
+        manifest_mod.save_shard_manifest(directory, shard_manifest)
+        # The directory is now authoritatively sharded: drop a leftover
+        # plain-layout manifest and any shard dirs beyond the new count.
+        (directory / manifest_mod.MANIFEST_FILENAME).unlink(missing_ok=True)
+        _prune_stale_shards(directory, n)
+
+        report = ShardedBuildReport(
+            wall_seconds=wall_seconds,
+            build_seconds=max(r.build_seconds for r in reports),
+            write_seconds=max(r.write_seconds for r in reports),
+            num_series=dataset.num_series,
+            num_leaves=sum(r.num_leaves for r in reports),
+            splits=sum(r.splits for r in reports),
+            flushes=sum(r.flushes for r in reports),
+            io=functools.reduce(
+                lambda a, b: a + b, (r.io for r in reports)
+            ),
+            route_seconds=max(r.route_seconds for r in reports),
+            store_seconds=max(r.store_seconds for r in reports),
+            split_seconds=max(r.split_seconds for r in reports),
+            flush_seconds=max(r.flush_seconds for r in reports),
+            shard_reports=tuple(reports),
+        )
+        logger.info(
+            "sharded index ready: %d shards over %d series in %.2fs wall "
+            "(%.0f series/s)",
+            n,
+            dataset.num_series,
+            wall_seconds,
+            report.series_per_sec,
+        )
+        shards = [
+            HerculesIndex.open(d, verify="off", cache_bytes=cache_bytes // n)
+            for d in shard_dirs
+        ]
+        return cls(
+            directory=directory,
+            shards=shards,
+            row_bases=[start for start, _ in ranges],
+            manifest=shard_manifest,
+            config=config,
+            build_report=report,
+            owns_directory=owns_directory,
+            worker_metric_states=worker_metric_states,
+        )
+
+    @classmethod
+    def open(
+        cls,
+        directory: Union[str, Path],
+        verify: str = "quick",
+        cache_bytes: int = 0,
+        workers: Optional[int] = None,
+    ) -> "ShardedIndex":
+        """Open a sharded directory (``SHARDS.json`` + shard sub-dirs).
+
+        ``verify`` levels mirror :meth:`HerculesIndex.open` and recurse:
+        ``quick``/``full`` first validate each shard sub-manifest against
+        the committed top-level record (mixed generations and swapped
+        shards are caught here), then verify the shard's own artifacts at
+        the same level.  Every failure names the shard.
+
+        The leaf-cache budget is **split evenly**: each shard gets
+        ``cache_bytes // num_shards``.  ``workers > 0`` starts that many
+        persistent query worker processes; ``None``/``0`` answers with
+        in-process threads.
+        """
+        directory = Path(directory)
+        if verify not in manifest_mod.VERIFY_LEVELS:
+            raise ValueError(
+                f"verify must be one of {manifest_mod.VERIFY_LEVELS}, "
+                f"got {verify!r}"
+            )
+        manifest = manifest_mod.load_shard_manifest(directory)
+        per_shard_cache = cache_bytes // max(manifest.num_shards, 1)
+        shards: list[HerculesIndex] = []
+        row_bases: list[int] = []
+        try:
+            for record in manifest.shards:
+                if verify != "off":
+                    manifest_mod.verify_shard_record(directory, record)
+                try:
+                    shard = HerculesIndex.open(
+                        directory / record.name,
+                        verify=verify,
+                        cache_bytes=per_shard_cache,
+                    )
+                except ReproError as exc:
+                    raise type(exc)(f"shard {record.name}: {exc}") from exc
+                shards.append(shard)
+                row_bases.append(record.row_base)
+            total = sum(shard.num_series for shard in shards)
+            if total != manifest.num_series:
+                raise ManifestError(
+                    f"shards hold {total} series but SHARDS.json records "
+                    f"{manifest.num_series}: mixed generations"
+                )
+            expected_base = 0
+            for record in manifest.shards:
+                if record.row_base != expected_base:
+                    raise ManifestError(
+                        f"shard {record.name}: row_base {record.row_base} "
+                        f"breaks the contiguous position space (expected "
+                        f"{expected_base})"
+                    )
+                expected_base += record.num_series
+        except BaseException:
+            for shard in shards:
+                shard.close()
+            raise
+        pool = None
+        if workers is not None and workers > 0:
+            specs = [
+                (i, directory / record.name, record.row_base)
+                for i, record in enumerate(manifest.shards)
+            ]
+            # Shards were just verified above; workers re-open cheaply.
+            pool = ShardQueryPool(
+                specs, workers, per_shard_cache, verify="off"
+            )
+        config = shards[0].config.with_options(
+            num_shards=manifest.num_shards
+        )
+        return cls(
+            directory=directory,
+            shards=shards,
+            row_bases=row_bases,
+            manifest=manifest,
+            config=config,
+            pool=pool,
+        )
+
+    # -- querying ------------------------------------------------------------
+
+    def knn(
+        self,
+        query: np.ndarray,
+        k: int = 1,
+        config: Optional[HerculesConfig] = None,
+    ) -> ShardedQueryAnswer:
+        """Exact k-NN, scatter-gather over every shard.
+
+        Value-identical to a single index over the same rows: each shard
+        runs the ordinary four-phase search pruning against the shared
+        global BSF², and the coordinator keeps the k smallest of the
+        union.
+        """
+        self._check_open()
+        started = time.perf_counter()
+        if self._pool is not None:
+            pairs = self._pool.query(query, k, mode="exact", config=config)
+        else:
+            pairs = self._scatter_threads(query, k, mode="exact", config=config)
+        wall = time.perf_counter() - started
+        return _merge_pairs(k, pairs, self.num_leaves, self.num_series, wall)
+
+    def knn_batch(
+        self,
+        queries: np.ndarray,
+        k: int = 1,
+        config: Optional[HerculesConfig] = None,
+    ) -> list[ShardedQueryAnswer]:
+        """Answer queries one after another (warm-cache workload)."""
+        arr = np.asarray(queries)
+        if arr.ndim != 2:
+            raise ValueError(f"expected a 2-D query batch, got ndim={arr.ndim}")
+        return [self.knn(query, k=k, config=config) for query in arr]
+
+    def knn_approx(
+        self,
+        query: np.ndarray,
+        k: int = 1,
+        l_max: Optional[int] = None,
+    ) -> ShardedQueryAnswer:
+        """Approximate k-NN: each shard's best-first probe, merged.
+
+        ``l_max`` bounds the leaves visited *per shard*, so an N-shard
+        approximate search examines up to N·l_max leaves total — more
+        work than a single index at the same setting, and at least as
+        good an answer.
+        """
+        self._check_open()
+        started = time.perf_counter()
+        if self._pool is not None:
+            pairs = self._pool.query(query, k, mode="approx", l_max=l_max)
+        else:
+            pairs = self._scatter_threads(query, k, mode="approx", l_max=l_max)
+        wall = time.perf_counter() - started
+        return _merge_pairs(k, pairs, self.num_leaves, self.num_series, wall)
+
+    def _scatter_threads(
+        self,
+        query: np.ndarray,
+        k: int,
+        mode: str,
+        config: Optional[HerculesConfig] = None,
+        l_max: Optional[int] = None,
+    ) -> list:
+        """One thread per shard, all linked to one shared BSF² cell."""
+        link = SharedBsf()
+        pairs: list = [None] * len(self.shards)
+        errors: list[BaseException] = []
+        with obs.span(
+            "query.sharded", k=k, shards=len(self.shards), mode=mode
+        ):
+            parent = obs.current_span()
+
+            def run(shard_id: int) -> None:
+                shard = self.shards[shard_id]
+                base = self.row_bases[shard_id]
+                try:
+                    with obs.span(
+                        "query.shard", parent=parent, shard=shard_id
+                    ):
+                        io_before = shard.query_io.snapshot()
+                        results = LinkedResultSet(k, link)
+                        if mode == "approx":
+                            answer = shard.knn_approx(
+                                query, k=k, l_max=l_max, results=results
+                            )
+                        else:
+                            answer = shard.knn(
+                                query, k=k, config=config, results=results
+                            )
+                        answer.profile.io = (
+                            shard.query_io.snapshot() - io_before
+                        )
+                        answer.positions = answer.positions + base
+                        pairs[shard_id] = (shard_id, answer)
+                except BaseException as exc:  # surfaced after join
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(
+                    target=run, args=(i,), name=f"shard-query-{i}"
+                )
+                for i in range(len(self.shards))
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        if errors:
+            raise errors[0]
+        return [pair for pair in pairs if pair is not None]
+
+    def get_series(self, position: int) -> np.ndarray:
+        """Fetch the raw series at a *global* position."""
+        self._check_open()
+        if not 0 <= position < self.num_series:
+            raise ValueError(
+                f"position {position} outside [0, {self.num_series})"
+            )
+        shard_id = bisect.bisect_right(self.row_bases, position) - 1
+        return self.shards[shard_id].get_series(
+            position - self.row_bases[shard_id]
+        )
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def num_series(self) -> int:
+        return self.manifest.num_series
+
+    @property
+    def num_leaves(self) -> int:
+        return sum(shard.num_leaves for shard in self.shards)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def series_length(self) -> int:
+        return self.manifest.series_length
+
+    @property
+    def generation(self) -> int:
+        return self.manifest.generation
+
+    def bind_metrics(self, registry) -> None:
+        """Attach per-shard leaf-cache gauges (``cache.leaf.shard<i>.*``)."""
+        for shard_id, shard in enumerate(self.shards):
+            if shard.leaf_cache is not None:
+                shard.leaf_cache.bind_registry(
+                    registry, prefix=f"cache.leaf.shard{shard_id}"
+                )
+
+    def merge_worker_metrics(self, registry) -> None:
+        """Fold build-worker registries into ``registry`` as ``shard.<i>.*``.
+
+        Populated only after a multi-process :meth:`build` in this
+        session; each worker's counters/gauges/histograms were flushed
+        home with the shard's build reply.
+        """
+        for shard_id, state in enumerate(self._worker_metric_states):
+            if state:
+                registry.merge_state(state, prefix=f"shard.{shard_id}.")
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop workers, release every shard (and the temp dir if ours)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        for shard in self.shards:
+            shard.close()
+        if self._owns_directory:
+            shutil.rmtree(self.directory, ignore_errors=True)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise IndexStateError("sharded index is closed")
+
+    def __enter__(self) -> "ShardedIndex":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedIndex({len(self.shards)} shards, "
+            f"{self.num_series} series, dir={self.directory})"
+        )
+
+
+def open_index(
+    directory: Union[str, Path],
+    verify: str = "quick",
+    cache_bytes: int = 0,
+    workers: Optional[int] = None,
+) -> Union[HerculesIndex, ShardedIndex]:
+    """Open whichever index layout ``directory`` holds.
+
+    A ``SHARDS.json`` marks a sharded directory (→
+    :class:`ShardedIndex`); anything else opens as a plain
+    :class:`HerculesIndex` (``workers`` is then ignored — there is
+    nothing to scatter).
+    """
+    if manifest_mod.is_sharded_directory(directory):
+        return ShardedIndex.open(
+            directory, verify=verify, cache_bytes=cache_bytes, workers=workers
+        )
+    return HerculesIndex.open(directory, verify=verify, cache_bytes=cache_bytes)
+
+
+def record_sharded_profile(
+    registry,
+    answer: ShardedQueryAnswer,
+    num_series: Optional[int] = None,
+) -> None:
+    """Record a scatter-gather answer: global + per-shard instruments.
+
+    The merged profile lands under the usual ``query.*`` names; each
+    shard's own profile additionally lands under
+    ``shard.<i>.query.*`` so per-shard skew stays visible.
+    """
+    obs.record_profile(registry, answer.profile, num_series=num_series)
+    for shard_id, shard_answer in answer.shard_answers:
+        obs.record_profile(
+            registry,
+            shard_answer.profile,
+            prefix=f"shard.{shard_id}.query",
+        )
+
+
+def _prune_stale_shards(directory: Path, num_shards: int) -> None:
+    """Remove ``shard-*`` directories beyond the just-committed count."""
+    keep = {manifest_mod.shard_dirname(i) for i in range(num_shards)}
+    for child in directory.glob("shard-*"):
+        if child.is_dir() and child.name not in keep:
+            shutil.rmtree(child, ignore_errors=True)

@@ -39,3 +39,12 @@ class IndexStateError(ReproError):
 
 class WorkloadError(ReproError):
     """A query workload or dataset could not be generated or loaded."""
+
+
+class ShardError(ReproError):
+    """A shard worker process failed or answered out of protocol.
+
+    The message carries the worker-side traceback (or exit status) so
+    failures in build/query worker processes surface in the coordinator
+    with their original context.
+    """

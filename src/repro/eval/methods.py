@@ -28,7 +28,7 @@ from repro.baselines import (
     VAFileConfig,
     VAFileIndex,
 )
-from repro.core import HerculesConfig, HerculesIndex
+from repro.core import HerculesConfig, HerculesIndex, ShardedIndex
 from repro.errors import ConfigError
 from repro.storage.dataset import Dataset
 
@@ -99,22 +99,31 @@ def build_method(
     leaf_capacity: int = DEFAULT_LEAF,
     num_threads: int = DEFAULT_THREADS,
     cache_bytes: int = 0,
+    num_shards: int = 1,
+    shard_workers: Optional[int] = None,
     **overrides,
 ) -> BuiltMethod:
     """Build one method by display name with scaled defaults.
 
     ``overrides`` are forwarded to the method's own configuration type.
     ``cache_bytes`` sizes the leaf-block LRU of methods that support one
-    (currently Hercules); 0 disables caching.
+    (currently Hercules); 0 disables caching.  ``num_shards`` > 1 builds
+    Hercules as a shard-parallel index (scatter-gather queries; other
+    methods are unaffected), with ``shard_workers`` build processes.
     """
     num_series = (
         dataset.num_series if isinstance(dataset, Dataset) else dataset.shape[0]
     )
     if name == "Hercules":
         config = hercules_config(
-            num_series, leaf_capacity, num_threads, **overrides
+            num_series,
+            leaf_capacity,
+            num_threads,
+            num_shards=num_shards,
+            shard_workers=shard_workers,
+            **overrides,
         )
-        index = HerculesIndex.build(
+        index = ShardedIndex.build(
             dataset,
             config,
             directory=Path(directory) / "hercules" if directory else None,

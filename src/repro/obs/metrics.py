@@ -12,7 +12,9 @@ every benchmark summary comes from one instrumented source.
 
 from __future__ import annotations
 
+import os
 import threading
+import weakref
 from typing import Optional
 
 import numpy as np
@@ -26,6 +28,35 @@ __all__ = [
     "record_io",
     "record_profile",
 ]
+
+#: Every live registry, tracked so locks can be re-initialized in forked
+#: children (a lock held by another thread at fork time would deadlock
+#: the child forever; see :func:`_reinit_after_fork`).
+_LIVE_REGISTRIES: "weakref.WeakSet[MetricsRegistry]" = weakref.WeakSet()
+
+
+def _reinit_after_fork() -> None:
+    """Replace every registry/instrument lock in a freshly forked child.
+
+    The child is single-threaded at this point, so no lock can be
+    legitimately held — any lock state inherited from the parent is
+    stale.  Instruments keep their values: a shard build worker forked
+    mid-benchmark still reports whatever the parent had accumulated plus
+    its own work, and the parent-side merge (:meth:`MetricsRegistry.
+    merge_state`) is responsible for not double-counting.
+    """
+    for registry in list(_LIVE_REGISTRIES):
+        registry._lock = threading.Lock()
+        for instrument in (
+            list(registry._counters.values())
+            + list(registry._gauges.values())
+            + list(registry._histograms.values())
+        ):
+            instrument._lock = threading.Lock()
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - posix only
+    os.register_at_fork(after_in_child=_reinit_after_fork)
 
 
 class Counter:
@@ -86,6 +117,12 @@ class Histogram:
         with self._lock:
             self._values.append(float(value))
 
+    def extend(self, values) -> None:
+        """Bulk-observe raw values (the child-process merge path)."""
+        coerced = [float(v) for v in values]
+        with self._lock:
+            self._values.extend(coerced)
+
     @property
     def count(self) -> int:
         with self._lock:
@@ -113,13 +150,24 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Named instruments, created on first use and safe to share."""
+    """Named instruments, created on first use and safe to share.
+
+    Registries are *fork-safe*: their locks (and every instrument's) are
+    re-initialized in forked children, and a child's whole registry can
+    be flushed across a process boundary as a plain dict
+    (:meth:`export_state`) and folded into the parent's registry
+    (:meth:`merge_state`) — counters add, gauges take the child's last
+    value, histograms append the child's raw observations.  This is how
+    shard build/query workers report `shard.*` metrics to the
+    coordinator without ever sharing a lock across processes.
+    """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        _LIVE_REGISTRIES.add(self)
 
     def counter(self, name: str) -> Counter:
         with self._lock:
@@ -161,6 +209,39 @@ class MetricsRegistry:
             self._counters.clear()
             self._gauges.clear()
             self._histograms.clear()
+
+    # -- cross-process flush --------------------------------------------------
+
+    def export_state(self) -> dict:
+        """A picklable snapshot of every instrument, raw values included.
+
+        Unlike :meth:`summary`, histograms are exported as their full
+        value lists so a parent-side merge preserves percentiles exactly.
+        This is the payload a worker process sends home before exiting.
+        """
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {k: v.value for k, v in counters.items()},
+            "gauges": {k: v.value for k, v in gauges.items()},
+            "histograms": {k: v.values for k, v in histograms.items()},
+        }
+
+    def merge_state(self, state: dict, prefix: str = "") -> None:
+        """Fold a child's :meth:`export_state` into this registry.
+
+        Counters accumulate, gauges take the child's value, histogram
+        observations append.  ``prefix`` namespaces every merged name
+        (e.g. ``shard.0.``) so per-worker provenance survives the merge.
+        """
+        for name, value in state.get("counters", {}).items():
+            self.counter(f"{prefix}{name}").add(int(value))
+        for name, value in state.get("gauges", {}).items():
+            self.gauge(f"{prefix}{name}").set(value)
+        for name, values in state.get("histograms", {}).items():
+            self.histogram(f"{prefix}{name}").extend(values)
 
 
 # ---------------------------------------------------------------------------

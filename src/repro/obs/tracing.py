@@ -27,8 +27,10 @@ from __future__ import annotations
 
 import itertools
 import json
+import os
 import threading
 import time
+import weakref
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Iterator, Optional, Union
@@ -44,10 +46,34 @@ __all__ = [
     "use_trace",
 ]
 
-#: Process id reported in exported trace events (single-process tool).
+#: Process id reported in exported trace events.  Worker-process spans
+#: absorbed into a parent trace keep this pid but get prefixed thread
+#: names, so one timeline shows all processes.
 _TRACE_PID = 1
 
 _tls = threading.local()
+
+#: Live traces, so locks can be re-initialized in forked children.
+_LIVE_TRACES: "weakref.WeakSet[Trace]" = weakref.WeakSet()
+
+
+def _reinit_after_fork() -> None:
+    """Make a freshly forked child safe to trace in.
+
+    The child inherits (a) possibly-held trace locks from other parent
+    threads and (b) the forking thread's ambient span stack — both are
+    stale.  Locks are replaced, the stack is cleared, and the active
+    trace is switched off: a worker that wants tracing creates its own
+    :class:`Trace` and ships its spans home via :meth:`Trace.export_spans`.
+    """
+    for trace in list(_LIVE_TRACES):
+        trace._lock = threading.Lock()
+    _tls.stack = []
+    set_trace(None)
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - posix only
+    os.register_at_fork(after_in_child=_reinit_after_fork)
 
 
 def _span_stack() -> list:
@@ -192,8 +218,9 @@ class Trace:
         self._lock = threading.Lock()
         self._spans: list[Span] = []
         self._ids = itertools.count(1)
-        #: thread ident -> (compact tid, thread name)
-        self._threads: dict[int, tuple[int, str]] = {}
+        #: thread ident (or synthetic key) -> (compact tid, thread name)
+        self._threads: dict = {}
+        _LIVE_TRACES.add(self)
 
     # -- recording ----------------------------------------------------------
 
@@ -235,6 +262,71 @@ class Trace:
     def __len__(self) -> int:
         with self._lock:
             return len(self._spans)
+
+    # -- cross-process attribution ------------------------------------------
+
+    def export_spans(self) -> list[dict]:
+        """Picklable span records for shipping across a process boundary.
+
+        Start times are exported on the absolute ``time.perf_counter``
+        axis (CLOCK_MONOTONIC on Linux, shared by every process of one
+        boot), so a parent trace can re-base them onto its own epoch.
+        """
+        with self._lock:
+            spans = list(self._spans)
+        return [
+            {
+                "name": s.name,
+                "span_id": s.span_id,
+                "parent_id": s.parent_id,
+                "thread_name": s.thread_name,
+                "start_abs": self.epoch + s.start,
+                "duration": s.duration,
+                "attributes": dict(s.attributes),
+            }
+            for s in spans
+        ]
+
+    def absorb_spans(
+        self,
+        records: list[dict],
+        thread_prefix: str = "",
+        parent: Optional[Span] = None,
+    ) -> None:
+        """Merge a worker process's :meth:`export_spans` into this trace.
+
+        Span ids are remapped into this trace's id space (parent links
+        inside the batch are preserved); top-level worker spans hang
+        under ``parent`` when given.  Worker threads appear as synthetic
+        timeline rows named ``<thread_prefix><thread_name>``, which is
+        the cross-process attribution the per-shard build/query spans
+        rely on.  Clock skew (a non-shared monotonic clock under spawn
+        on some platforms) degrades to clamped start times, never an
+        error.
+        """
+        id_map: dict[int, int] = {}
+        absorbed: list[tuple[Span, Optional[int]]] = []
+        for record in records:
+            s = Span(self, record["name"])
+            id_map[record["span_id"]] = s.span_id
+            s.start = max(record["start_abs"] - self.epoch, 0.0)
+            s.duration = record["duration"]
+            s.attributes = dict(record["attributes"])
+            thread_name = f"{thread_prefix}{record['thread_name']}"
+            with self._lock:
+                entry = self._threads.get(thread_name)
+                if entry is None:
+                    entry = (len(self._threads) + 1, thread_name)
+                    self._threads[thread_name] = entry
+            s.thread_id = entry[0]
+            s.thread_name = thread_name
+            absorbed.append((s, record["parent_id"]))
+        for s, original_parent in absorbed:
+            if original_parent in id_map:
+                s.parent_id = id_map[original_parent]
+            elif parent is not None:
+                s.parent_id = parent.span_id
+            self._record(s)
 
     # -- export -------------------------------------------------------------
 

@@ -16,6 +16,14 @@ the cache lock, exposed as immutable :class:`CacheSnapshot` values (with
 ``-`` for per-query deltas, mirroring ``IOSnapshot``), and optionally
 mirrored into a :class:`~repro.obs.metrics.MetricsRegistry` via
 :meth:`LeafCache.bind_registry` under ``cache.leaf.*`` counter names.
+
+Sharded indexes split one user-facing budget across independent caches:
+each of the N shards owns its own LeafCache sized ``cache_bytes // N``
+(the coordinator's total stays within what the user asked for, whether
+shards are queried by threads in one process or by worker processes
+each holding their own shard caches), and
+:meth:`repro.core.sharding.ShardedIndex.bind_metrics` namespaces each
+shard's counters as ``cache.leaf.shard<i>.*``.
 """
 
 from __future__ import annotations

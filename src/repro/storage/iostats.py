@@ -40,6 +40,17 @@ class IOSnapshot:
             bytes_written=self.bytes_written - other.bytes_written,
         )
 
+    def __add__(self, other: "IOSnapshot") -> "IOSnapshot":
+        """Combine counters from independent sources (e.g. index shards)."""
+        return IOSnapshot(
+            read_calls=self.read_calls + other.read_calls,
+            write_calls=self.write_calls + other.write_calls,
+            random_seeks=self.random_seeks + other.random_seeks,
+            sequential_reads=self.sequential_reads + other.sequential_reads,
+            bytes_read=self.bytes_read + other.bytes_read,
+            bytes_written=self.bytes_written + other.bytes_written,
+        )
+
 
 class IOStats:
     """Thread-safe I/O counters shared by every file of one index/method."""

@@ -33,6 +33,11 @@ PathLike = Union[str, Path]
 
 MANIFEST_FILENAME = "MANIFEST.json"
 MANIFEST_VERSION = 1
+#: Top-level manifest of a *sharded* index directory: lists the shard
+#: sub-directories (each with its own MANIFEST.json) plus a generation
+#: counter bumped by every rebuild into the same directory.
+SHARDS_FILENAME = "SHARDS.json"
+SHARDS_VERSION = 1
 #: Raw-record artifacts have no header of their own; their format version
 #: lives here.  HTree carries its version in its header and mirrors it.
 LRD_FORMAT_VERSION = 1
@@ -245,6 +250,169 @@ def load_manifest(directory: PathLike) -> Manifest:
 
 
 # ---------------------------------------------------------------------------
+# Sharded-index top-level manifest (SHARDS.json)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardRecord:
+    """One shard's identity inside a sharded index directory.
+
+    ``row_base`` is the shard's offset in the global position space:
+    global answer position = ``row_base`` + the shard-local LRDFile
+    position.  ``manifest_crc32`` fingerprints the shard's own
+    MANIFEST.json bytes, so the top-level manifest detects a shard that
+    was rebuilt or swapped out from under the committed generation.
+    """
+
+    name: str
+    row_base: int
+    num_series: int
+    num_leaves: int
+    manifest_crc32: int
+
+
+@dataclass
+class ShardManifest:
+    """The committed state of one sharded index generation."""
+
+    num_shards: int
+    num_series: int
+    series_length: int
+    generation: int
+    config_digest: str
+    shards: list = field(default_factory=list)
+    version: int = SHARDS_VERSION
+
+    def to_document(self) -> dict:
+        return {
+            "version": self.version,
+            "generation": self.generation,
+            "num_shards": self.num_shards,
+            "num_series": self.num_series,
+            "series_length": self.series_length,
+            "config_digest": self.config_digest,
+            "shards": [
+                {
+                    "name": rec.name,
+                    "row_base": rec.row_base,
+                    "num_series": rec.num_series,
+                    "num_leaves": rec.num_leaves,
+                    "manifest_crc32": rec.manifest_crc32,
+                }
+                for rec in self.shards
+            ],
+        }
+
+    @classmethod
+    def from_document(cls, doc: dict) -> "ShardManifest":
+        try:
+            shards = [
+                ShardRecord(
+                    name=str(rec["name"]),
+                    row_base=int(rec["row_base"]),
+                    num_series=int(rec["num_series"]),
+                    num_leaves=int(rec["num_leaves"]),
+                    manifest_crc32=int(rec["manifest_crc32"]),
+                )
+                for rec in doc["shards"]
+            ]
+            return cls(
+                num_shards=int(doc["num_shards"]),
+                num_series=int(doc["num_series"]),
+                series_length=int(doc["series_length"]),
+                generation=int(doc["generation"]),
+                config_digest=str(doc["config_digest"]),
+                shards=shards,
+                version=int(doc["version"]),
+            )
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise ManifestError(
+                f"shard manifest is missing or malformed: {exc}"
+            ) from exc
+
+
+def shard_dirname(shard_id: int) -> str:
+    """The canonical sub-directory name of one shard (``shard-0000``)."""
+    return f"shard-{shard_id:04d}"
+
+
+def save_shard_manifest(directory: PathLike, manifest: ShardManifest) -> Path:
+    """Atomically publish ``SHARDS.json`` — the sharded commit point.
+
+    Every shard sub-directory has already committed its own generation
+    (per-shard MANIFEST.json published last by :func:`~repro.core.
+    writing.write_index`); publishing the top-level manifest afterwards
+    makes the set of shards itself crash-safe: a crash mid-build leaves
+    either the previous SHARDS.json (old generation, old shard set) or
+    none, never a half-listed shard set.
+    """
+    directory = Path(directory)
+    doc = manifest.to_document()
+    doc["manifest_crc32"] = zlib.crc32(_canonical(doc))
+    final = directory / SHARDS_FILENAME
+    staged = staging_path(final)
+    with open(staged, "wb") as handle:
+        handle.write(json.dumps(doc, sort_keys=True, indent=2).encode("utf-8"))
+        handle.flush()
+        os.fsync(handle.fileno())
+    publish(staged, final)
+    return final
+
+
+def load_shard_manifest(directory: PathLike) -> ShardManifest:
+    """Load and integrity-check ``SHARDS.json``."""
+    path = Path(directory) / SHARDS_FILENAME
+    if not path.exists():
+        raise ManifestError(f"no shard manifest at {path}")
+    try:
+        doc = json.loads(path.read_bytes().decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ManifestError(f"{path}: unparseable shard manifest: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise ManifestError(f"{path}: shard manifest must be a JSON object")
+    stored_crc = doc.pop("manifest_crc32", None)
+    if stored_crc is None:
+        raise ManifestError(f"{path}: shard manifest has no integrity checksum")
+    actual_crc = zlib.crc32(_canonical(doc))
+    if stored_crc != actual_crc:
+        raise ManifestError(
+            f"{path}: shard manifest integrity checksum mismatch "
+            f"(stored {stored_crc}, computed {actual_crc})"
+        )
+    manifest = ShardManifest.from_document(doc)
+    if manifest.version != SHARDS_VERSION:
+        raise ManifestError(
+            f"{path}: shard manifest version {manifest.version} unsupported "
+            f"(expected {SHARDS_VERSION})"
+        )
+    if len(manifest.shards) != manifest.num_shards:
+        raise ManifestError(
+            f"{path}: shard manifest lists {len(manifest.shards)} shards "
+            f"but records num_shards={manifest.num_shards}"
+        )
+    return manifest
+
+
+def next_generation(directory: PathLike) -> int:
+    """The generation number a rebuild into ``directory`` should commit.
+
+    1 for a fresh directory; previous + 1 when a readable SHARDS.json is
+    already present (an unreadable one restarts at 1 — the damaged
+    generation was never servable anyway).
+    """
+    try:
+        return load_shard_manifest(directory).generation + 1
+    except ManifestError:
+        return 1
+
+
+def is_sharded_directory(directory: PathLike) -> bool:
+    """True when ``directory`` holds a sharded (SHARDS.json) index."""
+    return (Path(directory) / SHARDS_FILENAME).exists()
+
+
+# ---------------------------------------------------------------------------
 # Verification
 # ---------------------------------------------------------------------------
 
@@ -299,3 +467,46 @@ def verify_directory(
             directory, record, level=level,
             expected_version=expected_versions.get(name),
         )
+
+
+def verify_shard_record(directory: PathLike, record: ShardRecord) -> Manifest:
+    """Validate one shard sub-directory against its top-level record.
+
+    Checks that the shard directory and its MANIFEST.json exist, that
+    the sub-manifest's bytes still carry the CRC32 the top-level
+    manifest committed (a mismatch means the shard was rebuilt or
+    swapped after the generation was published — mixed generations),
+    and that the series/leaf counts agree.  Returns the loaded shard
+    manifest so callers can continue into per-artifact checks.  Raised
+    errors name the shard.
+    """
+    shard_dir = Path(directory) / record.name
+    if not shard_dir.is_dir():
+        raise StorageError(
+            f"shard {record.name}: directory missing from {directory}"
+        )
+    manifest_path = shard_dir / MANIFEST_FILENAME
+    if not manifest_path.exists():
+        raise ManifestError(f"shard {record.name}: no {MANIFEST_FILENAME}")
+    crc = stream_crc32(manifest_path)
+    if crc != record.manifest_crc32:
+        raise ChecksumError(
+            f"shard {record.name}: {MANIFEST_FILENAME} CRC32 {crc:#010x} != "
+            f"committed {record.manifest_crc32:#010x} (mixed generations "
+            "or corrupted shard manifest)"
+        )
+    try:
+        manifest = load_manifest(shard_dir)
+    except StorageError as exc:
+        raise type(exc)(f"shard {record.name}: {exc}") from exc
+    if manifest.num_series != record.num_series:
+        raise ManifestError(
+            f"shard {record.name}: holds {manifest.num_series} series but "
+            f"the shard manifest records {record.num_series}"
+        )
+    if manifest.num_leaves != record.num_leaves:
+        raise ManifestError(
+            f"shard {record.name}: holds {manifest.num_leaves} leaves but "
+            f"the shard manifest records {record.num_leaves}"
+        )
+    return manifest

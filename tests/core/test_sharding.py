@@ -1,0 +1,394 @@
+"""Shard-parallel engine: partitioning, parity with a single index, layout."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    HerculesConfig,
+    HerculesIndex,
+    LinkedResultSet,
+    ShardedIndex,
+    ShardedQueryAnswer,
+    SharedBsf,
+    open_index,
+    partition_rows,
+    record_sharded_profile,
+)
+from repro.errors import ConfigError, IndexStateError
+from repro.obs import MetricsRegistry
+from repro.storage import manifest as manifest_mod
+
+from ..conftest import make_random_walks
+
+
+def _config(**overrides):
+    base = dict(leaf_capacity=20, num_build_threads=1, flush_threshold=1)
+    base.update(overrides)
+    return HerculesConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return make_random_walks(240, 32, seed=11)
+
+
+@pytest.fixture(scope="module")
+def queries(data):
+    rng = np.random.default_rng(5)
+    noise = 0.05 * rng.standard_normal((4, 32))
+    return (data[:4] + noise).astype(np.float32)
+
+
+@pytest.fixture(scope="module")
+def single(data, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("single") / "index"
+    index = HerculesIndex.build(data, _config(), directory=directory)
+    yield index
+    index.close()
+
+
+@pytest.fixture(scope="module", params=[2, 4], ids=["shards2", "shards4"])
+def sharded(request, data, tmp_path_factory):
+    directory = tmp_path_factory.mktemp(f"sharded{request.param}") / "index"
+    index = ShardedIndex.build(
+        data,
+        _config(num_shards=request.param, shard_workers=0),
+        directory=directory,
+    )
+    yield index
+    index.close()
+
+
+class TestPartitionRows:
+    def test_balanced_and_contiguous(self):
+        ranges = partition_rows(10, 3)
+        assert ranges == [(0, 4), (4, 7), (7, 10)]
+
+    def test_exact_division(self):
+        assert partition_rows(8, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_single_shard_is_whole_range(self):
+        assert partition_rows(100, 1) == [(0, 100)]
+
+    def test_sizes_differ_by_at_most_one(self):
+        sizes = [stop - start for start, stop in partition_rows(1003, 7)]
+        assert sum(sizes) == 1003
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ConfigError, match="num_shards"):
+            partition_rows(10, 0)
+
+    def test_rejects_more_shards_than_rows(self):
+        with pytest.raises(ConfigError, match="at least one series"):
+            partition_rows(3, 4)
+
+
+class TestSharedBsf:
+    def test_publish_keeps_minimum(self):
+        link = SharedBsf()
+        assert link.get() == np.inf
+        link.publish(4.0)
+        link.publish(9.0)  # worse, must not regress the bound
+        assert link.get() == 4.0
+        link.publish(1.0)
+        assert link.get() == 1.0
+
+    def test_reset_returns_to_inf(self):
+        link = SharedBsf()
+        link.publish(2.0)
+        link.reset()
+        assert link.get() == np.inf
+
+
+class TestLinkedResultSet:
+    def test_local_improvement_published_immediately(self):
+        link = SharedBsf()
+        results = LinkedResultSet(1, link)
+        results.update_squared(4.0, 0)
+        assert link.get() == 4.0
+        results.update_squared(1.0, 1)
+        assert link.get() == 1.0
+
+    def test_reads_return_min_of_local_and_link(self):
+        link = SharedBsf()
+        link.publish(4.0)
+        results = LinkedResultSet(1, link)  # snapshots the link at creation
+        assert results.bsf_squared == 4.0
+        results.update_squared(9.0, 0)  # local k-th best is now 9
+        assert results.bsf_squared == 4.0  # link is tighter
+
+    def test_refresh_is_throttled(self):
+        link = SharedBsf()
+        results = LinkedResultSet(1, link)
+        link.publish(2.0)  # published after the creation snapshot
+        refresh = LinkedResultSet._REFRESH_READS
+        stale = [results.bsf_squared for _ in range(refresh - 1)]
+        assert all(value == np.inf for value in stale)
+        assert results.bsf_squared == 2.0  # refresh-th read picks it up
+
+    def test_batch_updates_publish(self):
+        link = SharedBsf()
+        results = LinkedResultSet(2, link)
+        results.update_batch_squared(
+            np.array([9.0, 4.0, 16.0]), np.array([0, 1, 2])
+        )
+        assert link.get() == 9.0  # k-th (2nd) best of {4, 9, 16}
+
+
+class TestExactParity:
+    @pytest.mark.parametrize("k", [1, 10, 100])
+    def test_value_identical_to_single_index(self, single, sharded, queries, k):
+        for query in queries:
+            ref = single.knn(query, k=k)
+            answer = sharded.knn(query, k=k)
+            np.testing.assert_array_equal(answer.distances, ref.distances)
+
+    def test_positions_resolve_to_true_neighbors(self, sharded, queries):
+        # Positions are global (shard row_base + local storage position):
+        # fetching each one back must reproduce the reported distance.
+        query = queries[0]
+        answer = sharded.knn(query, k=5)
+        for distance, position in zip(answer.distances, answer.positions):
+            actual = np.linalg.norm(query - sharded.get_series(position))
+            np.testing.assert_allclose(actual, distance, rtol=1e-5)
+
+    def test_answer_carries_per_shard_breakdown(self, sharded, queries):
+        answer = sharded.knn(queries[0], k=3)
+        assert isinstance(answer, ShardedQueryAnswer)
+        assert answer.profile.path == "sharded"
+        assert len(answer.shard_answers) == sharded.num_shards
+        assert [sid for sid, _ in answer.shard_answers] == list(
+            range(sharded.num_shards)
+        )
+
+    def test_batch_matches_single_queries(self, sharded, queries):
+        batch = sharded.knn_batch(queries, k=2)
+        assert len(batch) == len(queries)
+        for query, answer in zip(queries, batch):
+            one = sharded.knn(query, k=2)
+            np.testing.assert_array_equal(answer.distances, one.distances)
+
+
+class TestApproximateParity:
+    def test_exhaustive_l_max_matches_exact(self, single, sharded, queries):
+        # With l_max >= the leaf count the best-first probe runs to
+        # pruning exhaustion, so both paths must produce the exact answer.
+        l_max = single.num_leaves
+        for query in queries:
+            ref = single.knn(query, k=10)
+            answer = sharded.knn_approx(query, k=10, l_max=l_max)
+            np.testing.assert_array_equal(answer.distances, ref.distances)
+
+    def test_small_l_max_is_at_least_as_good(self, single, sharded, queries):
+        # N shards probe N * l_max leaves total: never a worse k-th best.
+        query = queries[1]
+        ref = single.knn_approx(query, k=5, l_max=2)
+        answer = sharded.knn_approx(query, k=5, l_max=2)
+        assert answer.distances[-1] <= ref.distances[-1] + 1e-6
+
+
+class TestProcessWorkers:
+    def test_process_build_matches_single_index(
+        self, single, data, queries, tmp_path
+    ):
+        index = ShardedIndex.build(
+            data,
+            _config(num_shards=2, shard_workers=2),
+            directory=tmp_path / "proc",
+        )
+        try:
+            for query in queries:
+                ref = single.knn(query, k=5)
+                answer = index.knn(query, k=5)
+                np.testing.assert_array_equal(answer.distances, ref.distances)
+        finally:
+            index.close()
+
+    def test_worker_metrics_merge_home(self, data, tmp_path):
+        index = ShardedIndex.build(
+            data,
+            _config(num_shards=2, shard_workers=2),
+            directory=tmp_path / "metrics",
+        )
+        try:
+            registry = MetricsRegistry()
+            index.merge_worker_metrics(registry)
+            summary = registry.summary()
+            total = sum(
+                summary["counters"][f"shard.{i}.build.num_series"]
+                for i in range(2)
+            )
+            assert total == data.shape[0]
+        finally:
+            index.close()
+
+    def test_query_pool_matches_thread_path(self, sharded, queries):
+        pooled = ShardedIndex.open(sharded.directory, workers=2)
+        try:
+            for query in queries:
+                ref = sharded.knn(query, k=10)
+                answer = pooled.knn(query, k=10)
+                np.testing.assert_array_equal(answer.distances, ref.distances)
+                np.testing.assert_array_equal(answer.positions, ref.positions)
+        finally:
+            pooled.close()
+
+    def test_query_pool_approximate(self, sharded, queries):
+        pooled = ShardedIndex.open(sharded.directory, workers=2)
+        try:
+            ref = sharded.knn_approx(queries[0], k=3, l_max=4)
+            answer = pooled.knn_approx(queries[0], k=3, l_max=4)
+            np.testing.assert_array_equal(answer.distances, ref.distances)
+        finally:
+            pooled.close()
+
+
+class TestLayout:
+    def test_single_shard_delegates_to_plain_layout(self, data, tmp_path):
+        plain_dir = tmp_path / "plain"
+        delegated_dir = tmp_path / "delegated"
+        plain = HerculesIndex.build(data, _config(), directory=plain_dir)
+        plain.close()
+        delegated = ShardedIndex.build(
+            data, _config(num_shards=1), directory=delegated_dir
+        )
+        assert isinstance(delegated, HerculesIndex)
+        delegated.close()
+        assert not (delegated_dir / manifest_mod.SHARDS_FILENAME).exists()
+        for name in ("lrd.bin", "lsd.bin", "htree.bin"):
+            assert (
+                (delegated_dir / name).read_bytes()
+                == (plain_dir / name).read_bytes()
+            ), f"{name} differs between --shards 1 and the classic build"
+
+    def test_sharded_directory_shape(self, sharded):
+        directory = sharded.directory
+        assert (directory / manifest_mod.SHARDS_FILENAME).exists()
+        assert not (directory / manifest_mod.MANIFEST_FILENAME).exists()
+        for shard_id in range(sharded.num_shards):
+            shard_dir = directory / manifest_mod.shard_dirname(shard_id)
+            assert (shard_dir / manifest_mod.MANIFEST_FILENAME).exists()
+            assert (shard_dir / "lrd.bin").exists()
+
+    def test_open_index_dispatches_on_layout(self, sharded, single):
+        via_sharded = open_index(sharded.directory)
+        assert isinstance(via_sharded, ShardedIndex)
+        via_sharded.close()
+        via_plain = open_index(single.directory)
+        assert isinstance(via_plain, HerculesIndex)
+        via_plain.close()
+
+    def test_rebuild_bumps_generation_and_prunes_shards(self, data, tmp_path):
+        directory = tmp_path / "regen"
+        first = ShardedIndex.build(
+            data, _config(num_shards=4, shard_workers=0), directory=directory
+        )
+        assert first.generation == 1
+        first.close()
+        second = ShardedIndex.build(
+            data, _config(num_shards=2, shard_workers=0), directory=directory
+        )
+        try:
+            assert second.generation == 2
+            assert not (directory / manifest_mod.shard_dirname(2)).exists()
+            assert not (directory / manifest_mod.shard_dirname(3)).exists()
+        finally:
+            second.close()
+
+    def test_rejects_more_shards_than_series(self, tmp_path):
+        tiny = make_random_walks(3, 32, seed=1)
+        with pytest.raises(ConfigError, match="shards"):
+            ShardedIndex.build(
+                tiny,
+                _config(num_shards=4, shard_workers=0),
+                directory=tmp_path / "tiny",
+            )
+
+
+class TestGlobalPositions:
+    def test_answers_span_multiple_shards(self, sharded, data, queries):
+        answer = sharded.knn(queries[0], k=100)
+        assert (answer.positions >= 0).all()
+        assert (answer.positions < data.shape[0]).all()
+        # With k approaching half the dataset, every shard contributes.
+        assert (answer.positions >= sharded.row_bases[-1]).any()
+        assert (answer.positions < sharded.row_bases[1]).any()
+
+    def test_get_series_rejects_out_of_range(self, sharded, data):
+        with pytest.raises(ValueError, match="outside"):
+            sharded.get_series(data.shape[0])
+        with pytest.raises(ValueError, match="outside"):
+            sharded.get_series(-1)
+
+    def test_row_bases_are_contiguous(self, sharded, data):
+        sizes = [shard.num_series for shard in sharded.shards]
+        assert sum(sizes) == data.shape[0]
+        expected = 0
+        for base, size in zip(sharded.row_bases, sizes):
+            assert base == expected
+            expected += size
+
+
+class TestObservabilityHooks:
+    def test_per_shard_cache_metrics(self, sharded, queries):
+        index = ShardedIndex.open(sharded.directory, cache_bytes=1 << 20)
+        try:
+            registry = MetricsRegistry()
+            index.bind_metrics(registry)
+            index.knn(queries[0], k=5)
+            index.knn(queries[0], k=5)
+            counters = registry.summary()["counters"]
+            shard0 = [
+                name
+                for name in counters
+                if name.startswith("cache.leaf.shard0.")
+            ]
+            assert shard0, f"no shard-0 cache counters in {sorted(counters)}"
+            assert any(counters[name] > 0 for name in shard0)
+        finally:
+            index.close()
+
+    def test_record_sharded_profile(self, sharded, queries):
+        registry = MetricsRegistry()
+        answer = sharded.knn(queries[0], k=3)
+        record_sharded_profile(registry, answer, num_series=sharded.num_series)
+        counters = registry.summary()["counters"]
+        assert counters["query.count"] == 1
+        assert counters["query.path.sharded"] == 1
+        for shard_id in range(sharded.num_shards):
+            assert counters[f"shard.{shard_id}.query.count"] == 1
+
+    def test_merged_profile_aggregates_work(self, sharded, queries):
+        answer = sharded.knn(queries[0], k=3)
+        per_shard = [a.profile for _, a in answer.shard_answers]
+        merged = answer.profile
+        assert merged.distance_computations == sum(
+            p.distance_computations for p in per_shard
+        )
+        assert merged.series_accessed == sum(
+            p.series_accessed for p in per_shard
+        )
+        assert 0.0 <= merged.eapca_pruning <= 1.0
+
+
+class TestLifecycle:
+    def test_closed_index_refuses_queries(self, data, queries, tmp_path):
+        index = ShardedIndex.build(
+            data,
+            _config(num_shards=2, shard_workers=0),
+            directory=tmp_path / "closed",
+        )
+        index.close()
+        index.close()  # idempotent
+        with pytest.raises(IndexStateError, match="closed"):
+            index.knn(queries[0], k=1)
+
+    def test_context_manager_and_repr(self, data, tmp_path):
+        with ShardedIndex.build(
+            data,
+            _config(num_shards=2, shard_workers=0),
+            directory=tmp_path / "ctx",
+        ) as index:
+            assert "2 shards" in repr(index)
+            assert index.num_series == data.shape[0]

@@ -626,3 +626,137 @@ class TestCacheFlag:
             line for line in out.splitlines() if line.lstrip().startswith("Hercules")
         )
         assert "%" in hercules_row
+
+
+class TestShardedCLI:
+    @pytest.fixture
+    def sharded_dir(self, dataset_file, tmp_path, capsys):
+        index_dir = tmp_path / "sharded"
+        code = main(
+            [
+                "build",
+                "--dataset", str(dataset_file),
+                "--length", "32",
+                "--output", str(index_dir),
+                "--leaf-capacity", "50",
+                "--threads", "1",
+                "--shards", "2",
+                "--shard-workers", "0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 shards" in out
+        return index_dir
+
+    def test_query_matches_unsharded_build(
+        self, dataset_file, sharded_dir, tmp_path, capsys
+    ):
+        plain_dir = tmp_path / "plain"
+        code = main(
+            [
+                "build",
+                "--dataset", str(dataset_file),
+                "--length", "32",
+                "--output", str(plain_dir),
+                "--leaf-capacity", "50",
+                "--threads", "1",
+                "--shards", "1",
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        query_args = ["--queries", str(dataset_file), "--k", "3", "--count", "2"]
+        assert main(["query", "--index", str(plain_dir)] + query_args) == 0
+        plain_out = capsys.readouterr().out
+        assert main(["query", "--index", str(sharded_dir)] + query_args) == 0
+        sharded_out = capsys.readouterr().out
+        # Distances printed per query must agree exactly across layouts
+        # (positions are storage-order and paths differ by design).
+        def distances(out):
+            return [
+                line.split("] pos")[0]
+                for line in out.splitlines()
+                if "d=[" in line
+            ]
+
+        assert distances(plain_out) == distances(sharded_out)
+        assert len(distances(plain_out)) == 2
+
+    def test_query_with_worker_pool(self, dataset_file, sharded_dir, capsys):
+        code = main(
+            [
+                "query",
+                "--index", str(sharded_dir),
+                "--queries", str(dataset_file),
+                "--k", "2",
+                "--count", "2",
+                "--shard-workers", "2",
+            ]
+        )
+        assert code == 0
+        assert "answered 2 queries" in capsys.readouterr().out
+
+    def test_verify_index_reports_per_shard_rows(self, sharded_dir, capsys):
+        code = main(["verify-index", str(sharded_dir), "--level", "full"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SHARDS.json" in out
+        for shard in ("shard-0000", "shard-0001"):
+            assert f"{shard}/MANIFEST.json" in out
+            assert f"{shard}/lrd.bin" in out
+        assert "is healthy (full verification, sharded)" in out
+
+    def test_verify_index_names_damaged_shard(self, sharded_dir, capsys):
+        lrd = sharded_dir / "shard-0001" / "lrd.bin"
+        blob = bytearray(lrd.read_bytes())
+        blob[64] ^= 0xFF
+        lrd.write_bytes(bytes(blob))
+        capsys.readouterr()
+        assert main(["verify-index", str(sharded_dir), "--level", "full"]) == 1
+        out = capsys.readouterr().out
+        assert "DAMAGED" in out
+        assert "shard-0001" in out
+
+    def test_explain_prints_per_shard_breakdown(
+        self, sharded_dir, dataset_file, capsys
+    ):
+        code = main(
+            [
+                "explain",
+                "--index", str(sharded_dir),
+                "--queries", str(dataset_file),
+                "--k", "2",
+                "--count", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "path=sharded" in out
+        assert "shard 0: path=" in out
+        assert "shard 1: path=" in out
+
+    def test_inspect_shows_shard_summary(self, sharded_dir, capsys):
+        code = main(["inspect", "--index", str(sharded_dir)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sharded index" in out
+        assert "shards             2" in out
+        assert "row base" in out
+
+    def test_cache_flag_prints_per_shard_lines(
+        self, sharded_dir, dataset_file, capsys
+    ):
+        code = main(
+            [
+                "query",
+                "--index", str(sharded_dir),
+                "--queries", str(dataset_file),
+                "--count", "2",
+                "--cache-mb", "8",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "leaf cache shard 0:" in out
+        assert "leaf cache shard 1:" in out
