@@ -32,9 +32,12 @@ from repro.errors import (
     IndexStateError,
     ReproError,
     ShardError,
+    ShardTimeoutError,
     StorageError,
+    WorkerSupervisionError,
     WorkloadError,
 )
+from repro.retry import RetryPolicy
 from repro.storage.dataset import Dataset
 
 __version__ = "1.0.0"
@@ -50,9 +53,12 @@ __all__ = [
     "ShardedQueryAnswer",
     "open_index",
     "Dataset",
+    "RetryPolicy",
     "ReproError",
     "ConfigError",
     "ShardError",
+    "ShardTimeoutError",
+    "WorkerSupervisionError",
     "StorageError",
     "IndexStateError",
     "WorkloadError",

@@ -99,7 +99,44 @@ def _cmd_generate_workload(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resilience_overrides(args: argparse.Namespace) -> dict:
+    """Config overrides from the shared resilience flags (only those set)."""
+    overrides = {}
+    if getattr(args, "partial_results", False):
+        overrides["partial_results"] = True
+    if getattr(args, "shard_retries", None) is not None:
+        overrides["shard_retry_attempts"] = args.shard_retries
+    if getattr(args, "shard_timeout", None) is not None:
+        overrides["shard_timeout"] = args.shard_timeout
+    if getattr(args, "query_deadline", None) is not None:
+        overrides["query_deadline"] = args.query_deadline
+    return overrides
+
+
+def _add_resilience_flags(parser) -> None:
+    """Query-side resilience flags shared by ``query`` and ``explain``."""
+    parser.add_argument(
+        "--partial-results", action="store_true",
+        help="allow degraded answers: drop shards that still fail after "
+             "retries instead of erroring (coverage is reported)")
+    parser.add_argument(
+        "--shard-retries", type=int, default=None,
+        help="total tries per shard dispatch (default: index config, 3)")
+    parser.add_argument(
+        "--shard-timeout", type=float, default=None,
+        help="seconds one shard attempt may run before it counts as failed")
+    parser.add_argument(
+        "--query-deadline", type=float, default=None,
+        help="whole-query wall-clock budget in seconds across all "
+             "shards and retries")
+
+
 def _cmd_build(args: argparse.Namespace) -> int:
+    supervision_overrides = {}
+    if args.max_worker_restarts is not None:
+        supervision_overrides["max_worker_restarts"] = args.max_worker_restarts
+    if args.stall_timeout is not None:
+        supervision_overrides["build_stall_timeout"] = args.stall_timeout
     config = HerculesConfig(
         leaf_capacity=args.leaf_capacity,
         initial_segments=args.initial_segments,
@@ -112,6 +149,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
         claim_size=args.claim_size,
         num_shards=args.shards,
         shard_workers=args.shard_workers,
+        **supervision_overrides,
     )
     with _maybe_trace(args), Dataset.open(args.dataset, args.length) as dataset:
         # Delegates to the classic single-index build when --shards 1,
@@ -132,6 +170,12 @@ def _cmd_build(args: argparse.Namespace) -> int:
             f"critical path {report.build_seconds:.2f}s build + "
             f"{report.write_seconds:.2f}s write)"
         )
+        if report.worker_restarts or report.requeued_tasks or report.task_retries:
+            print(
+                f"supervision: {report.worker_restarts} worker restarts, "
+                f"{report.requeued_tasks} tasks requeued off dead workers, "
+                f"{report.task_retries} shard builds retried"
+            )
     else:
         print(
             f"building {report.build_seconds:.2f}s + "
@@ -169,12 +213,18 @@ def _cmd_query(args: argparse.Namespace) -> int:
         cache_bytes=_cache_bytes(args),
         workers=getattr(args, "shard_workers", None),
     )
-    config = index.config.with_options(epsilon=args.epsilon)
+    config = index.config.with_options(
+        epsilon=args.epsilon, **_resilience_overrides(args)
+    )
+    if isinstance(index, ShardedIndex):
+        # knn_approx and retry policy read the index config directly.
+        index.config = config
     with _maybe_trace(args), Dataset.open(args.queries, index.series_length) as queries:
         count = queries.num_series if args.count is None else min(
             args.count, queries.num_series
         )
         total = 0.0
+        degraded = 0
         for i in range(count):
             query = queries.read_series(i)
             if args.approximate:
@@ -190,10 +240,31 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 f"accessed={answer.profile.data_accessed_fraction(index.num_series):.2%} "
                 f"({answer.profile.time_total * 1e3:.1f} ms)"
             )
+            degraded += _print_degradation(answer, f"query {i}")
     print(f"answered {count} queries in {total:.3f}s")
+    if degraded:
+        print(f"WARNING: {degraded} of {count} answers were degraded")
     _print_cache_stats(index)
     index.close()
     return 0
+
+
+def _print_degradation(answer, label: str) -> int:
+    """One warning line per degraded/retried answer; returns 1 if degraded."""
+    if not isinstance(answer, ShardedQueryAnswer):
+        return 0
+    if answer.retries and not answer.degraded:
+        print(f"  {label}: recovered after {answer.retries} shard retries")
+    if not answer.degraded:
+        return 0
+    dropped = ", ".join(
+        f"shard {sid} ({reason})" for sid, reason in answer.shard_errors
+    )
+    print(
+        f"  {label}: DEGRADED — coverage {answer.coverage:.2%} "
+        f"after {answer.retries} retries; dropped {dropped}"
+    )
+    return 1
 
 
 def _print_cache_stats(index) -> None:
@@ -225,7 +296,11 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         cache_bytes=_cache_bytes(args),
         workers=getattr(args, "shard_workers", None),
     )
-    config = index.config.with_options(epsilon=args.epsilon)
+    config = index.config.with_options(
+        epsilon=args.epsilon, **_resilience_overrides(args)
+    )
+    if isinstance(index, ShardedIndex):
+        index.config = config
     registry = obs.MetricsRegistry()
     with _maybe_trace(args), Dataset.open(args.queries, index.series_length) as queries:
         count = queries.num_series if args.count is None else min(
@@ -259,6 +334,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
                         f"{p.series_accessed} series read  "
                         f"{p.time_total * 1e3:.1f} ms"
                     )
+                _print_degradation(answer, f"query {i}")
             print()
     print(obs.explain_workload_summary(registry))
     index.close()
@@ -396,6 +472,8 @@ def _verify_sharded_directory(directory: Path, level: str) -> int:
         LSD_FILENAME: manifest_mod.LSD_FORMAT_VERSION,
         HTREE_FILENAME: HTREE_FORMAT_VERSION,
     }
+    healthy_shards = 0
+    healthy_series = 0
     for record in shard_manifest.shards:
         label = f"{record.name}/{manifest_mod.MANIFEST_FILENAME}"
         try:
@@ -408,6 +486,7 @@ def _verify_sharded_directory(directory: Path, level: str) -> int:
             f"{label:<{name_width}}ok ({record.num_series} series, "
             f"{record.num_leaves} leaves)"
         )
+        shard_failures = 0
         for name, artifact in sorted(sub_manifest.artifacts.items()):
             row = f"{record.name}/{name}"
             try:
@@ -425,7 +504,11 @@ def _verify_sharded_directory(directory: Path, level: str) -> int:
                 print(
                     f"{row:<{name_width}}DAMAGED — shard {record.name}: {exc}"
                 )
-                failures += 1
+                shard_failures += 1
+        failures += shard_failures
+        if shard_failures == 0:
+            healthy_shards += 1
+            healthy_series += record.num_series
     if failures == 0:
         # Per-shard bytes are sound; prove the whole directory opens as
         # one coherent generation (contiguous row bases included).
@@ -442,6 +525,13 @@ def _verify_sharded_directory(directory: Path, level: str) -> int:
             failures += 1
     if failures:
         print(f"\n{failures} damaged artifact(s) in {directory}")
+        if 0 < healthy_shards < shard_manifest.num_shards:
+            print(
+                f"a --partial-results query would cover "
+                f"{healthy_series}/{shard_manifest.num_series} series "
+                f"({healthy_shards}/{shard_manifest.num_shards} shards "
+                "healthy)"
+            )
         return 1
     print(f"\n{directory} is healthy ({level} verification, sharded)")
     return 0
@@ -633,6 +723,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes building shards in parallel "
                             "(default: min(shards, cpu_count); 0/1: build "
                             "shards sequentially in-process)")
+    build.add_argument("--max-worker-restarts", type=int, default=None,
+                       help="replacement build workers the supervisor may "
+                            "spawn after dead-worker detection (default: 2)")
+    build.add_argument("--stall-timeout", type=float, default=None,
+                       help="seconds without worker progress before a "
+                            "sharded build is declared dead (default: 600)")
     build.add_argument("--trace", type=Path, default=None,
                        help="write a Chrome-trace JSON of the build to FILE")
     build.set_defaults(func=_cmd_build)
@@ -653,6 +749,7 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--shard-workers", type=int, default=None,
                        help="persistent query worker processes for a sharded "
                             "index (default: in-process threads)")
+    _add_resilience_flags(query)
     query.add_argument("--trace", type=Path, default=None,
                        help="write a Chrome-trace JSON of the queries to FILE")
     query.set_defaults(func=_cmd_query)
@@ -674,6 +771,7 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--shard-workers", type=int, default=None,
                          help="persistent query worker processes for a "
                               "sharded index (default: in-process threads)")
+    _add_resilience_flags(explain)
     explain.add_argument("--trace", type=Path, default=None,
                          help="also write a Chrome-trace JSON to FILE")
     explain.set_defaults(func=_cmd_explain)

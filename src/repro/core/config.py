@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.errors import ConfigError
+from repro.retry import RetryPolicy
 
 
 @dataclass(frozen=True)
@@ -84,6 +85,38 @@ class HerculesConfig:
     #: cpu_count)`` for builds and in-process threads for queries;
     #: ``0`` forces everything inline in the coordinator process.
     shard_workers: int | None = None
+
+    # -- shard resilience (retries, supervision, degradation) -----------------
+    #: Replacement worker processes the build supervisor may spawn after
+    #: dead-worker detection before declaring the build failed.
+    max_worker_restarts: int = 2
+    #: Total tries per shard query dispatch (1 disables retries).
+    shard_retry_attempts: int = 3
+    #: Base backoff before the first shard retry; doubles per attempt
+    #: with deterministic per-shard jitter (see :mod:`repro.retry`).
+    shard_retry_backoff: float = 0.05
+    #: Jitter fraction mixed into shard retry backoff, in [0, 1].
+    shard_retry_jitter: float = 0.5
+    #: Seconds one shard attempt may run before it is declared failed
+    #: (``None``: unbounded).
+    shard_timeout: float | None = None
+    #: Whole-query wall-clock budget across all shards and retries
+    #: (``None``: unbounded).
+    query_deadline: float | None = None
+    #: Allow a query to drop shards that still fail after retries and
+    #: return a degraded answer (``coverage`` < 1) instead of raising.
+    #: Exact-mode queries refuse to degrade unless this is set.
+    partial_results: bool = False
+    #: Seconds between supervision ticks while awaiting worker replies.
+    shard_poll_seconds: float = 1.0
+    #: Seconds without any worker progress before a build is declared
+    #: dead (the dead-build watchdog).
+    build_stall_timeout: float = 600.0
+    #: Seconds to wait for build workers to exit before escalating to
+    #: terminate()/kill().
+    build_join_timeout: float = 30.0
+    #: Seconds to wait for query-pool workers to exit before escalating.
+    query_join_timeout: float = 10.0
 
     # -- query answering -----------------------------------------------------
     #: Maximum leaves visited by the approximate search (paper default 80).
@@ -161,6 +194,40 @@ class HerculesConfig:
             raise ConfigError(
                 f"shard_workers must be >= 0, got {self.shard_workers}"
             )
+        if self.max_worker_restarts < 0:
+            raise ConfigError(
+                f"max_worker_restarts must be >= 0, got "
+                f"{self.max_worker_restarts}"
+            )
+        if self.shard_retry_attempts < 1:
+            raise ConfigError(
+                f"shard_retry_attempts must be >= 1, got "
+                f"{self.shard_retry_attempts}"
+            )
+        if self.shard_retry_backoff < 0.0:
+            raise ConfigError(
+                f"shard_retry_backoff must be >= 0, got "
+                f"{self.shard_retry_backoff}"
+            )
+        if not 0.0 <= self.shard_retry_jitter <= 1.0:
+            raise ConfigError(
+                f"shard_retry_jitter must be in [0, 1], got "
+                f"{self.shard_retry_jitter}"
+            )
+        for name in ("shard_timeout", "query_deadline"):
+            value = getattr(self, name)
+            if value is not None and value <= 0.0:
+                raise ConfigError(f"{name} must be positive, got {value}")
+        for name in (
+            "shard_poll_seconds",
+            "build_stall_timeout",
+            "build_join_timeout",
+            "query_join_timeout",
+        ):
+            if getattr(self, name) <= 0.0:
+                raise ConfigError(
+                    f"{name} must be positive, got {getattr(self, name)}"
+                )
 
     @property
     def num_insert_workers(self) -> int:
@@ -180,6 +247,17 @@ class HerculesConfig:
         if self.num_build_threads == 1:
             return self.db_size
         return max(self.db_size // (4 * self.num_insert_workers), 1)
+
+    def retry_policy(self) -> RetryPolicy:
+        """The shard-dispatch :class:`~repro.retry.RetryPolicy` this
+        configuration describes."""
+        return RetryPolicy(
+            attempts=self.shard_retry_attempts,
+            backoff_seconds=self.shard_retry_backoff,
+            jitter_fraction=self.shard_retry_jitter,
+            shard_timeout=self.shard_timeout,
+            deadline=self.query_deadline,
+        )
 
     def with_options(self, **changes) -> "HerculesConfig":
         """A copy of this configuration with the given fields replaced."""

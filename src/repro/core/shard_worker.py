@@ -1,4 +1,4 @@
-"""Process workers behind the sharded engine.
+"""Process workers behind the sharded engine, plus their supervision.
 
 Two worker kinds live here, both plain top-level functions so they are
 picklable under every ``multiprocessing`` start method:
@@ -22,6 +22,29 @@ picklable under every ``multiprocessing`` start method:
   uses — and reply with shard answers whose positions are already
   globalized (``row_base`` added).
 
+Both coordinators *supervise* their workers (ParIS+/MESSI treat worker
+failure as a first-class concern, and so does this engine):
+
+* the build coordinator tracks which worker claimed which shard, detects
+  dead workers by liveness polling, **requeues** a dead worker's
+  unfinished shards onto survivors, and **respawns** replacements up to
+  ``config.max_worker_restarts`` before failing — one OOM-killed worker
+  no longer wastes a multi-hour build;
+* the query pool retries a failed dispatch per its
+  :class:`~repro.retry.RetryPolicy` (exponential backoff, deterministic
+  per-shard jitter, per-dispatch timeout and whole-query deadline),
+  restarts dead or timed-out workers within the same restart budget, and
+  reports per-shard errors to the caller instead of failing closed —
+  :class:`~repro.core.sharding.ShardedIndex` decides whether to degrade
+  or raise;
+* shutdown never hangs: workers that ignore the join timeout are
+  escalated ``terminate()`` → ``kill()`` with a logged warning.
+
+Workers honour fault plans shipped through the
+:data:`repro.storage.faults.PLANS_ENV` channel (see
+:func:`repro.storage.faults.worker_injection`), which is how the chaos
+matrix kills workers mid-build and injects flaky reads mid-query.
+
 The start method defaults to ``fork`` where available (cheap, and
 ``repro.obs`` re-initializes its locks in forked children); set
 ``REPRO_MP_START=spawn`` to override.  Everything shipped between
@@ -33,9 +56,13 @@ from __future__ import annotations
 
 import ctypes
 import dataclasses
+import logging
 import math
 import os
+import shutil
+import time
 import traceback
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional
 
@@ -44,19 +71,26 @@ import numpy as np
 from repro import obs
 from repro.core.config import HerculesConfig
 from repro.core.results import LinkedResultSet
-from repro.errors import ShardError
+from repro.errors import ShardError, ShardTimeoutError, WorkerSupervisionError
+from repro.retry import RetryPolicy
+from repro.storage import faults
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
+    "GatherOutcome",
     "ProcessBsf",
     "ShardQueryPool",
+    "SupervisionReport",
     "build_shards_in_processes",
     "build_worker_main",
     "mp_context",
     "query_worker_main",
+    "reap_processes",
 ]
 
-#: Seconds without any worker progress before a build is declared dead.
-_BUILD_STALL_TIMEOUT = 600.0
+#: Grace period after terminate() before escalating to kill().
+_ESCALATION_GRACE = 5.0
 
 
 def mp_context():
@@ -75,6 +109,39 @@ def mp_context():
     return mp.get_context(
         "fork" if "fork" in mp.get_all_start_methods() else "spawn"
     )
+
+
+def reap_processes(procs, timeout: float, label: str) -> int:
+    """Join every process, escalating terminate() → kill() on stragglers.
+
+    A worker that never exits used to hang shutdown forever: ``join``
+    with a timeout *returns* on a stuck process but nothing followed up.
+    Now a process still alive after ``timeout`` seconds is terminated,
+    given :data:`_ESCALATION_GRACE` to die, then SIGKILLed; every
+    escalation is logged.  Returns the number of escalated workers.
+    """
+    deadline = time.monotonic() + timeout
+    for proc in procs:
+        proc.join(timeout=max(deadline - time.monotonic(), 0.0))
+    escalated = 0
+    for proc in procs:
+        if not proc.is_alive():
+            continue
+        escalated += 1
+        logger.warning(
+            "%s worker pid %s ignored shutdown for %.1fs; terminating",
+            label, proc.pid, timeout,
+        )
+        proc.terminate()
+        proc.join(timeout=_ESCALATION_GRACE)
+        if proc.is_alive():  # pragma: no cover - needs an unkillable child
+            logger.warning(
+                "%s worker pid %s survived terminate(); killing",
+                label, proc.pid,
+            )
+            proc.kill()
+            proc.join(timeout=_ESCALATION_GRACE)
+    return escalated
 
 
 class ProcessBsf:
@@ -127,9 +194,14 @@ def build_worker_main(
     """Entry point of one build worker process.
 
     Consumes ``(shard_id, start, stop, shard_dir)`` tasks until the
-    ``None`` sentinel.  Each reply is ``("ok", shard_id, payload)`` or
-    ``("error", shard_id, traceback_text)``; the payload carries the
-    build report as a dict plus the worker's observability state.
+    ``None`` sentinel.  Each task is announced with a ``("claim",
+    shard_id, pid)`` message *before* any work happens, so the
+    supervisor knows which shards to requeue if this process dies; the
+    reply is ``("ok", shard_id, payload)`` or ``("error", shard_id,
+    traceback_text)``, the payload carrying the build report as a dict
+    plus the worker's observability state.  Shipped fault plans (the
+    chaos channel) are installed around each shard's build so operation
+    counts restart per shard.
     """
     from multiprocessing import shared_memory
 
@@ -144,18 +216,20 @@ def build_worker_main(
             if task is None:
                 break
             shard_id, start, stop, shard_dir = task
+            result_queue.put(("claim", shard_id, os.getpid()))
             try:
                 registry = obs.MetricsRegistry()
                 trace = obs.Trace(f"shard-{shard_id}") if trace_enabled else None
-                if trace is not None:
-                    with obs.use_trace(trace):
+                with faults.worker_injection([shard_id]):
+                    if trace is not None:
+                        with obs.use_trace(trace):
+                            report = _build_one_shard(
+                                HerculesIndex, data, start, stop, shard_dir, config
+                            )
+                    else:
                         report = _build_one_shard(
                             HerculesIndex, data, start, stop, shard_dir, config
                         )
-                else:
-                    report = _build_one_shard(
-                        HerculesIndex, data, start, stop, shard_dir, config
-                    )
                 obs.record_build(registry, report)
                 result_queue.put(
                     (
@@ -187,6 +261,34 @@ def _build_one_shard(index_cls, data, start, stop, shard_dir, config):
     return report
 
 
+@dataclass
+class SupervisionReport:
+    """What the build supervisor had to do to finish the build.
+
+    All-zero on a healthy run.  ``events`` carries one human-readable
+    line per intervention for ``repro build -v`` and test assertions.
+    """
+
+    worker_restarts: int = 0
+    requeued_tasks: int = 0
+    task_retries: int = 0
+    escalations: int = 0
+    events: list = field(default_factory=list)
+
+    def note(self, message: str) -> None:
+        self.events.append(message)
+        logger.warning("build supervision: %s", message)
+
+
+def _reset_shard_dir(shard_dir) -> None:
+    """Wipe a shard directory before its build task is re-attempted.
+
+    A worker that died mid-build leaves partial artifacts behind; the
+    retry must start from clean ground or appends would corrupt it.
+    """
+    shutil.rmtree(shard_dir, ignore_errors=True)
+
+
 def build_shards_in_processes(
     data: np.ndarray,
     ranges: list,
@@ -194,78 +296,180 @@ def build_shards_in_processes(
     config: HerculesConfig,
     workers: int,
     trace_enabled: bool,
-) -> dict:
-    """Build every shard in worker processes; returns id → reply payload.
+    worker_main=None,
+) -> tuple:
+    """Build every shard in worker processes under supervision.
 
     The dataset is published once in SharedMemory; ``workers`` processes
     pull shard tasks off a queue (so N shards load-balance over fewer
-    workers).  Raises :class:`~repro.errors.ShardError` with the worker
-    traceback if any shard fails, or if all workers die without
-    finishing.
+    workers).  The coordinator polls worker liveness every
+    ``config.shard_poll_seconds`` while gathering replies:
+
+    * a **dead worker** has its claimed-but-unfinished shards wiped and
+      requeued onto survivors, and a replacement process is spawned as
+      long as the ``config.max_worker_restarts`` budget lasts;
+    * a shard whose build **errored** inside a live worker is wiped and
+      requeued up to ``config.shard_retry_attempts`` total tries, then
+      the worker traceback is raised as :class:`ShardError`;
+    * no reply of any kind for ``config.build_stall_timeout`` seconds
+      raises :class:`WorkerSupervisionError` (the dead-build watchdog),
+      as does losing every worker with no restart budget left.
+
+    Returns ``(replies, supervision)``: shard id → reply payload, plus
+    the :class:`SupervisionReport` of every intervention.
+
+    ``worker_main`` substitutes the worker entry point (same signature
+    as :func:`build_worker_main`) — the supervision tests inject
+    scripted workers that die, stall, or answer out of protocol.
     """
     from multiprocessing import shared_memory
     from queue import Empty
 
+    if worker_main is None:
+        worker_main = build_worker_main
     ctx = mp_context()
     data = np.ascontiguousarray(data)
     shm = shared_memory.SharedMemory(create=True, size=data.nbytes)
     procs = []
+    supervision = SupervisionReport()
     try:
         view = np.ndarray(data.shape, dtype=data.dtype, buffer=shm.buf)
         view[:] = data
         task_queue = ctx.Queue()
         result_queue = ctx.Queue()
-        n_workers = max(1, min(workers, len(ranges)))
-        for _ in range(n_workers):
+        worker_args = (
+            task_queue,
+            result_queue,
+            shm.name,
+            data.shape,
+            str(data.dtype),
+            dataclasses.asdict(config),
+            trace_enabled,
+        )
+
+        def spawn_worker():
             proc = ctx.Process(
-                target=build_worker_main,
-                args=(
-                    task_queue,
-                    result_queue,
-                    shm.name,
-                    data.shape,
-                    str(data.dtype),
-                    dataclasses.asdict(config),
-                    trace_enabled,
-                ),
-                daemon=True,
+                target=worker_main, args=worker_args, daemon=True
             )
             proc.start()
-            procs.append(proc)
+            return proc
+
+        n_workers = max(1, min(workers, len(ranges)))
+        procs.extend(spawn_worker() for _ in range(n_workers))
+        tasks = {}
         for shard_id, ((start, stop), shard_dir) in enumerate(
             zip(ranges, shard_dirs)
         ):
+            tasks[shard_id] = (start, stop, str(shard_dir))
             task_queue.put((shard_id, start, stop, str(shard_dir)))
-        for _ in procs:
-            task_queue.put(None)
 
         replies: dict[int, dict] = {}
+        claims: dict[int, set] = {}  # worker pid → claimed shard ids
+        attempts = {shard_id: 1 for shard_id in tasks}
+        restarts_left = config.max_worker_restarts
         waited = 0.0
+
+        def handle_dead_worker(proc) -> None:
+            nonlocal restarts_left
+            unfinished = claims.pop(proc.pid, set()) - set(replies)
+            for shard_id in sorted(unfinished):
+                _reset_shard_dir(tasks[shard_id][2])
+                start, stop, shard_dir = tasks[shard_id]
+                task_queue.put((shard_id, start, stop, shard_dir))
+                supervision.requeued_tasks += 1
+            procs.remove(proc)
+            detail = (
+                f"worker pid {proc.pid} died (exitcode {proc.exitcode}) "
+                f"holding shards {sorted(unfinished)}"
+            )
+            if restarts_left > 0:
+                restarts_left -= 1
+                replacement = spawn_worker()
+                procs.append(replacement)
+                supervision.worker_restarts += 1
+                supervision.note(
+                    f"{detail}; requeued and respawned as pid "
+                    f"{replacement.pid} ({restarts_left} restarts left)"
+                )
+                with obs.span(
+                    "shard.worker_restart",
+                    dead_pid=proc.pid,
+                    exitcode=proc.exitcode,
+                    requeued=len(unfinished),
+                ):
+                    pass
+            else:
+                supervision.note(
+                    f"{detail}; restart budget exhausted, "
+                    f"{len(procs)} workers remain"
+                )
+
         while len(replies) < len(ranges):
             try:
-                status, shard_id, payload = result_queue.get(timeout=1.0)
-                waited = 0.0
+                message = result_queue.get(timeout=config.shard_poll_seconds)
             except Empty:
-                waited += 1.0
-                if not any(p.is_alive() for p in procs):
-                    raise ShardError(
-                        "all shard build workers exited before every shard "
-                        f"reported ({len(replies)}/{len(ranges)} done)"
+                waited += config.shard_poll_seconds
+                for proc in [p for p in procs if not p.is_alive()]:
+                    handle_dead_worker(proc)
+                if not procs:
+                    raise WorkerSupervisionError(
+                        "all shard build workers died and the restart "
+                        f"budget ({config.max_worker_restarts}) is spent "
+                        f"({len(replies)}/{len(ranges)} shards done)"
                     ) from None
-                if waited > _BUILD_STALL_TIMEOUT:
-                    raise ShardError(
+                if waited > config.build_stall_timeout:
+                    raise WorkerSupervisionError(
                         f"shard build stalled: no worker progress for "
-                        f"{_BUILD_STALL_TIMEOUT:.0f}s"
+                        f"{config.build_stall_timeout:.0f}s "
+                        f"({len(replies)}/{len(ranges)} shards done)"
                     ) from None
                 continue
-            if status == "error":
+            waited = 0.0
+            if (
+                not isinstance(message, tuple)
+                or len(message) != 3
+                or message[0] not in ("claim", "ok", "error")
+            ):
                 raise ShardError(
-                    f"shard {shard_id} build failed in worker:\n{payload}"
+                    f"malformed reply from build worker: {message!r}"
                 )
-            replies[shard_id] = payload
-        for proc in procs:
-            proc.join(timeout=30.0)
-        return replies
+            status, shard_id, payload = message
+            if status == "claim":
+                claims.setdefault(payload, set()).add(shard_id)
+                continue
+            for owned in claims.values():
+                owned.discard(shard_id)
+            if status == "ok":
+                if not isinstance(payload, dict) or "report" not in payload:
+                    raise ShardError(
+                        f"malformed build reply for shard {shard_id}: "
+                        f"{payload!r}"
+                    )
+                replies[shard_id] = payload
+                continue
+            # status == "error": the shard failed inside a live worker.
+            if attempts[shard_id] < config.shard_retry_attempts:
+                attempts[shard_id] += 1
+                supervision.task_retries += 1
+                _reset_shard_dir(tasks[shard_id][2])
+                start, stop, shard_dir = tasks[shard_id]
+                task_queue.put((shard_id, start, stop, shard_dir))
+                supervision.note(
+                    f"shard {shard_id} build failed (attempt "
+                    f"{attempts[shard_id] - 1}/{config.shard_retry_attempts});"
+                    " wiped and requeued"
+                )
+            else:
+                raise ShardError(
+                    f"shard {shard_id} build failed in worker after "
+                    f"{attempts[shard_id]} attempts:\n{payload}"
+                )
+        for _ in procs:
+            task_queue.put(None)
+        supervision.escalations += reap_processes(
+            procs, config.build_join_timeout, "build"
+        )
+        return replies, supervision
     finally:
         for proc in procs:
             if proc.is_alive():
@@ -294,60 +498,74 @@ def query_worker_main(
     ``specs`` is a list of ``(shard_id, directory, row_base)`` this
     worker owns.  The protocol over ``conn``:
 
-    * ``("query", query, k, mode, config_fields_or_None, l_max)`` →
-      ``("ok", [(shard_id, answer), ...])`` with globalized positions,
-      or ``("error", traceback_text)``;
+    * ``("query", query, k, mode, config_fields_or_None, l_max,
+      shard_ids_or_None)`` → ``("ok", [(shard_id, answer), ...],
+      [(shard_id, error_text), ...])`` with globalized positions —
+      per-shard failures are *collected*, not fatal, so one bad shard
+      does not void its siblings' work, and a retry can target just the
+      failed subset via ``shard_ids``;
     * ``("close",)`` (or EOF) → clean shutdown.
 
     Every request prunes through a fresh
     :class:`~repro.core.results.LinkedResultSet` per shard, all linked
     to the coordinator's shared BSF² cell — so a tight bound found by
-    any process prunes every other process's remaining work.
+    any process prunes every other process's remaining work.  Shipped
+    fault plans targeting any owned shard are installed for the worker's
+    whole life (the chaos channel into query paths).
     """
     from repro.core.index import HerculesIndex
 
     indexes = []
     try:
-        for shard_id, directory, row_base in specs:
-            index = HerculesIndex.open(
-                directory, verify=verify, cache_bytes=cache_bytes_per_shard
-            )
-            indexes.append((shard_id, row_base, index))
-        conn.send(("ready", os.getpid()))
-        while True:
-            try:
-                message = conn.recv()
-            except EOFError:
-                break
-            kind = message[0]
-            if kind == "close":
-                break
-            if kind != "query":  # pragma: no cover - protocol guard
-                conn.send(("error", f"unknown request {kind!r}"))
-                continue
-            _, query, k, mode, config_fields, l_max = message
-            try:
-                config = (
-                    HerculesConfig(**config_fields) if config_fields else None
+        with faults.worker_injection([sid for sid, _, _ in specs]):
+            for shard_id, directory, row_base in specs:
+                index = HerculesIndex.open(
+                    directory, verify=verify, cache_bytes=cache_bytes_per_shard
                 )
-                out = []
-                for shard_id, row_base, index in indexes:
-                    results = LinkedResultSet(k, bsf_link)
-                    if mode == "approx":
-                        answer = index.knn_approx(
-                            query, k=k, l_max=l_max, results=results
-                        )
-                    else:
-                        answer = index.knn(
-                            query, k=k, config=config, results=results
-                        )
-                    answer.positions = answer.positions + row_base
-                    answer.profile.io = index.query_io.snapshot()
-                    index.query_io.reset()
-                    out.append((shard_id, answer))
-                conn.send(("ok", out))
-            except BaseException:
-                conn.send(("error", traceback.format_exc()))
+                indexes.append((shard_id, row_base, index))
+            conn.send(("ready", os.getpid()))
+            while True:
+                try:
+                    message = conn.recv()
+                except EOFError:
+                    break
+                kind = message[0]
+                if kind == "close":
+                    break
+                if kind != "query":  # pragma: no cover - protocol guard
+                    conn.send(("error", f"unknown request {kind!r}"))
+                    continue
+                _, query, k, mode, config_fields, l_max, only = message
+                try:
+                    config = (
+                        HerculesConfig(**config_fields) if config_fields else None
+                    )
+                    out = []
+                    shard_errors = []
+                    for shard_id, row_base, index in indexes:
+                        if only is not None and shard_id not in only:
+                            continue
+                        try:
+                            results = LinkedResultSet(k, bsf_link)
+                            if mode == "approx":
+                                answer = index.knn_approx(
+                                    query, k=k, l_max=l_max, results=results
+                                )
+                            else:
+                                answer = index.knn(
+                                    query, k=k, config=config, results=results
+                                )
+                            answer.positions = answer.positions + row_base
+                            answer.profile.io = index.query_io.snapshot()
+                            index.query_io.reset()
+                            out.append((shard_id, answer))
+                        except Exception:
+                            shard_errors.append(
+                                (shard_id, traceback.format_exc())
+                            )
+                    conn.send(("ok", out, shard_errors))
+                except BaseException:
+                    conn.send(("error", traceback.format_exc()))
     except BaseException:  # pragma: no cover - open failure surfaces below
         try:
             conn.send(("error", traceback.format_exc()))
@@ -359,8 +577,25 @@ def query_worker_main(
         conn.close()
 
 
+@dataclass
+class GatherOutcome:
+    """One scatter-gather's raw outcome, before merge policy is applied.
+
+    ``pairs`` holds the ``(shard_id, answer)`` results that arrived;
+    ``shard_errors`` the ``(shard_id, reason)`` of every shard that
+    failed past its retries; ``retries``/``worker_restarts`` count what
+    the dispatch had to do.  :class:`~repro.core.sharding.ShardedIndex`
+    turns this into a degraded answer or a :class:`ShardError`.
+    """
+
+    pairs: list = field(default_factory=list)
+    shard_errors: list = field(default_factory=list)
+    retries: int = 0
+    worker_restarts: int = 0
+
+
 class ShardQueryPool:
-    """A persistent pool of query worker processes over opened shards.
+    """A supervised, persistent pool of query workers over opened shards.
 
     Shards are distributed round-robin over ``workers`` processes; each
     worker opens its shards once (cold) and keeps them — and their leaf
@@ -368,6 +603,15 @@ class ShardQueryPool:
     warm-cache workload model.  One :class:`ProcessBsf` cell links every
     worker's pruning to the global best-so-far; the coordinator resets
     it before each scatter.
+
+    Dispatch is fault-tolerant: per-shard errors reported by a live
+    worker are retried per the :class:`~repro.retry.RetryPolicy`; a
+    dead worker is respawned (its shards re-opened) within the
+    ``max_worker_restarts`` budget and the query re-sent; a worker that
+    misses its per-dispatch timeout is killed and restarted the same way
+    (a late reply would poison the next query on that pipe).  Shards
+    that still fail are reported in the :class:`GatherOutcome` instead
+    of raising — degradation policy lives in the caller.
     """
 
     def __init__(
@@ -376,44 +620,92 @@ class ShardQueryPool:
         workers: int,
         cache_bytes_per_shard: int,
         verify: str,
+        max_worker_restarts: int = 2,
+        join_timeout: float = 10.0,
     ) -> None:
-        ctx = mp_context()
-        self.bsf = ProcessBsf(ctx)
-        self._conns = []
-        self._procs = []
+        self._ctx = mp_context()
+        self.bsf = ProcessBsf(self._ctx)
+        self._cache_bytes = cache_bytes_per_shard
+        self._verify = verify
+        self._join_timeout = join_timeout
+        self._restarts_left = max_worker_restarts
+        self.worker_restarts = 0
         workers = max(1, min(workers, len(shard_specs)))
-        groups = [shard_specs[i::workers] for i in range(workers)]
-        for group in groups:
-            parent_conn, child_conn = ctx.Pipe()
-            proc = ctx.Process(
-                target=query_worker_main,
-                args=(
-                    child_conn,
-                    [(sid, str(path), base) for sid, path, base in group],
-                    cache_bytes_per_shard,
-                    verify,
-                    self.bsf,
-                ),
-                daemon=True,
-            )
-            proc.start()
-            child_conn.close()
-            self._conns.append(parent_conn)
-            self._procs.append(proc)
-        for conn in self._conns:
-            reply = self._recv(conn)
+        self._groups = [
+            [
+                (sid, str(path), base)
+                for sid, path, base in shard_specs[i::workers]
+            ]
+            for i in range(workers)
+        ]
+        self._conns: list = [None] * workers
+        self._procs: list = [None] * workers
+        for i in range(workers):
+            self._start_worker(i)
+        for i, conn in enumerate(self._conns):
+            reply = self._recv(conn, i)
             if reply[0] != "ready":
                 self.close()
-                raise ShardError(f"query worker failed to open shards:\n{reply[1]}")
+                raise ShardError(
+                    f"query worker failed to open shards:\n{reply[1]}"
+                )
 
-    @staticmethod
-    def _recv(conn):
+    def _start_worker(self, i: int) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=query_worker_main,
+            args=(
+                child_conn,
+                self._groups[i],
+                self._cache_bytes,
+                self._verify,
+                self.bsf,
+            ),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        self._conns[i] = parent_conn
+        self._procs[i] = proc
+
+    def _restart_worker(self, i: int) -> bool:
+        """Tear down worker ``i`` and respawn it; False when out of budget."""
+        if self._restarts_left <= 0:
+            return False
+        self._restarts_left -= 1
+        self.worker_restarts += 1
+        proc, conn = self._procs[i], self._conns[i]
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        if proc.is_alive():
+            proc.terminate()
+        reap_processes([proc], timeout=1.0, label="query")
+        logger.warning(
+            "restarting query worker %d (shards %s); %d restarts left",
+            i, [sid for sid, _, _ in self._groups[i]], self._restarts_left,
+        )
+        self._start_worker(i)
+        reply = self._recv(self._conns[i], i)
+        if reply[0] != "ready":
+            raise ShardError(
+                f"restarted query worker failed to open shards:\n{reply[1]}"
+            )
+        return True
+
+    def _recv(self, conn, worker: int, timeout: Optional[float] = None):
+        """Receive one reply; raises ShardError on death/timeout."""
+        if timeout is not None and not conn.poll(timeout):
+            raise ShardTimeoutError(
+                f"query worker {worker} missed its {timeout:.2f}s dispatch "
+                "timeout"
+            )
         try:
             return conn.recv()
         except EOFError:
             raise ShardError(
-                "query worker process died (pipe closed); rerun with "
-                "shard workers disabled to debug in-process"
+                f"query worker {worker} process died (pipe closed)"
             ) from None
 
     def query(
@@ -423,11 +715,15 @@ class ShardQueryPool:
         mode: str = "exact",
         config: Optional[HerculesConfig] = None,
         l_max: Optional[int] = None,
-    ) -> list:
-        """Scatter one query to every worker; gather ``(shard_id, answer)``.
+        policy: Optional[RetryPolicy] = None,
+    ) -> GatherOutcome:
+        """Scatter one query to every worker; gather a :class:`GatherOutcome`.
 
-        Returned pairs are sorted by shard id; positions are global.
+        Gathered pairs are sorted by shard id; positions are global.
+        Worker failures are retried/restarted per ``policy``; whatever
+        still fails lands in ``outcome.shard_errors``.
         """
+        policy = policy if policy is not None else RetryPolicy()
         self.bsf.reset()
         payload = (
             "query",
@@ -436,23 +732,99 @@ class ShardQueryPool:
             mode,
             dataclasses.asdict(config) if config is not None else None,
             l_max,
+            None,
         )
+        started = time.monotonic()
+        outcome = GatherOutcome()
         for conn in self._conns:
-            conn.send(payload)
-        pairs = []
-        errors = []
-        for conn in self._conns:
-            reply = self._recv(conn)
-            if reply[0] == "error":
-                errors.append(reply[1])
-            else:
-                pairs.extend(reply[1])
-        if errors:
-            raise ShardError(
-                "shard query failed in worker:\n" + "\n".join(errors)
-            )
-        pairs.sort(key=lambda pair: pair[0])
-        return pairs
+            try:
+                conn.send(payload)
+            except (BrokenPipeError, OSError):
+                pass  # death is handled during this worker's gather
+        for i in range(len(self._conns)):
+            self._gather_worker(i, payload, policy, started, outcome)
+        outcome.pairs.sort(key=lambda pair: pair[0])
+        return outcome
+
+    def _gather_worker(
+        self, i: int, payload, policy: RetryPolicy, started: float, outcome
+    ) -> None:
+        """Collect worker ``i``'s reply, retrying/restarting on failure."""
+        shard_ids = [sid for sid, _, _ in self._groups[i]]
+        pending = set(shard_ids)
+        attempt = 1
+        request = payload
+        while True:
+            try:
+                reply = self._recv(
+                    self._conns[i], i, timeout=self._wait_budget(policy, started)
+                )
+                if reply[0] == "error":
+                    raise ShardError(
+                        f"query worker {i} failed:\n{reply[1]}"
+                    )
+                _, pairs, shard_errors = reply
+                outcome.pairs.extend(pairs)
+                pending -= {sid for sid, _ in pairs}
+                if not shard_errors:
+                    return
+                raise ShardError(
+                    "; ".join(
+                        f"shard {sid} query failed:\n{text}"
+                        for sid, text in shard_errors
+                    )
+                )
+            except ShardError as exc:
+                desynced = isinstance(exc, ShardTimeoutError) or (
+                    not self._procs[i].is_alive()
+                )
+                if desynced:
+                    # The pipe can no longer be trusted (late replies
+                    # would poison the next query): restart or disable.
+                    try:
+                        restarted = self._restart_worker(i)
+                    except ShardError as restart_exc:
+                        restarted = False
+                        exc = restart_exc
+                    if restarted:
+                        outcome.worker_restarts += 1
+                    else:
+                        outcome.shard_errors.extend(
+                            (sid, str(exc)) for sid in sorted(pending)
+                        )
+                        return
+                if attempt >= policy.attempts or self._past_deadline(
+                    policy, started
+                ):
+                    outcome.shard_errors.extend(
+                        (sid, str(exc)) for sid in sorted(pending)
+                    )
+                    return
+                time.sleep(policy.delay(attempt, key=f"worker-{i}"))
+                attempt += 1
+                outcome.retries += 1
+                request = payload[:-1] + (sorted(pending),)
+                try:
+                    self._conns[i].send(request)
+                except (BrokenPipeError, OSError):
+                    continue  # recv will classify the death next loop
+
+    @staticmethod
+    def _past_deadline(policy: RetryPolicy, started: float) -> bool:
+        return (
+            policy.deadline is not None
+            and time.monotonic() - started >= policy.deadline
+        )
+
+    def _wait_budget(
+        self, policy: RetryPolicy, started: float
+    ) -> Optional[float]:
+        """How long one recv may block: per-dispatch timeout ∧ deadline."""
+        budget = policy.shard_timeout
+        if policy.deadline is not None:
+            remaining = max(policy.deadline - (time.monotonic() - started), 0.0)
+            budget = remaining if budget is None else min(budget, remaining)
+        return budget
 
     def close(self) -> None:
         for conn in self._conns:
@@ -460,12 +832,15 @@ class ShardQueryPool:
                 conn.send(("close",))
             except (BrokenPipeError, OSError):
                 pass
-        for proc in self._procs:
-            proc.join(timeout=10.0)
-        for proc in self._procs:
-            if proc.is_alive():  # pragma: no cover - stuck worker
-                proc.terminate()
+        reap_processes(
+            [p for p in self._procs if p is not None],
+            self._join_timeout,
+            "query",
+        )
         for conn in self._conns:
-            conn.close()
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
         self._conns = []
         self._procs = []

@@ -56,6 +56,7 @@ from repro.core.index import BuildReport, HerculesIndex
 from repro.core.query import QueryAnswer, QueryProfile
 from repro.core.results import LinkedResultSet, SharedBsf
 from repro.core.shard_worker import (
+    GatherOutcome,
     ShardQueryPool,
     build_shards_in_processes,
 )
@@ -64,7 +65,11 @@ from repro.errors import (
     IndexStateError,
     ManifestError,
     ReproError,
+    ShardError,
+    ShardTimeoutError,
+    StorageError,
 )
+from repro.retry import RetryPolicy
 from repro.storage import manifest as manifest_mod
 from repro.storage.dataset import Dataset
 from repro.storage.iostats import IOSnapshot
@@ -132,6 +137,12 @@ class ShardedBuildReport:
     flush_seconds: float = 0.0
     #: Per-shard reports in shard-id order.
     shard_reports: tuple = ()
+    #: Supervision interventions (all zero on a healthy build): worker
+    #: processes respawned after dying, shard tasks requeued off dead
+    #: workers, and shard builds retried after in-worker errors.
+    worker_restarts: int = 0
+    requeued_tasks: int = 0
+    task_retries: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -158,9 +169,21 @@ class ShardedQueryAnswer(QueryAnswer):
     ``shard_answers`` holds ``(shard_id, QueryAnswer)`` pairs in shard
     order, positions already global — ``repro explain`` renders one row
     per shard from them.
+
+    Degradation is never silent: ``coverage`` is the fraction of indexed
+    series actually searched (1.0 on a healthy query), ``degraded`` is
+    True when any shard was dropped under partial-results mode,
+    ``shard_errors`` names every dropped shard with the reason, and
+    ``retries`` counts the dispatch retries the answer cost.  A degraded
+    answer is exact over the covered rows: it equals the fault-free
+    answer restricted to the surviving shards.
     """
 
     shard_answers: tuple = ()
+    coverage: float = 1.0
+    degraded: bool = False
+    shard_errors: tuple = ()
+    retries: int = 0
 
 
 def _merge_pairs(
@@ -169,6 +192,9 @@ def _merge_pairs(
     num_leaves: int,
     num_series: int,
     wall_seconds: float,
+    coverage: float = 1.0,
+    shard_errors: tuple = (),
+    retries: int = 0,
 ) -> ShardedQueryAnswer:
     """One global answer from per-shard answers (positions global).
 
@@ -214,6 +240,10 @@ def _merge_pairs(
         positions=positions[order],
         profile=profile,
         shard_answers=tuple(pairs),
+        coverage=coverage,
+        degraded=bool(shard_errors),
+        shard_errors=tuple(shard_errors),
+        retries=retries,
     )
 
 
@@ -312,13 +342,14 @@ class ShardedIndex:
 
         reports: list[BuildReport] = []
         worker_metric_states: list = []
+        supervision = None
         wall_started = time.perf_counter()
         trace = obs.get_trace()
         with obs.span(
             "build.sharded", num_shards=n, workers=workers
         ) as parent_span:
             if workers > 1:
-                replies = build_shards_in_processes(
+                replies, supervision = build_shards_in_processes(
                     dataset.load_all(),
                     ranges,
                     shard_dirs,
@@ -396,6 +427,9 @@ class ShardedIndex:
             split_seconds=max(r.split_seconds for r in reports),
             flush_seconds=max(r.flush_seconds for r in reports),
             shard_reports=tuple(reports),
+            worker_restarts=supervision.worker_restarts if supervision else 0,
+            requeued_tasks=supervision.requeued_tasks if supervision else 0,
+            task_retries=supervision.task_retries if supervision else 0,
         )
         logger.info(
             "sharded index ready: %d shards over %d series in %.2fs wall "
@@ -484,6 +518,9 @@ class ShardedIndex:
             for shard in shards:
                 shard.close()
             raise
+        config = shards[0].config.with_options(
+            num_shards=manifest.num_shards
+        )
         pool = None
         if workers is not None and workers > 0:
             specs = [
@@ -492,11 +529,13 @@ class ShardedIndex:
             ]
             # Shards were just verified above; workers re-open cheaply.
             pool = ShardQueryPool(
-                specs, workers, per_shard_cache, verify="off"
+                specs,
+                workers,
+                per_shard_cache,
+                verify="off",
+                max_worker_restarts=config.max_worker_restarts,
+                join_timeout=config.query_join_timeout,
             )
-        config = shards[0].config.with_options(
-            num_shards=manifest.num_shards
-        )
         return cls(
             directory=directory,
             shards=shards,
@@ -513,6 +552,7 @@ class ShardedIndex:
         query: np.ndarray,
         k: int = 1,
         config: Optional[HerculesConfig] = None,
+        partial_results: Optional[bool] = None,
     ) -> ShardedQueryAnswer:
         """Exact k-NN, scatter-gather over every shard.
 
@@ -520,49 +560,150 @@ class ShardedIndex:
         runs the ordinary four-phase search pruning against the shared
         global BSF², and the coordinator keeps the k smallest of the
         union.
+
+        Shard failures are retried per the configuration's
+        :meth:`~repro.core.config.HerculesConfig.retry_policy`.  A shard
+        that still fails raises :class:`ShardError` naming it — an exact
+        query refuses to silently degrade — unless ``partial_results``
+        (argument, else ``config.partial_results``) allows dropping it,
+        in which case the answer comes back with ``degraded=True``,
+        ``coverage`` < 1 and the dropped shards in ``shard_errors``.
         """
-        self._check_open()
-        started = time.perf_counter()
-        if self._pool is not None:
-            pairs = self._pool.query(query, k, mode="exact", config=config)
-        else:
-            pairs = self._scatter_threads(query, k, mode="exact", config=config)
-        wall = time.perf_counter() - started
-        return _merge_pairs(k, pairs, self.num_leaves, self.num_series, wall)
+        return self._query(query, k, "exact", config, None, partial_results)
 
     def knn_batch(
         self,
         queries: np.ndarray,
         k: int = 1,
         config: Optional[HerculesConfig] = None,
+        partial_results: Optional[bool] = None,
     ) -> list[ShardedQueryAnswer]:
         """Answer queries one after another (warm-cache workload)."""
         arr = np.asarray(queries)
         if arr.ndim != 2:
             raise ValueError(f"expected a 2-D query batch, got ndim={arr.ndim}")
-        return [self.knn(query, k=k, config=config) for query in arr]
+        return [
+            self.knn(query, k=k, config=config, partial_results=partial_results)
+            for query in arr
+        ]
 
     def knn_approx(
         self,
         query: np.ndarray,
         k: int = 1,
         l_max: Optional[int] = None,
+        partial_results: Optional[bool] = None,
     ) -> ShardedQueryAnswer:
         """Approximate k-NN: each shard's best-first probe, merged.
 
         ``l_max`` bounds the leaves visited *per shard*, so an N-shard
         approximate search examines up to N·l_max leaves total — more
         work than a single index at the same setting, and at least as
-        good an answer.
+        good an answer.  Failure handling matches :meth:`knn`.
         """
+        return self._query(query, k, "approx", None, l_max, partial_results)
+
+    def _query(
+        self,
+        query: np.ndarray,
+        k: int,
+        mode: str,
+        config: Optional[HerculesConfig],
+        l_max: Optional[int],
+        partial_results: Optional[bool],
+    ) -> ShardedQueryAnswer:
+        """Scatter, gather, then apply the degradation policy."""
         self._check_open()
+        effective = config if config is not None else self.config
+        policy = effective.retry_policy()
+        allow_partial = (
+            partial_results
+            if partial_results is not None
+            else effective.partial_results
+        )
         started = time.perf_counter()
         if self._pool is not None:
-            pairs = self._pool.query(query, k, mode="approx", l_max=l_max)
+            outcome = self._pool.query(
+                query, k, mode=mode, config=config, l_max=l_max, policy=policy
+            )
         else:
-            pairs = self._scatter_threads(query, k, mode="approx", l_max=l_max)
+            outcome = self._scatter_threads(
+                query, k, mode=mode, config=config, l_max=l_max, policy=policy
+            )
         wall = time.perf_counter() - started
-        return _merge_pairs(k, pairs, self.num_leaves, self.num_series, wall)
+        return self._settle(k, outcome, allow_partial, wall)
+
+    def _settle(
+        self, k: int, outcome: GatherOutcome, allow_partial: bool, wall: float
+    ) -> ShardedQueryAnswer:
+        """Turn a raw gather outcome into an answer or a refusal.
+
+        Without partial-results the first failed shard raises (a
+        :class:`ShardTimeoutError` stays one); with it, failed shards
+        are dropped and the answer is flagged degraded with ``coverage``
+        equal to the searched row fraction.  Losing *every* shard always
+        raises — an empty answer is not a degraded answer.
+        """
+        if outcome.shard_errors:
+            names = sorted(sid for sid, _ in outcome.shard_errors)
+            detail = "; ".join(
+                f"shard {sid}: {reason}" for sid, reason in outcome.shard_errors
+            )
+            if not allow_partial:
+                exc_type = (
+                    ShardTimeoutError
+                    if all(
+                        "timeout" in reason or "deadline" in reason
+                        for _, reason in outcome.shard_errors
+                    )
+                    else ShardError
+                )
+                raise exc_type(
+                    f"shard(s) {names} failed after retries and "
+                    "partial results are not allowed "
+                    f"(pass partial_results=True to degrade): {detail}"
+                )
+            if not outcome.pairs:
+                raise ShardError(
+                    f"every shard failed; nothing to answer from: {detail}"
+                )
+            logger.warning(
+                "degraded answer: dropped shard(s) %s after %d retries: %s",
+                names, outcome.retries, detail,
+            )
+        coverage = self._coverage(outcome.pairs)
+        if outcome.shard_errors:
+            with obs.span(
+                "query.degraded",
+                coverage=round(coverage, 6),
+                dropped=[sid for sid, _ in outcome.shard_errors],
+            ):
+                pass
+        return _merge_pairs(
+            k,
+            outcome.pairs,
+            self.num_leaves,
+            self.num_series,
+            wall,
+            coverage=coverage,
+            shard_errors=tuple(
+                (sid, _first_line(reason))
+                for sid, reason in outcome.shard_errors
+            ),
+            retries=outcome.retries,
+        )
+
+    def _coverage(self, pairs: list) -> float:
+        """Fraction of indexed series the answering shards hold."""
+        if not self.num_series:
+            return 1.0
+        answered = {shard_id for shard_id, _ in pairs}
+        covered = sum(
+            record.num_series
+            for shard_id, record in enumerate(self.manifest.shards)
+            if shard_id in answered
+        )
+        return covered / self.num_series
 
     def _scatter_threads(
         self,
@@ -571,54 +712,127 @@ class ShardedIndex:
         mode: str,
         config: Optional[HerculesConfig] = None,
         l_max: Optional[int] = None,
-    ) -> list:
-        """One thread per shard, all linked to one shared BSF² cell."""
+        policy: Optional[RetryPolicy] = None,
+    ) -> GatherOutcome:
+        """One thread per shard, all linked to one shared BSF² cell.
+
+        Each thread retries its shard per ``policy`` (only storage/OS
+        faults are retryable — a bad argument propagates immediately).
+        The whole-query ``policy.deadline`` bounds the join: a thread
+        still running past it is abandoned and its shard reported as
+        timed out.  Per-attempt ``shard_timeout`` is advisory on the
+        thread path (a running attempt cannot be interrupted in-thread;
+        it stops further retries once exceeded) — the process pool
+        enforces it preemptively.
+        """
+        policy = policy if policy is not None else RetryPolicy()
         link = SharedBsf()
         pairs: list = [None] * len(self.shards)
-        errors: list[BaseException] = []
+        errors: list = [None] * len(self.shards)
+        fatal: list[BaseException] = []
+        outcome = GatherOutcome()
+        retry_lock = threading.Lock()
+        started = time.monotonic()
         with obs.span(
             "query.sharded", k=k, shards=len(self.shards), mode=mode
         ):
             parent = obs.current_span()
 
-            def run(shard_id: int) -> None:
+            def attempt_once(shard_id: int) -> None:
                 shard = self.shards[shard_id]
                 base = self.row_bases[shard_id]
-                try:
-                    with obs.span(
-                        "query.shard", parent=parent, shard=shard_id
-                    ):
-                        io_before = shard.query_io.snapshot()
-                        results = LinkedResultSet(k, link)
-                        if mode == "approx":
-                            answer = shard.knn_approx(
-                                query, k=k, l_max=l_max, results=results
-                            )
-                        else:
-                            answer = shard.knn(
-                                query, k=k, config=config, results=results
-                            )
-                        answer.profile.io = (
-                            shard.query_io.snapshot() - io_before
+                with obs.span("query.shard", parent=parent, shard=shard_id):
+                    io_before = shard.query_io.snapshot()
+                    results = LinkedResultSet(k, link)
+                    if mode == "approx":
+                        answer = shard.knn_approx(
+                            query, k=k, l_max=l_max, results=results
                         )
-                        answer.positions = answer.positions + base
-                        pairs[shard_id] = (shard_id, answer)
-                except BaseException as exc:  # surfaced after join
-                    errors.append(exc)
+                    else:
+                        answer = shard.knn(
+                            query, k=k, config=config, results=results
+                        )
+                    answer.profile.io = shard.query_io.snapshot() - io_before
+                    answer.positions = answer.positions + base
+                    pairs[shard_id] = (shard_id, answer)
+
+            def out_of_time(attempt_started: float) -> bool:
+                now = time.monotonic()
+                if policy.deadline is not None and (
+                    now - started >= policy.deadline
+                ):
+                    return True
+                return policy.shard_timeout is not None and (
+                    now - attempt_started >= policy.shard_timeout
+                )
+
+            def run(shard_id: int) -> None:
+                for attempt in range(1, policy.attempts + 1):
+                    attempt_started = time.monotonic()
+                    try:
+                        attempt_once(shard_id)
+                        return
+                    except (StorageError, ShardError, OSError) as exc:
+                        errors[shard_id] = (
+                            f"{type(exc).__name__}: {exc} "
+                            f"(after {attempt} attempts)"
+                        )
+                        if attempt >= policy.attempts or out_of_time(
+                            attempt_started
+                        ):
+                            return
+                        with retry_lock:
+                            outcome.retries += 1
+                        with obs.span(
+                            "shard.retry",
+                            parent=parent,
+                            shard=shard_id,
+                            attempt=attempt,
+                        ):
+                            time.sleep(
+                                policy.delay(attempt, key=f"shard-{shard_id}")
+                            )
+                    except BaseException as exc:  # not a shard fault
+                        fatal.append(exc)
+                        return
 
             threads = [
                 threading.Thread(
-                    target=run, args=(i,), name=f"shard-query-{i}"
+                    target=run,
+                    args=(i,),
+                    name=f"shard-query-{i}",
+                    daemon=True,  # an abandoned (past-deadline) thread
+                    # must not block interpreter exit
                 )
                 for i in range(len(self.shards))
             ]
             for thread in threads:
                 thread.start()
-            for thread in threads:
-                thread.join()
-        if errors:
-            raise errors[0]
-        return [pair for pair in pairs if pair is not None]
+            timed_out = set()
+            for shard_id, thread in enumerate(threads):
+                if policy.deadline is None:
+                    thread.join()
+                    continue
+                remaining = policy.deadline - (time.monotonic() - started)
+                thread.join(timeout=max(remaining, 0.0))
+                if thread.is_alive():
+                    timed_out.add(shard_id)
+        if fatal:
+            raise fatal[0]
+        for shard_id in range(len(self.shards)):
+            if shard_id in timed_out:
+                outcome.shard_errors.append(
+                    (
+                        shard_id,
+                        f"shard {shard_id} ran past the "
+                        f"{policy.deadline:.2f}s query deadline",
+                    )
+                )
+            elif pairs[shard_id] is not None:
+                outcome.pairs.append(pairs[shard_id])
+            elif errors[shard_id] is not None:
+                outcome.shard_errors.append((shard_id, errors[shard_id]))
+        return outcome
 
     def get_series(self, position: int) -> np.ndarray:
         """Fetch the raw series at a *global* position."""
@@ -725,6 +939,14 @@ def open_index(
     return HerculesIndex.open(directory, verify=verify, cache_bytes=cache_bytes)
 
 
+def _first_line(text: str) -> str:
+    """The first non-empty line of a (possibly multi-line) reason."""
+    for line in str(text).splitlines():
+        if line.strip():
+            return line.strip()
+    return str(text)
+
+
 def record_sharded_profile(
     registry,
     answer: ShardedQueryAnswer,
@@ -734,9 +956,18 @@ def record_sharded_profile(
 
     The merged profile lands under the usual ``query.*`` names; each
     shard's own profile additionally lands under
-    ``shard.<i>.query.*`` so per-shard skew stays visible.
+    ``shard.<i>.query.*`` so per-shard skew stays visible.  Resilience
+    events ride along — ``query.coverage`` (histogram),
+    ``query.degraded`` / ``shard.dropped`` / ``shard.retries``
+    (counters) — so no retry or degradation is ever silent.
     """
     obs.record_profile(registry, answer.profile, num_series=num_series)
+    registry.histogram("query.coverage").observe(answer.coverage)
+    if answer.retries:
+        registry.counter("shard.retries").inc(answer.retries)
+    if answer.degraded:
+        registry.counter("query.degraded").inc()
+        registry.counter("shard.dropped").inc(len(answer.shard_errors))
     for shard_id, shard_answer in answer.shard_answers:
         obs.record_profile(
             registry,

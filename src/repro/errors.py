@@ -48,3 +48,13 @@ class ShardError(ReproError):
     failures in build/query worker processes surface in the coordinator
     with their original context.
     """
+
+
+class ShardTimeoutError(ShardError):
+    """A shard attempt exceeded its per-shard timeout, or the whole
+    scatter-gather ran past its query deadline."""
+
+
+class WorkerSupervisionError(ShardError):
+    """Worker supervision gave up: the restart budget is exhausted, every
+    worker died, or a build made no progress for the stall timeout."""

@@ -143,4 +143,14 @@ def explain_workload_summary(registry) -> str:
     if paths:
         chosen = ", ".join(f"{k}={v}" for k, v in sorted(paths.items()))
         lines.append(f"  access paths: {chosen}")
+    retries = counters.get("shard.retries", 0)
+    degraded = counters.get("query.degraded", 0)
+    dropped = counters.get("shard.dropped", 0)
+    if retries or degraded:
+        coverage = hist.get("query.coverage", {})
+        lines.append(
+            f"  resilience: {retries} shard retries, {degraded} degraded "
+            f"answers ({dropped} shards dropped, "
+            f"min coverage {coverage.get('min', 1.0):.2%})"
+        )
     return "\n".join(lines)

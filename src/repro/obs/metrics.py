@@ -278,6 +278,12 @@ def record_build(registry: MetricsRegistry, report, prefix: str = "build") -> No
     registry.counter(f"{prefix}.num_series").add(report.num_series)
     registry.counter(f"{prefix}.splits").add(report.splits)
     registry.counter(f"{prefix}.flushes").add(report.flushes)
+    # Supervision counters exist only on ShardedBuildReport; a plain
+    # BuildReport records nothing (no fake zero-series).
+    for name in ("worker_restarts", "requeued_tasks", "task_retries"):
+        value = getattr(report, name, 0)
+        if value:
+            registry.counter(f"{prefix}.{name}").add(int(value))
     if report.io is not None:
         record_io(registry, report.io, prefix=f"{prefix}.io")
 

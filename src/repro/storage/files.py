@@ -24,6 +24,7 @@ from typing import Optional, Union
 import numpy as np
 
 from repro.errors import StorageError
+from repro.retry import deterministic_jitter
 from repro.storage import faults
 from repro.storage.cache import LeafCache
 from repro.storage.iostats import IOStats
@@ -35,9 +36,21 @@ PathLike = Union[str, Path]
 
 #: Bounded retry of transient read errors: attempts and base backoff.
 #: Exponential: 2ms, 4ms, 8ms — enough to absorb a flaky NFS/EIO blip
-#: without turning a genuinely dead disk into a hang.
+#: without turning a genuinely dead disk into a hang.  Each delay is
+#: stretched by up to +50% of deterministic per-path jitter so the
+#: retries of concurrent shards (which hit distinct files) fan out
+#: instead of synchronizing — reproducibly, per (path, attempt).
 READ_RETRIES = 4
 _RETRY_BACKOFF_SECONDS = 0.002
+_RETRY_JITTER_FRACTION = 0.5
+
+
+def _retry_delay(path, attempt: int) -> float:
+    """The jittered backoff before read retry ``attempt`` (0-based)."""
+    jitter = deterministic_jitter(str(path), attempt)
+    return _RETRY_BACKOFF_SECONDS * (2 ** attempt) * (
+        1.0 + _RETRY_JITTER_FRACTION * jitter
+    )
 
 
 class BinaryFile:
@@ -107,7 +120,7 @@ class BinaryFile:
             except OSError as exc:
                 if attempt == READ_RETRIES - 1:
                     raise
-                delay = _RETRY_BACKOFF_SECONDS * (2 ** attempt)
+                delay = _retry_delay(self.path, attempt)
                 logger.warning(
                     "transient read error on %s (attempt %d/%d), retrying "
                     "in %.0f ms: %s",

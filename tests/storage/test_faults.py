@@ -1,5 +1,8 @@
 """Unit tests for the storage fault-injection harness."""
 
+import os
+import time
+
 import pytest
 
 from repro.storage import faults
@@ -109,3 +112,124 @@ class TestTransientFaults:
                 with pytest.raises(faults.TransientFault):
                     f.read(0, 5)
             assert injector.counts["read"] == READ_RETRIES
+
+
+class TestKillAndStallModes:
+    def test_kill_degrades_to_crash_outside_workers(self, tmp_path):
+        # Un-armed kill plans (the default) must never take down the
+        # process they fire in — they land as a plain CrashFault.
+        plan = faults.FaultPlan(op="write", at=1, mode="kill")
+        with BinaryFile(tmp_path / "b.bin") as f:
+            with faults.inject(plan):
+                with pytest.raises(faults.CrashFault, match="only armed"):
+                    f.append(b"x")
+
+    def test_stall_sleeps_then_proceeds(self, tmp_path):
+        plan = faults.FaultPlan(op="read", at=1, mode="stall", stall_seconds=0.2)
+        with BinaryFile(tmp_path / "b.bin") as f:
+            f.append(b"hello")
+            f.flush()
+            with faults.inject(plan):
+                started = time.monotonic()
+                assert f.read(0, 5) == b"hello"
+                assert time.monotonic() - started >= 0.2
+
+    def test_rejects_negative_stall(self):
+        with pytest.raises(ValueError):
+            faults.FaultPlan(mode="stall", stall_seconds=-0.1)
+
+
+class TestFence:
+    def test_fence_makes_a_fault_fire_exactly_once(self, tmp_path):
+        fence = tmp_path / "fence"
+        plan = faults.FaultPlan(op="write", at=1, mode="crash", fence=str(fence))
+        with BinaryFile(tmp_path / "b.bin") as f:
+            with faults.inject(plan):
+                with pytest.raises(faults.CrashFault):
+                    f.append(b"first")
+        assert fence.exists()
+        # A fresh injector with the *same* fence sees the claimed latch
+        # and lets the retried operation through — the recovery path.
+        retry_plan = faults.FaultPlan(
+            op="write", at=1, mode="crash", fence=str(fence)
+        )
+        with BinaryFile(tmp_path / "b.bin") as f:
+            with faults.inject(retry_plan):
+                f.append(b"second")
+            f.flush()
+        assert (tmp_path / "b.bin").read_bytes() == b"second"
+
+    def test_claim_fence_is_exclusive(self, tmp_path):
+        fence = str(tmp_path / "fence")
+        first = faults.FaultPlan(fence=fence)
+        second = faults.FaultPlan(fence=fence)
+        assert first.claim_fence()
+        assert not second.claim_fence()
+        assert not first.claim_fence()
+
+    def test_plans_without_fence_always_fire(self):
+        assert faults.FaultPlan().claim_fence()
+
+
+class TestPlanShipping:
+    def test_to_dict_from_dict_roundtrip(self):
+        plan = faults.FaultPlan(
+            op="read", at=3, mode="transient", failures=4,
+            stall_seconds=0.0, fence="/tmp/f",
+        )
+        restored = faults.FaultPlan.from_dict(plan.to_dict())
+        assert restored.to_dict() == plan.to_dict()
+        assert "_remaining" not in plan.to_dict()
+
+    def test_env_channel_targets_shards_and_star(self, monkeypatch):
+        plans = {
+            0: faults.FaultPlan(op="write", at=1),
+            2: [faults.FaultPlan(op="read", at=2, mode="transient")],
+            "*": faults.FaultPlan(op="flush", at=1),
+        }
+        monkeypatch.setenv(faults.PLANS_ENV, faults.encode_plans(plans))
+        for_shard_0 = faults.plans_for_shards([0])
+        # Stable key-sorted order: "*" < "0".
+        assert [(p.op, p.at) for p in for_shard_0] == [
+            ("flush", 1),
+            ("write", 1),
+        ]
+        assert len(faults.plans_for_shards([1])) == 1  # "*" only
+        assert len(faults.plans_for_shards([0, 2])) == 3
+
+    def test_plans_for_shards_without_env_is_empty(self, monkeypatch):
+        monkeypatch.delenv(faults.PLANS_ENV, raising=False)
+        assert faults.plans_for_shards([0, 1]) == []
+
+    def test_ship_plans_restores_environment(self, monkeypatch):
+        monkeypatch.delenv(faults.PLANS_ENV, raising=False)
+        with faults.ship_plans({0: faults.FaultPlan()}):
+            assert faults.PLANS_ENV in os.environ
+        assert faults.PLANS_ENV not in os.environ
+        monkeypatch.setenv(faults.PLANS_ENV, "sentinel")
+        with faults.ship_plans({0: faults.FaultPlan()}):
+            assert os.environ[faults.PLANS_ENV] != "sentinel"
+        assert os.environ[faults.PLANS_ENV] == "sentinel"
+
+
+class TestWorkerInjection:
+    def test_noop_without_shipped_plans(self, monkeypatch):
+        monkeypatch.delenv(faults.PLANS_ENV, raising=False)
+        with faults.worker_injection([0]) as injector:
+            assert injector is None
+        assert faults.active_injector() is None
+
+    def test_installs_kill_armed_injector_for_targeted_shards(
+        self, monkeypatch
+    ):
+        monkeypatch.setenv(
+            faults.PLANS_ENV,
+            faults.encode_plans({3: faults.FaultPlan(op="read", at=9)}),
+        )
+        with faults.worker_injection([3]) as injector:
+            assert injector is not None
+            assert injector.allow_kill
+            assert faults.active_injector() is injector
+        assert faults.active_injector() is None
+        with faults.worker_injection([4]) as injector:
+            assert injector is None
