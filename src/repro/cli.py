@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import os
 import sys
 import time
 from pathlib import Path
@@ -57,6 +58,57 @@ def _maybe_trace(args: argparse.Namespace):
         yield trace
     trace.save(path)
     print(f"trace with {len(trace)} spans written to {path}")
+
+
+@contextlib.contextmanager
+def _maybe_telemetry(args: argparse.Namespace):
+    """Activate the telemetry pipeline when ``--telemetry-dir`` was given.
+
+    Builds a :class:`~repro.obs.TelemetryHub` (windowed metrics + event
+    journal + SLO tracker), attaches a /proc resource sampler when the
+    platform has one (the coordinator is watched immediately; shard
+    supervisors register worker pids as they spawn), and flushes
+    everything to the spool directory every ``--telemetry-interval``
+    seconds — plus once more at exit, so even a short run leaves a
+    complete spool for ``repro monitor``.
+    """
+    directory = getattr(args, "telemetry_dir", None)
+    if directory is None:
+        yield None
+        return
+    interval = getattr(args, "telemetry_interval", 2.0)
+    hub = obs.TelemetryHub()
+    sampler = None
+    if obs.proc_available():
+        sampler = obs.ResourceSampler(hub.registry, interval=interval)
+        sampler.watch("", os.getpid())
+        hub.sampler = sampler
+    sink = obs.TelemetrySink(
+        directory,
+        registry=hub.registry,
+        journal=hub.journal,
+        slo=hub.slo,
+        sampler=sampler,
+        interval=interval,
+    )
+    sink.start()
+    try:
+        with obs.use_hub(hub):
+            yield hub
+    finally:
+        sink.close()
+        print(f"telemetry spool written to {directory}")
+
+
+def _add_telemetry_flags(parser) -> None:
+    parser.add_argument(
+        "--telemetry-dir", type=Path, default=None,
+        help="write a live telemetry spool (OpenMetrics text, JSON "
+             "snapshot, event journal, resource samples) to this "
+             "directory; tail it with `repro monitor`")
+    parser.add_argument(
+        "--telemetry-interval", type=float, default=2.0,
+        help="seconds between telemetry flushes (default 2)")
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -151,10 +203,16 @@ def _cmd_build(args: argparse.Namespace) -> int:
         shard_workers=args.shard_workers,
         **supervision_overrides,
     )
-    with _maybe_trace(args), Dataset.open(args.dataset, args.length) as dataset:
+    with _maybe_telemetry(args), _maybe_trace(args), \
+            Dataset.open(args.dataset, args.length) as dataset:
         # Delegates to the classic single-index build when --shards 1,
         # keeping that layout byte-identical to previous releases.
         index = ShardedIndex.build(dataset, config, directory=args.output)
+        hub = obs.get_hub()
+        if hub is not None:
+            obs.record_build(hub.registry, index.build_report)
+            if isinstance(index, ShardedIndex):
+                index.merge_worker_metrics(hub.registry)
     report = index.build_report
     print(
         f"built index over {report.num_series} series: "
@@ -208,17 +266,25 @@ def _cache_bytes(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
+    with _maybe_telemetry(args):
+        return _run_query(args)
+
+
+def _run_query(args: argparse.Namespace) -> int:
     index = open_index(
         args.index,
         cache_bytes=_cache_bytes(args),
         workers=getattr(args, "shard_workers", None),
     )
+    hub = obs.get_hub()
     config = index.config.with_options(
         epsilon=args.epsilon, **_resilience_overrides(args)
     )
     if isinstance(index, ShardedIndex):
         # knn_approx and retry policy read the index config directly.
         index.config = config
+        if hub is not None:
+            index.bind_metrics(hub.registry)
     with _maybe_trace(args), Dataset.open(args.queries, index.series_length) as queries:
         count = queries.num_series if args.count is None else min(
             args.count, queries.num_series
@@ -232,6 +298,18 @@ def _cmd_query(args: argparse.Namespace) -> int:
             else:
                 answer = index.knn(query, k=args.k, config=config)
             total += answer.profile.time_total
+            if hub is not None:
+                if isinstance(answer, ShardedQueryAnswer):
+                    record_sharded_profile(hub.registry, answer)
+                else:
+                    # Sharded answers are observed by the coordinator's
+                    # settle step; plain answers are observed here.
+                    obs.observe_query(answer.profile.time_total)
+                    obs.record_profile(
+                        hub.registry,
+                        answer.profile,
+                        num_series=index.num_series,
+                    )
             distances = ", ".join(f"{d:.4f}" for d in answer.distances)
             positions = ", ".join(str(int(p)) for p in answer.positions)
             print(
@@ -291,6 +369,11 @@ def _print_cache_stats(index) -> None:
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
+    with _maybe_telemetry(args):
+        return _run_explain(args)
+
+
+def _run_explain(args: argparse.Namespace) -> int:
     index = open_index(
         args.index,
         cache_bytes=_cache_bytes(args),
@@ -572,7 +655,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.workloads.generators import make_noise_queries
 
     started = time.perf_counter()
-    with _maybe_trace(args), Dataset.open(args.dataset, args.length) as dataset:
+    with _maybe_telemetry(args), _maybe_trace(args), \
+            Dataset.open(args.dataset, args.length) as dataset:
         data = dataset.load_all()
         queries = make_noise_queries(
             data, args.num_queries, args.noise, seed=args.seed
@@ -617,6 +701,30 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     )
     print(f"\ncompare finished in {time.perf_counter() - started:.1f}s")
     return 0
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    iterations = 1 if args.once else args.iterations
+    return obs.run_monitor(
+        args.directory,
+        interval=args.interval,
+        iterations=iterations,
+        clear=not args.once,
+    )
+
+
+def _cmd_bench_diff(args: argparse.Namespace) -> int:
+    from repro.eval.benchdiff import diff_bench_files
+
+    report = diff_bench_files(
+        args.baseline,
+        args.fresh,
+        threshold=args.threshold,
+        include_timings=args.include_timings,
+        ignore=args.ignore,
+    )
+    print(report.render())
+    return 1 if report.regressions else 0
 
 
 _FIGURE_RUNNERS = {
@@ -731,6 +839,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "sharded build is declared dead (default: 600)")
     build.add_argument("--trace", type=Path, default=None,
                        help="write a Chrome-trace JSON of the build to FILE")
+    _add_telemetry_flags(build)
     build.set_defaults(func=_cmd_build)
 
     query = sub.add_parser("query", help="answer k-NN queries from a file")
@@ -752,6 +861,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_resilience_flags(query)
     query.add_argument("--trace", type=Path, default=None,
                        help="write a Chrome-trace JSON of the queries to FILE")
+    _add_telemetry_flags(query)
     query.set_defaults(func=_cmd_query)
 
     explain = sub.add_parser(
@@ -774,6 +884,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_resilience_flags(explain)
     explain.add_argument("--trace", type=Path, default=None,
                          help="also write a Chrome-trace JSON to FILE")
+    _add_telemetry_flags(explain)
     explain.set_defaults(func=_cmd_explain)
 
     inspect = sub.add_parser("inspect", help="print index statistics")
@@ -836,7 +947,45 @@ def build_parser() -> argparse.ArgumentParser:
                               "build (default: min(shards, cpu_count))")
     compare.add_argument("--trace", type=Path, default=None,
                          help="write a Chrome-trace JSON of the run to FILE")
+    _add_telemetry_flags(compare)
     compare.set_defaults(func=_cmd_compare)
+
+    monitor = sub.add_parser(
+        "monitor",
+        help="live terminal dashboard over a telemetry spool directory "
+        "(written by --telemetry-dir)",
+    )
+    monitor.add_argument("directory", type=Path,
+                         help="telemetry spool directory to tail")
+    monitor.add_argument("--interval", type=float, default=2.0,
+                         help="refresh interval in seconds (default 2)")
+    monitor.add_argument("--iterations", type=int, default=None,
+                         help="render N frames then exit (default: forever)")
+    monitor.add_argument("--once", action="store_true",
+                         help="render a single frame and exit (pipeable)")
+    monitor.set_defaults(func=_cmd_monitor)
+
+    benchdiff = sub.add_parser(
+        "bench-diff",
+        help="compare a fresh REPRO_BENCH_JSON dump against a committed "
+        "baseline and fail on regression",
+    )
+    benchdiff.add_argument("baseline", type=Path,
+                           help="committed baseline BENCH_*.json")
+    benchdiff.add_argument("fresh", type=Path,
+                           help="freshly produced BENCH_*.json")
+    benchdiff.add_argument("--threshold", type=float, default=0.2,
+                           help="relative regression that fails the diff "
+                                "(default 0.2 = 20%%)")
+    benchdiff.add_argument("--include-timings", action="store_true",
+                           help="also gate hardware-dependent wall-clock "
+                                "metrics (off by default: only ratio/count "
+                                "metrics diff cleanly across machines)")
+    benchdiff.add_argument("--ignore", action="append", default=[],
+                           metavar="SUBSTRING",
+                           help="skip metrics whose key contains SUBSTRING "
+                                "(repeatable)")
+    benchdiff.set_defaults(func=_cmd_bench_diff)
 
     return parser
 

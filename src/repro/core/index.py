@@ -175,6 +175,12 @@ class HerculesIndex:
                         context=new_build_context(dataset, config, spill),
                     )
                 build_seconds = time.perf_counter() - started
+                obs.emit_event(
+                    "build_phase",
+                    phase="tree",
+                    seconds=round(build_seconds, 6),
+                    num_series=dataset.num_series,
+                )
 
                 settings = {
                     _SETTINGS_KEY_CONFIG: dataclasses.asdict(config),
@@ -187,6 +193,12 @@ class HerculesIndex:
                         ctx, directory, sax_space, settings, build_stats
                     )
                 write_seconds = time.perf_counter() - started
+                obs.emit_event(
+                    "build_phase",
+                    phase="write",
+                    seconds=round(write_seconds, 6),
+                    num_leaves=result.num_leaves,
+                )
         finally:
             spill.close()
         (directory / _SPILL_FILENAME).unlink(missing_ok=True)

@@ -340,6 +340,7 @@ def exact_knn(
         state.profile.time_total = time.perf_counter() - started
         state.profile.io = lrd.stats.snapshot() - io_before
         state.finish_profile()
+        obs.observe_search(state.profile.time_total)
         io = state.profile.io
         query_span.set_attrs(
             path=state.profile.path,
@@ -392,6 +393,7 @@ def approximate_knn(
         state.profile.time_total = time.perf_counter() - started
         state.profile.io = lrd.stats.snapshot() - io_before
         state.finish_profile()
+        obs.observe_search(state.profile.time_total)
         sp.set_attrs(
             path=state.profile.path,
             leaves_visited=state.profile.approx_leaves,

@@ -219,8 +219,10 @@ def build_worker_main(
             result_queue.put(("claim", shard_id, os.getpid()))
             try:
                 registry = obs.MetricsRegistry()
+                journal = obs.EventJournal()
+                hub = obs.TelemetryHub(registry=registry, journal=journal)
                 trace = obs.Trace(f"shard-{shard_id}") if trace_enabled else None
-                with faults.worker_injection([shard_id]):
+                with faults.worker_injection([shard_id]), obs.use_hub(hub):
                     if trace is not None:
                         with obs.use_trace(trace):
                             report = _build_one_shard(
@@ -239,6 +241,7 @@ def build_worker_main(
                             "report": dataclasses.asdict(report),
                             "metrics": registry.export_state(),
                             "spans": trace.export_spans() if trace else [],
+                            "events": journal.export_state(),
                             "pid": os.getpid(),
                         },
                     )
@@ -347,11 +350,16 @@ def build_shards_in_processes(
             trace_enabled,
         )
 
+        spawned = 0
+
         def spawn_worker():
+            nonlocal spawned
             proc = ctx.Process(
                 target=worker_main, args=worker_args, daemon=True
             )
             proc.start()
+            obs.watch_process(f"shard.{spawned}", proc.pid)
+            spawned += 1
             return proc
 
         n_workers = max(1, min(workers, len(ranges)))
@@ -398,6 +406,15 @@ def build_shards_in_processes(
                     requeued=len(unfinished),
                 ):
                     pass
+                obs.emit_event(
+                    "worker_restart",
+                    kind="build",
+                    dead_pid=proc.pid,
+                    new_pid=replacement.pid,
+                    exitcode=proc.exitcode,
+                    requeued=sorted(unfinished),
+                    restarts_left=restarts_left,
+                )
             else:
                 supervision.note(
                     f"{detail}; restart budget exhausted, "
@@ -418,6 +435,13 @@ def build_shards_in_processes(
                         f"({len(replies)}/{len(ranges)} shards done)"
                     ) from None
                 if waited > config.build_stall_timeout:
+                    obs.emit_event(
+                        "stall_watchdog",
+                        waited=round(waited, 3),
+                        timeout=config.build_stall_timeout,
+                        done=len(replies),
+                        total=len(ranges),
+                    )
                     raise WorkerSupervisionError(
                         f"shard build stalled: no worker progress for "
                         f"{config.build_stall_timeout:.0f}s "
@@ -667,6 +691,11 @@ class ShardQueryPool:
         child_conn.close()
         self._conns[i] = parent_conn
         self._procs[i] = proc
+        obs.watch_process(f"shard.{i}", proc.pid)
+
+    def worker_pids(self) -> "list[int]":
+        """Live worker pids, in worker order (for resource sampling)."""
+        return [p.pid for p in self._procs if p is not None and p.is_alive()]
 
     def _restart_worker(self, i: int) -> bool:
         """Tear down worker ``i`` and respawn it; False when out of budget."""
@@ -692,6 +721,15 @@ class ShardQueryPool:
             raise ShardError(
                 f"restarted query worker failed to open shards:\n{reply[1]}"
             )
+        obs.emit_event(
+            "worker_restart",
+            kind="query",
+            worker=i,
+            dead_pid=proc.pid,
+            new_pid=self._procs[i].pid,
+            shards=[sid for sid, _, _ in self._groups[i]],
+            restarts_left=self._restarts_left,
+        )
         return True
 
     def _recv(self, conn, worker: int, timeout: Optional[float] = None):

@@ -357,6 +357,7 @@ class ShardedIndex:
                     workers,
                     trace_enabled=trace is not None,
                 )
+                hub = obs.get_hub()
                 for shard_id in range(n):
                     payload = replies[shard_id]
                     reports.append(_revive_report(payload["report"]))
@@ -366,6 +367,10 @@ class ShardedIndex:
                             payload["spans"],
                             thread_prefix=f"shard{shard_id}/",
                             parent=parent_span,
+                        )
+                    if hub is not None and payload.get("events"):
+                        hub.journal.merge_state(
+                            payload["events"], shard=shard_id
                         )
             else:
                 for shard_id, (start, stop) in enumerate(ranges):
@@ -438,6 +443,15 @@ class ShardedIndex:
             dataset.num_series,
             wall_seconds,
             report.series_per_sec,
+        )
+        obs.emit_event(
+            "build_phase",
+            phase="sharded_build",
+            seconds=round(wall_seconds, 6),
+            shards=n,
+            num_series=dataset.num_series,
+            worker_restarts=report.worker_restarts,
+            requeued_tasks=report.requeued_tasks,
         )
         shards = [
             HerculesIndex.open(d, verify="off", cache_bytes=cache_bytes // n)
@@ -679,6 +693,19 @@ class ShardedIndex:
                 dropped=[sid for sid, _ in outcome.shard_errors],
             ):
                 pass
+            for sid, reason in outcome.shard_errors:
+                obs.emit_event(
+                    "shard_dropped", shard=sid, reason=_first_line(reason)
+                )
+            obs.emit_event(
+                "query_degraded",
+                coverage=round(coverage, 6),
+                dropped=[sid for sid, _ in outcome.shard_errors],
+                retries=outcome.retries,
+            )
+        obs.observe_query(
+            wall, coverage=coverage, degraded=bool(outcome.shard_errors)
+        )
         return _merge_pairs(
             k,
             outcome.pairs,

@@ -1,0 +1,190 @@
+"""Structured event journal: typed operational events in a bounded ring.
+
+Metrics answer "how much / how fast"; events answer "what happened".
+The supervision, degradation, and cache-pressure paths emit typed
+events into a :class:`EventJournal` — a bounded, thread-safe ring
+buffer whose records carry a wall-clock timestamp, a monotone sequence
+number, the emitting pid, and (when tracing is active) the current
+trace name and span id so an operator can jump from an event to the
+exact span that produced it.
+
+The journal is picklable across process boundaries
+(:meth:`EventJournal.export_state` / :meth:`~EventJournal.merge_state`)
+the same way the metrics registry is, and a :class:`TelemetrySink`
+drains it incrementally into an append-only JSONL spool file.
+"""
+
+from __future__ import annotations
+
+import collections
+import os
+import threading
+import time
+import weakref
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from repro.obs import tracing
+
+__all__ = ["EVENT_TYPES", "Event", "EventJournal"]
+
+#: The typed vocabulary.  Emitting an unknown type raises — events are
+#: an operator contract, not a freeform log; extend the tuple when a
+#: new failure/progress mode is instrumented.
+EVENT_TYPES = (
+    "build_phase",
+    "cache_eviction_pressure",
+    "query_degraded",
+    "shard_dropped",
+    "stall_watchdog",
+    "worker_restart",
+)
+
+DEFAULT_CAPACITY = 1024
+
+_LIVE_JOURNALS: "weakref.WeakSet[EventJournal]" = weakref.WeakSet()
+
+
+def _reinit_after_fork() -> None:
+    for journal in list(_LIVE_JOURNALS):
+        journal._lock = threading.Lock()
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - posix only
+    os.register_at_fork(after_in_child=_reinit_after_fork)
+
+
+@dataclass(frozen=True)
+class Event:
+    """One journal record."""
+
+    seq: int
+    ts: float
+    type: str
+    pid: int
+    attrs: dict = field(default_factory=dict)
+    trace: Optional[str] = None
+    span_id: Optional[int] = None
+
+    def to_dict(self) -> dict:
+        record = {
+            "seq": self.seq,
+            "ts": self.ts,
+            "type": self.type,
+            "pid": self.pid,
+            "attrs": self.attrs,
+        }
+        if self.trace is not None:
+            record["trace"] = self.trace
+        if self.span_id is not None:
+            record["span_id"] = self.span_id
+        return record
+
+
+class EventJournal:
+    """A bounded, thread-safe ring of :class:`Event` records.
+
+    Sequence numbers are assigned under the journal lock, so they give
+    a total emission order even when many threads emit concurrently;
+    the ring (``capacity`` newest records) drops the oldest first.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self._clock = clock if clock is not None else time.time
+        self._lock = threading.Lock()
+        self._events: "collections.deque[Event]" = collections.deque(
+            maxlen=self.capacity
+        )
+        self._next_seq = 0
+        _LIVE_JOURNALS.add(self)
+
+    def emit(self, etype: str, **attrs) -> Event:
+        if etype not in EVENT_TYPES:
+            raise ValueError(
+                f"unknown event type {etype!r}; known: {EVENT_TYPES}"
+            )
+        trace = tracing.get_trace()
+        span = tracing.current_span()
+        event_ts = attrs.pop("_ts", None)
+        with self._lock:
+            seq = self._next_seq
+            self._next_seq += 1
+            event = Event(
+                seq=seq,
+                ts=float(event_ts) if event_ts is not None else self._clock(),
+                type=etype,
+                pid=os.getpid(),
+                attrs=attrs,
+                trace=trace.name if trace is not None else None,
+                span_id=getattr(span, "span_id", None),
+            )
+            self._events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    @property
+    def total_emitted(self) -> int:
+        with self._lock:
+            return self._next_seq
+
+    def events(self) -> "list[Event]":
+        with self._lock:
+            return list(self._events)
+
+    def tail(self, n: int) -> "list[Event]":
+        with self._lock:
+            if n <= 0:
+                return []
+            return list(self._events)[-n:]
+
+    def drain_since(self, seq: int) -> "list[Event]":
+        """Every retained event with a sequence number > ``seq``.
+
+        The incremental-sink protocol: the sink remembers the last seq
+        it wrote and asks only for what is new.  Records that fell off
+        the ring before being drained are lost (by design — the ring
+        bounds memory, the JSONL spool is the durable copy as long as
+        the sink keeps up).
+        """
+        with self._lock:
+            return [e for e in self._events if e.seq > seq]
+
+    # -- cross-process flush ------------------------------------------------
+
+    def export_state(self) -> "list[dict]":
+        """Picklable snapshot of the retained records, oldest first."""
+        return [e.to_dict() for e in self.events()]
+
+    def merge_state(self, records: Iterable[dict], **extra_attrs) -> None:
+        """Fold a child journal's export into this one.
+
+        Each record keeps its original timestamp, type, pid, attributes
+        and trace/span correlation but gets a fresh local sequence
+        number (assigned in record order at merge time).  ``extra_attrs``
+        annotate provenance, e.g. ``shard=3``.
+        """
+        for record in records:
+            attrs = dict(record.get("attrs", {}))
+            attrs.update(extra_attrs)
+            with self._lock:
+                seq = self._next_seq
+                self._next_seq += 1
+                self._events.append(Event(
+                    seq=seq,
+                    ts=float(record.get("ts", 0.0)),
+                    type=record.get("type", "build_phase"),
+                    pid=int(record.get("pid", 0)),
+                    attrs=attrs,
+                    trace=record.get("trace"),
+                    span_id=record.get("span_id"),
+                ))

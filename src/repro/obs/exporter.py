@@ -1,0 +1,352 @@
+"""OpenMetrics export and the telemetry spool sink.
+
+Two output surfaces for one registry:
+
+* :func:`render_openmetrics` — the Prometheus/OpenMetrics text format
+  (``# TYPE`` headers, ``_total``-suffixed counters, summary quantiles,
+  ``# EOF`` terminator), scrapeable by promtool/Grafana Agent.
+  :func:`parse_openmetrics` is the strict validator CI and the tests
+  run over the output.
+* :class:`TelemetrySink` — a periodic flusher writing a *spool
+  directory*: ``metrics.prom`` and ``metrics.json`` replaced atomically
+  (stage + fsync + ``os.replace``, the PR-2 publish idiom), plus
+  append-only ``events.jsonl`` (incremental journal drain) and
+  ``resources.jsonl`` (one sampler reading per flush, the monitor's
+  sparkline history).
+
+The sink is what ``--telemetry-dir`` turns on and what
+``repro monitor`` tails.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Optional
+
+__all__ = [
+    "TelemetrySink",
+    "parse_openmetrics",
+    "render_openmetrics",
+    "sanitize_metric_name",
+]
+
+#: Spool file names (one directory per run).
+METRICS_PROM = "metrics.prom"
+METRICS_JSON = "metrics.json"
+EVENTS_JSONL = "events.jsonl"
+RESOURCES_JSONL = "resources.jsonl"
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^{}]*\})?"
+    r" (?P<value>NaN|[-+]?Inf|[-+]?[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?)"
+    r"(?: [0-9]+(?:\.[0-9]+)?)?$"
+)
+_TYPES = ("counter", "gauge", "summary")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map a dotted repro metric name onto the OpenMetrics charset."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not cleaned or not re.match(r"[a-zA-Z_:]", cleaned[0]):
+        cleaned = f"_{cleaned}"
+    return cleaned
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    value = float(value)
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+class _Renderer:
+    def __init__(self) -> None:
+        self.lines: list = []
+        self._seen: set = set()
+
+    def family(self, name: str, mtype: str) -> Optional[str]:
+        name = sanitize_metric_name(name)
+        if name in self._seen:
+            return None  # sanitization collision: first family wins
+        self._seen.add(name)
+        self.lines.append(f"# TYPE {name} {mtype}")
+        return name
+
+    def counter(self, name: str, value) -> None:
+        name = self.family(name, "counter")
+        if name is not None:
+            self.lines.append(f"{name}_total {_fmt(value)}")
+
+    def gauge(self, name: str, value) -> None:
+        name = self.family(name, "gauge")
+        if name is not None:
+            self.lines.append(f"{name} {_fmt(value)}")
+
+    def summary(self, name: str, quantiles: dict, count, total) -> None:
+        name = self.family(name, "summary")
+        if name is None:
+            return
+        for q, value in quantiles.items():
+            self.lines.append(
+                f'{name}{{quantile="{q}"}} {_fmt(value)}'
+            )
+        self.lines.append(f"{name}_sum {_fmt(total)}")
+        self.lines.append(f"{name}_count {_fmt(count)}")
+
+    def render(self) -> str:
+        return "\n".join(self.lines + ["# EOF"]) + "\n"
+
+
+def render_openmetrics(registry, slo=None,
+                       now: Optional[float] = None) -> str:
+    """The registry (and optionally an SLO status) as OpenMetrics text."""
+    summary = registry.summary()
+    out = _Renderer()
+    for name, value in summary.get("counters", {}).items():
+        out.counter(name, value)
+    for name, value in summary.get("gauges", {}).items():
+        out.gauge(name, value)
+    for name, hist in summary.get("histograms", {}).items():
+        out.summary(
+            name,
+            {"0.5": hist["p50"], "0.95": hist["p95"]},
+            hist["count"],
+            hist["mean"] * hist["count"],
+        )
+    for name, win in summary.get("windowed_counters", {}).items():
+        out.counter(name, win["total"])
+        out.gauge(f"{name}.rate", win["rate"])
+    for name, win in summary.get("windowed_histograms", {}).items():
+        out.summary(
+            name,
+            {"0.5": win["p50"], "0.95": win["p95"], "0.99": win["p99"]},
+            win["count"],
+            win["mean"] * win["count"],
+        )
+        out.gauge(f"{name}.rate", win["rate"])
+    if slo is not None:
+        status = slo.status(now) if hasattr(slo, "status") else dict(slo)
+        for key in ("latency_attainment", "latency_burn",
+                    "coverage_attainment", "coverage_burn", "healthy"):
+            out.gauge(f"slo.{key}", status[key])
+    return out.render()
+
+
+def parse_openmetrics(text: str) -> dict:
+    """Validate OpenMetrics text; returns ``{family: type}``.
+
+    Checks the invariants promtool enforces that matter for scraping:
+    every family declared before its samples, counter samples carry the
+    ``_total`` suffix, sample lines match the exposition grammar, names
+    stay in the legal charset, exactly one terminating ``# EOF``.
+    Raises ``ValueError`` with the offending line on violation.
+    """
+    families: dict = {}
+    lines = text.splitlines()
+    if not lines or lines[-1] != "# EOF":
+        raise ValueError("missing terminating '# EOF' line")
+    for lineno, line in enumerate(lines[:-1], start=1):
+        if not line:
+            raise ValueError(f"line {lineno}: blank line before EOF")
+        if line.startswith("#"):
+            parts = line.split(" ")
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                name, mtype = parts[2], parts[3]
+                if not _NAME_OK.match(name):
+                    raise ValueError(f"line {lineno}: bad family name {name!r}")
+                if mtype not in _TYPES:
+                    raise ValueError(f"line {lineno}: bad type {mtype!r}")
+                if name in families:
+                    raise ValueError(f"line {lineno}: duplicate family {name!r}")
+                families[name] = mtype
+            elif parts[1] in ("HELP", "UNIT"):
+                continue
+            elif line == "# EOF":
+                raise ValueError(f"line {lineno}: '# EOF' before end of text")
+            else:
+                raise ValueError(f"line {lineno}: unparseable comment {line!r}")
+            continue
+        match = _SAMPLE.match(line)
+        if not match:
+            raise ValueError(f"line {lineno}: unparseable sample {line!r}")
+        sample_name = match.group("name")
+        for family, mtype in families.items():
+            if sample_name == family or (
+                sample_name.startswith(family)
+                and sample_name[len(family):] in ("_total", "_sum",
+                                                  "_count", "_created")
+            ):
+                if mtype == "counter" and sample_name != f"{family}_total":
+                    if sample_name == family:
+                        raise ValueError(
+                            f"line {lineno}: counter sample {sample_name!r} "
+                            "missing '_total' suffix"
+                        )
+                break
+        else:
+            raise ValueError(
+                f"line {lineno}: sample {sample_name!r} has no preceding "
+                "# TYPE declaration"
+            )
+    return families
+
+
+# ---------------------------------------------------------------------------
+# Atomic spool writes (the PR-2 publish idiom, kept local so repro.obs
+# stays import-independent from repro.storage)
+# ---------------------------------------------------------------------------
+
+
+def _fsync_dir(path: Path) -> None:
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:  # pragma: no cover - e.g. windows dirs
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def write_text_atomic(path: Path, text: str) -> None:
+    """Stage + fsync + ``os.replace`` so readers never see a torn file."""
+    path = Path(path)
+    staged = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+    with open(staged, "w", encoding="utf-8") as fh:
+        fh.write(text)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(staged, path)
+    _fsync_dir(path.parent)
+
+
+class TelemetrySink:
+    """Periodically flush telemetry into a spool directory.
+
+    One ``flush()`` writes a consistent set: the OpenMetrics text and
+    JSON snapshot are atomically replaced, new journal events are
+    appended to ``events.jsonl``, and (when a sampler is attached) one
+    resource reading per watched process is appended to
+    ``resources.jsonl``.  ``start()``/``stop()`` run the flush loop on
+    a daemon thread; ``close()`` stops it and flushes a final time so
+    short CLI runs still leave a complete spool behind.
+    """
+
+    def __init__(
+        self,
+        directory,
+        registry,
+        journal=None,
+        slo=None,
+        sampler=None,
+        interval: float = 2.0,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.registry = registry
+        self.journal = journal
+        self.slo = slo
+        self.sampler = sampler
+        self.interval = float(interval)
+        self._clock = clock if clock is not None else time.time
+        self._lock = threading.Lock()
+        self._last_event_seq = -1
+        self._flushes = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def _append_jsonl(self, filename: str, records) -> None:
+        if not records:
+            return
+        with open(self.directory / filename, "a", encoding="utf-8") as fh:
+            for record in records:
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def flush(self) -> None:
+        with self._lock:
+            now = self._clock()
+            self._flushes += 1
+            if self.sampler is not None:
+                readings = self.sampler.sample_once()
+                if readings:
+                    self._append_jsonl(
+                        RESOURCES_JSONL,
+                        [{"ts": now, "samples": readings}],
+                    )
+            if self.journal is not None:
+                fresh = self.journal.drain_since(self._last_event_seq)
+                if fresh:
+                    self._last_event_seq = fresh[-1].seq
+                    self._append_jsonl(
+                        EVENTS_JSONL, [e.to_dict() for e in fresh]
+                    )
+            text = render_openmetrics(self.registry, slo=self.slo, now=now)
+            write_text_atomic(self.directory / METRICS_PROM, text)
+            snapshot = {
+                "ts": now,
+                "pid": os.getpid(),
+                "flushes": self._flushes,
+                "interval": self.interval,
+                "summary": self.registry.summary(),
+            }
+            if self.slo is not None:
+                snapshot["slo"] = self.slo.status(now)
+            write_text_atomic(
+                self.directory / METRICS_JSON,
+                json.dumps(snapshot, sort_keys=True, default=float),
+            )
+
+    # -- background loop ----------------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-telemetry-sink", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        thread = self._thread
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join(timeout=5.0)
+        self._thread = None
+
+    def close(self) -> None:
+        """Stop the loop and flush once more (the shutdown path)."""
+        self.stop()
+        self.flush()
+
+    def __enter__(self) -> "TelemetrySink":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            try:
+                self.flush()
+            except Exception:  # pragma: no cover - never kill the host
+                pass
+            self._stop.wait(self.interval)

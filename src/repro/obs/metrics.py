@@ -24,10 +24,32 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "percentile_from_sorted",
     "record_build",
     "record_io",
     "record_profile",
 ]
+
+
+def percentile_from_sorted(values, q: float) -> float:
+    """The ``q``-th percentile of already-sorted ``values``.
+
+    Pinned to linear interpolation between closest ranks — the same
+    convention as ``numpy.percentile``'s default — but implemented
+    explicitly so summaries are deterministic across numpy versions
+    and platforms, and so callers holding a sorted array never pay a
+    re-sort.  Accepts any indexable sorted sequence.
+    """
+    n = len(values)
+    if n == 0:
+        return 0.0
+    position = (q / 100.0) * (n - 1)
+    lower = int(position)
+    upper = min(lower + 1, n - 1)
+    fraction = position - lower
+    return float(
+        values[lower] * (1.0 - fraction) + values[upper] * fraction
+    )
 
 #: Every live registry, tracked so locks can be re-initialized in forked
 #: children (a lock held by another thread at fork time would deadlock
@@ -104,24 +126,32 @@ class Histogram:
 
     Values are kept exactly (benchmark workloads observe at most a few
     thousand per histogram); :meth:`summary` reports count, mean, min,
-    p50, p95, and max.
+    p50, p95, and max.  The sorted view is cached and invalidated on
+    write, so a monitoring loop that reads summaries every few seconds
+    does not re-sort an unchanged distribution — and percentiles use
+    the pinned :func:`percentile_from_sorted` interpolation so the
+    numbers are identical across platforms and numpy versions.
     """
 
-    __slots__ = ("_lock", "_values")
+    __slots__ = ("_lock", "_values", "_sorted")
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._values: list[float] = []
+        self._sorted: Optional[np.ndarray] = None
 
     def observe(self, value: float) -> None:
         with self._lock:
             self._values.append(float(value))
+            self._sorted = None
 
     def extend(self, values) -> None:
         """Bulk-observe raw values (the child-process merge path)."""
         coerced = [float(v) for v in values]
         with self._lock:
             self._values.extend(coerced)
+            if coerced:
+                self._sorted = None
 
     @property
     def count(self) -> int:
@@ -133,19 +163,26 @@ class Histogram:
         with self._lock:
             return list(self._values)
 
-    def summary(self) -> dict:
+    def _sorted_snapshot(self) -> np.ndarray:
         with self._lock:
-            values = np.asarray(self._values, dtype=np.float64)
+            if self._sorted is None:
+                self._sorted = np.sort(
+                    np.asarray(self._values, dtype=np.float64)
+                )
+            return self._sorted
+
+    def summary(self) -> dict:
+        values = self._sorted_snapshot()
         if values.shape[0] == 0:
             return {"count": 0, "mean": 0.0, "min": 0.0, "p50": 0.0,
                     "p95": 0.0, "max": 0.0}
         return {
             "count": int(values.shape[0]),
             "mean": float(values.mean()),
-            "min": float(values.min()),
-            "p50": float(np.percentile(values, 50)),
-            "p95": float(np.percentile(values, 95)),
-            "max": float(values.max()),
+            "min": float(values[0]),
+            "p50": percentile_from_sorted(values, 50.0),
+            "p95": percentile_from_sorted(values, 95.0),
+            "max": float(values[-1]),
         }
 
 
@@ -167,6 +204,8 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._windowed_counters: dict = {}
+        self._windowed_histograms: dict = {}
         _LIVE_REGISTRIES.add(self)
 
     def counter(self, name: str) -> Counter:
@@ -190,25 +229,70 @@ class MetricsRegistry:
                 instrument = self._histograms[name] = Histogram()
             return instrument
 
+    def windowed_counter(self, name: str, **kwargs):
+        """A named :class:`~repro.obs.telemetry.WindowedCounter`.
+
+        Constructor keyword arguments (``window_seconds``,
+        ``num_buckets``, ``clock``) only apply on first use; later
+        calls return the existing instrument unchanged.
+        """
+        from repro.obs import telemetry
+
+        with self._lock:
+            instrument = self._windowed_counters.get(name)
+            if instrument is None:
+                instrument = self._windowed_counters[name] = (
+                    telemetry.WindowedCounter(**kwargs)
+                )
+            return instrument
+
+    def windowed_histogram(self, name: str, **kwargs):
+        """A named :class:`~repro.obs.telemetry.WindowedHistogram`."""
+        from repro.obs import telemetry
+
+        with self._lock:
+            instrument = self._windowed_histograms.get(name)
+            if instrument is None:
+                instrument = self._windowed_histograms[name] = (
+                    telemetry.WindowedHistogram(**kwargs)
+                )
+            return instrument
+
     def summary(self) -> dict:
         """A JSON-friendly snapshot of every instrument."""
         with self._lock:
             counters = dict(self._counters)
             gauges = dict(self._gauges)
             histograms = dict(self._histograms)
+            windowed_counters = dict(self._windowed_counters)
+            windowed_histograms = dict(self._windowed_histograms)
         return {
             "counters": {k: v.value for k, v in sorted(counters.items())},
             "gauges": {k: v.value for k, v in sorted(gauges.items())},
             "histograms": {
                 k: v.summary() for k, v in sorted(histograms.items())
             },
+            "windowed_counters": {
+                k: v.summary() for k, v in sorted(windowed_counters.items())
+            },
+            "windowed_histograms": {
+                k: v.summary() for k, v in sorted(windowed_histograms.items())
+            },
         }
+
+    def to_openmetrics(self, slo=None) -> str:
+        """This registry in OpenMetrics/Prometheus text format."""
+        from repro.obs import exporter
+
+        return exporter.render_openmetrics(self, slo=slo)
 
     def reset(self) -> None:
         with self._lock:
             self._counters.clear()
             self._gauges.clear()
             self._histograms.clear()
+            self._windowed_counters.clear()
+            self._windowed_histograms.clear()
 
     # -- cross-process flush --------------------------------------------------
 
@@ -223,18 +307,31 @@ class MetricsRegistry:
             counters = dict(self._counters)
             gauges = dict(self._gauges)
             histograms = dict(self._histograms)
+            windowed_counters = dict(self._windowed_counters)
+            windowed_histograms = dict(self._windowed_histograms)
         return {
             "counters": {k: v.value for k, v in counters.items()},
             "gauges": {k: v.value for k, v in gauges.items()},
             "histograms": {k: v.values for k, v in histograms.items()},
+            "windowed_counters": {
+                k: v.export_state() for k, v in windowed_counters.items()
+            },
+            "windowed_histograms": {
+                k: v.export_state() for k, v in windowed_histograms.items()
+            },
         }
 
     def merge_state(self, state: dict, prefix: str = "") -> None:
         """Fold a child's :meth:`export_state` into this registry.
 
         Counters accumulate, gauges take the child's value, histogram
-        observations append.  ``prefix`` namespaces every merged name
-        (e.g. ``shard.0.``) so per-worker provenance survives the merge.
+        observations append.  Windowed instruments merge bucket-by-
+        bucket on the absolute epoch axis, so rolling percentiles come
+        out identical no matter which process observed a value.
+        ``prefix`` namespaces every merged name (e.g. ``shard.0.``) so
+        per-worker provenance survives the merge — windowed instruments
+        merge *unprefixed* as well, because a rolling `query.latency`
+        must aggregate the whole fleet.
         """
         for name, value in state.get("counters", {}).items():
             self.counter(f"{prefix}{name}").add(int(value))
@@ -242,6 +339,18 @@ class MetricsRegistry:
             self.gauge(f"{prefix}{name}").set(value)
         for name, values in state.get("histograms", {}).items():
             self.histogram(f"{prefix}{name}").extend(values)
+        for name, wstate in state.get("windowed_counters", {}).items():
+            self.windowed_counter(
+                name,
+                window_seconds=wstate.get("window_seconds", 60.0),
+                num_buckets=wstate.get("num_buckets", 12),
+            ).merge_state(wstate)
+        for name, wstate in state.get("windowed_histograms", {}).items():
+            self.windowed_histogram(
+                name,
+                window_seconds=wstate.get("window_seconds", 60.0),
+                num_buckets=wstate.get("num_buckets", 12),
+            ).merge_state(wstate)
 
 
 # ---------------------------------------------------------------------------

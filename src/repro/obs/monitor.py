@@ -1,0 +1,273 @@
+"""`repro monitor`: a terminal dashboard over a telemetry spool.
+
+The monitor is a *reader* — it tails the spool directory a
+:class:`~repro.obs.exporter.TelemetrySink` maintains (it never touches
+the serving process), so it can run on the same box as a build/query
+loop or over a copied spool after the fact.  Rendering is a pure
+function of the spool contents (:func:`render_dashboard`), which is
+what the tests drive; :func:`run_monitor` wraps it in a clear-screen
+refresh loop.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro.obs.exporter import EVENTS_JSONL, METRICS_JSON, RESOURCES_JSONL
+
+__all__ = ["load_spool", "render_dashboard", "run_monitor", "sparkline"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, width: int = 32) -> str:
+    """Min-max normalized block characters for a value history."""
+    values = [float(v) for v in values][-width:]
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return _BLOCKS[0] * len(values)
+    scale = (len(_BLOCKS) - 1) / (hi - lo)
+    return "".join(_BLOCKS[int((v - lo) * scale)] for v in values)
+
+
+def _read_jsonl(path: Path, limit: Optional[int] = None) -> list:
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except OSError:
+        return []
+    if limit is not None:
+        lines = lines[-limit:]
+    records = []
+    for line in lines:
+        try:
+            records.append(json.loads(line))
+        except ValueError:
+            continue  # a torn tail line mid-append
+    return records
+
+
+def load_spool(directory) -> dict:
+    """Parse the spool files; missing pieces come back empty/None."""
+    directory = Path(directory)
+    snapshot = None
+    try:
+        snapshot = json.loads(
+            (directory / METRICS_JSON).read_text(encoding="utf-8")
+        )
+    except (OSError, ValueError):
+        pass
+    return {
+        "snapshot": snapshot,
+        "events": _read_jsonl(directory / EVENTS_JSONL),
+        "resources": _read_jsonl(directory / RESOURCES_JSONL, limit=256),
+    }
+
+
+def _fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1e3:8.2f}ms"
+
+
+def _fmt_bytes(n: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(n) < 1024 or unit == "TiB":
+            return f"{n:7.1f}{unit}"
+        n /= 1024.0
+    return f"{n:.1f}TiB"
+
+
+def _shard_table(summary: dict, events: list) -> list:
+    """Per-shard rows: restarts/drops/retries from counters + events."""
+    shards: dict = {}
+
+    def row(key):
+        return shards.setdefault(
+            key, {"restarts": 0, "dropped": 0, "retries": 0, "rss": None}
+        )
+
+    for event in events:
+        attrs = event.get("attrs", {})
+        shard = attrs.get("shard", attrs.get("worker"))
+        if shard is None:
+            continue
+        if event.get("type") == "worker_restart":
+            row(shard)["restarts"] += 1
+        elif event.get("type") == "shard_dropped":
+            row(shard)["dropped"] += 1
+    for name, value in summary.get("counters", {}).items():
+        parts = name.split(".")
+        if len(parts) >= 3 and parts[0] == "shard" and parts[1].isdigit():
+            if parts[2] == "query" and parts[-1] == "count":
+                row(int(parts[1]))
+    for name, value in summary.get("gauges", {}).items():
+        parts = name.split(".")
+        if (len(parts) == 4 and parts[0] == "shard" and parts[1].isdigit()
+                and parts[2] == "proc" and parts[3] == "rss_bytes"):
+            row(int(parts[1]))["rss"] = value
+    lines = []
+    for shard in sorted(shards, key=str):
+        info = shards[shard]
+        rss = _fmt_bytes(info["rss"]).strip() if info["rss"] else "-"
+        lines.append(
+            f"    shard {shard}: restarts={info['restarts']} "
+            f"dropped={info['dropped']} rss={rss}"
+        )
+    return lines
+
+
+def render_dashboard(directory, now: Optional[float] = None,
+                     event_tail: int = 6) -> str:
+    """The dashboard text for one refresh (pure; no clearing/looping)."""
+    if now is None:
+        now = time.time()
+    spool = load_spool(directory)
+    snapshot = spool["snapshot"]
+    out = [f"repro monitor — {directory}"]
+    if snapshot is None:
+        out.append(f"  waiting for telemetry (no {METRICS_JSON} yet) ...")
+        return "\n".join(out) + "\n"
+    age = max(0.0, now - snapshot.get("ts", now))
+    out[0] += (
+        f"   [flush #{snapshot.get('flushes', '?')}, "
+        f"pid {snapshot.get('pid', '?')}, {age:.1f}s ago]"
+    )
+    summary = snapshot.get("summary", {})
+    whists = summary.get("windowed_histograms", {})
+    wcounters = summary.get("windowed_counters", {})
+
+    latency = whists.get("query.latency_seconds")
+    requests = wcounters.get("query.requests", {})
+    out.append("")
+    out.append("  queries")
+    if latency and latency.get("count"):
+        out.append(
+            f"    qps {latency['rate']:8.2f}   "
+            f"p50 {_fmt_ms(latency['p50'])}   "
+            f"p95 {_fmt_ms(latency['p95'])}   "
+            f"p99 {_fmt_ms(latency['p99'])}   "
+            f"(window n={latency['count']}, "
+            f"lifetime n={int(requests.get('total', latency['total_count']))})"
+        )
+    else:
+        engine = whists.get("engine.search_seconds")
+        if engine and engine.get("count"):
+            out.append(
+                f"    engine searches: {engine['rate']:.2f}/s   "
+                f"p95 {_fmt_ms(engine['p95'])}"
+            )
+        else:
+            out.append("    no queries in window")
+    coverage = whists.get("query.coverage")
+    degraded = wcounters.get("query.degraded", {})
+    if coverage and coverage.get("count"):
+        out.append(
+            f"    coverage mean {coverage['mean']:.4f}  "
+            f"min {coverage['min']:.4f}   "
+            f"degraded answers {int(degraded.get('total', 0))}"
+        )
+
+    slo = snapshot.get("slo")
+    if slo:
+        state = "OK" if slo.get("healthy") else "VIOLATED"
+        out.append("")
+        out.append(f"  slo [{state}]")
+        out.append(
+            f"    latency  <= {slo['latency_threshold'] * 1e3:.0f}ms: "
+            f"attainment {slo['latency_attainment']:.2%} "
+            f"(target {slo['latency_target']:.2%}, "
+            f"burn {slo['latency_burn']:.2f}x)"
+        )
+        out.append(
+            f"    coverage attainment {slo['coverage_attainment']:.2%} "
+            f"(target {slo['coverage_target']:.2%}, "
+            f"burn {slo['coverage_burn']:.2f}x)"
+        )
+
+    counters = summary.get("counters", {})
+    hits = counters.get("query.cache.hits", counters.get("cache.leaf.hits", 0))
+    misses = counters.get(
+        "query.cache.misses", counters.get("cache.leaf.misses", 0)
+    )
+    if hits or misses:
+        out.append("")
+        out.append(
+            f"  cache   hit rate {hits / (hits + misses):.2%} "
+            f"({int(hits)} hits / {int(misses)} misses)"
+        )
+
+    shard_lines = _shard_table(summary, spool["events"])
+    restarts = counters.get("build.worker_restarts", 0)
+    retries = counters.get("shard.retries", 0)
+    dropped = counters.get("shard.dropped", 0)
+    if shard_lines or restarts or retries or dropped:
+        out.append("")
+        out.append(
+            f"  shards   worker restarts={int(restarts)} "
+            f"retries={int(retries)} dropped={int(dropped)}"
+        )
+        out.extend(shard_lines)
+
+    history = [
+        rec["samples"][""]["rss_bytes"]
+        for rec in spool["resources"]
+        if rec.get("samples", {}).get("", {}).get("rss_bytes") is not None
+    ]
+    gauges = summary.get("gauges", {})
+    rss_now = gauges.get("proc.rss_bytes")
+    if history or rss_now is not None:
+        out.append("")
+        line = "  rss    "
+        if rss_now is not None:
+            line += f"{_fmt_bytes(rss_now).strip():>10} "
+        if history:
+            line += f" {sparkline(history)}"
+        out.append(line)
+        workers = sorted(
+            (name, value) for name, value in gauges.items()
+            if name.endswith(".proc.rss_bytes") and name != "proc.rss_bytes"
+        )
+        for name, value in workers:
+            label = name[: -len(".proc.rss_bytes")]
+            out.append(f"    {label:<12} {_fmt_bytes(value).strip()}")
+
+    events = spool["events"][-event_tail:]
+    if events:
+        out.append("")
+        out.append("  events")
+        for event in events:
+            ts = time.strftime("%H:%M:%S", time.localtime(event.get("ts", 0)))
+            attrs = event.get("attrs", {})
+            detail = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+            out.append(f"    {ts} {event.get('type', '?'):<24} {detail}")
+    return "\n".join(out) + "\n"
+
+
+def run_monitor(directory, interval: float = 2.0,
+                iterations: Optional[int] = None, clear: bool = True,
+                stream=None) -> int:
+    """Refresh-loop the dashboard; Ctrl-C exits cleanly.
+
+    ``iterations=None`` loops forever; the CLI's ``--once`` maps to 1
+    (and skips the screen clear so output is pipeable).
+    """
+    if stream is None:
+        stream = sys.stdout
+    count = 0
+    try:
+        while iterations is None or count < iterations:
+            if count:
+                time.sleep(interval)
+            text = render_dashboard(directory)
+            if clear and stream.isatty():  # pragma: no cover - tty only
+                stream.write("\x1b[2J\x1b[H")
+            stream.write(text)
+            stream.flush()
+            count += 1
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    return 0

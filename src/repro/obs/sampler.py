@@ -1,0 +1,182 @@
+"""Background resource sampler: RSS, CPU, I/O, fds from ``/proc``.
+
+Long builds and serving loops need resource pressure visible next to
+the latency numbers.  :class:`ResourceSampler` polls ``/proc/<pid>/``
+for a set of watched processes — the coordinator plus every shard
+worker the supervisors register — and publishes the readings as gauges
+in a :class:`~repro.obs.metrics.MetricsRegistry`:
+
+``proc.rss_bytes`` etc. for the coordinator (empty label) and
+``shard.<i>.proc.rss_bytes`` etc. for a worker watched under the label
+``shard.<i>``.  Dead pids are dropped silently — workers are expected
+to die (and be respawned under a fresh pid by the supervisor).
+
+Pure stdlib, no psutil; on platforms without ``/proc`` the sampler
+degrades to a no-op (:func:`proc_available` gates the CLI wiring).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Callable, Optional
+
+__all__ = ["ResourceSampler", "proc_available", "sample_process"]
+
+#: Gauge suffixes published per watched process.
+SAMPLE_FIELDS = (
+    "rss_bytes",
+    "cpu_seconds",
+    "read_bytes",
+    "written_bytes",
+    "open_fds",
+    "threads",
+)
+
+
+def _sysconf(name: str, default: int) -> int:
+    try:
+        value = os.sysconf(name)
+    except (AttributeError, OSError, ValueError):
+        return default
+    return value if value > 0 else default
+
+
+_PAGE_SIZE = _sysconf("SC_PAGE_SIZE", 4096)
+_CLOCK_TICKS = _sysconf("SC_CLK_TCK", 100)
+
+
+def proc_available() -> bool:
+    """Whether ``/proc/self`` readings exist on this platform."""
+    return os.path.isdir("/proc/self")
+
+
+def sample_process(pid: Optional[int] = None) -> Optional[dict]:
+    """One reading for ``pid`` (default: this process).
+
+    Returns None when the process is gone or ``/proc`` is unavailable;
+    individual files that cannot be read (``io`` needs permissions some
+    containers withhold) just omit their keys.
+    """
+    base = f"/proc/{pid}" if pid is not None else "/proc/self"
+    sample: dict = {}
+    try:
+        with open(f"{base}/stat", "rb") as fh:
+            stat = fh.read().decode("ascii", "replace")
+    except OSError:
+        return None
+    # Field 2 (comm) may contain spaces/parens; split after the last ')'.
+    fields = stat[stat.rfind(")") + 2:].split()
+    # stat fields 14/15 (utime/stime) land at offsets 11/12 here; 20/24
+    # (num_threads/rss) at 17/21.
+    try:
+        sample["cpu_seconds"] = (
+            (int(fields[11]) + int(fields[12])) / _CLOCK_TICKS
+        )
+        sample["threads"] = int(fields[17])
+        sample["rss_bytes"] = int(fields[21]) * _PAGE_SIZE
+    except (IndexError, ValueError):
+        pass
+    try:
+        with open(f"{base}/io", "rb") as fh:
+            for line in fh.read().decode("ascii", "replace").splitlines():
+                if line.startswith("read_bytes:"):
+                    sample["read_bytes"] = int(line.split(":", 1)[1])
+                elif line.startswith("write_bytes:"):
+                    sample["written_bytes"] = int(line.split(":", 1)[1])
+    except OSError:
+        pass
+    try:
+        sample["open_fds"] = len(os.listdir(f"{base}/fd"))
+    except OSError:
+        pass
+    return sample
+
+
+class ResourceSampler:
+    """Polls watched pids and publishes ``*.proc.*`` gauges.
+
+    ``watch(label, pid)`` registers a process; the empty label means
+    the coordinator (gauges named ``proc.*``), any other label is used
+    as a prefix (``shard.0`` → ``shard.0.proc.*``).  ``sample_once()``
+    is the synchronous core (tests call it directly with no thread);
+    ``start()``/``stop()`` run it on a daemon thread every
+    ``interval`` seconds.
+    """
+
+    def __init__(
+        self,
+        registry,
+        interval: float = 1.0,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.registry = registry
+        self.interval = float(interval)
+        self._clock = clock if clock is not None else time.time
+        self._lock = threading.Lock()
+        self._watches: dict = {}
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def watch(self, label: str, pid: int) -> None:
+        with self._lock:
+            self._watches[str(label)] = int(pid)
+
+    def unwatch(self, label: str) -> None:
+        with self._lock:
+            self._watches.pop(str(label), None)
+
+    @property
+    def watched(self) -> dict:
+        with self._lock:
+            return dict(self._watches)
+
+    @staticmethod
+    def prefix_for(label: str) -> str:
+        return "proc" if not label else f"{label}.proc"
+
+    def sample_once(self) -> dict:
+        """Sample every watched pid; returns ``{label: reading}``.
+
+        Dead pids are unwatched.  Readings also land as gauges in the
+        registry, so they ride the normal export/snapshot paths.
+        """
+        readings: dict = {}
+        for label, pid in self.watched.items():
+            sample = sample_process(pid)
+            if sample is None:
+                self.unwatch(label)
+                continue
+            readings[label] = sample
+            prefix = self.prefix_for(label)
+            for key, value in sample.items():
+                self.registry.gauge(f"{prefix}.{key}").set(value)
+        return readings
+
+    # -- background loop ----------------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-resource-sampler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        thread = self._thread
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join(timeout=5.0)
+        self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            try:
+                self.sample_once()
+            except Exception:  # pragma: no cover - never kill the host
+                pass
+            self._stop.wait(self.interval)

@@ -35,10 +35,17 @@ from typing import Hashable, Optional
 
 import numpy as np
 
+from repro import obs
+
 __all__ = ["CacheSnapshot", "LeafCache"]
 
 #: Metric-name prefix used by :meth:`LeafCache.bind_registry` by default.
 DEFAULT_METRIC_PREFIX = "cache.leaf"
+
+#: Evictions accumulated before one ``cache_eviction_pressure`` event is
+#: emitted (throttling: eviction is per-block and hot loops evict
+#: thousands of times; the journal wants the trend, not every block).
+PRESSURE_EVENT_EVERY = 64
 
 
 @dataclass(frozen=True)
@@ -96,6 +103,7 @@ class LeafCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._pressure_pending = 0
         self._registry = None
         self._metric_prefix = DEFAULT_METRIC_PREFIX
 
@@ -142,11 +150,27 @@ class LeafCache:
             self._current_bytes += nbytes
             self._evictions += evicted
             registry = self._registry
+            pressure = 0
+            if evicted:
+                self._pressure_pending += evicted
+                if self._pressure_pending >= PRESSURE_EVENT_EVERY:
+                    pressure = self._pressure_pending
+                    self._pressure_pending = 0
+            resident = self._current_bytes
+            entries = len(self._entries)
         if registry is not None:
             if evicted:
                 registry.counter(f"{self._metric_prefix}.evictions").inc(evicted)
             registry.gauge(f"{self._metric_prefix}.bytes").set(
                 self.current_bytes
+            )
+        if pressure:
+            obs.emit_event(
+                "cache_eviction_pressure",
+                evictions=pressure,
+                resident_bytes=resident,
+                budget_bytes=self.budget_bytes,
+                entries=entries,
             )
         return True
 

@@ -1,0 +1,207 @@
+"""OpenMetrics rendering/validation and the spool sink."""
+
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.obs.exporter import (
+    EVENTS_JSONL,
+    METRICS_JSON,
+    METRICS_PROM,
+    RESOURCES_JSONL,
+    sanitize_metric_name,
+    write_text_atomic,
+)
+
+
+class FakeClock:
+    def __init__(self, now=1_000_000.0):
+        self.now = float(now)
+
+    def __call__(self):
+        return self.now
+
+
+def _populated_registry(clock):
+    registry = obs.MetricsRegistry()
+    registry.counter("query.count").add(12)
+    registry.gauge("build.series_per_sec").set(5000.0)
+    hist = registry.histogram("query.seconds")
+    for v in (0.1, 0.2, 0.3):
+        hist.observe(v)
+    registry.windowed_counter("query.requests", clock=clock).add(4)
+    registry.windowed_histogram(
+        "query.latency_seconds", clock=clock
+    ).observe(0.25)
+    return registry
+
+
+class TestRender:
+    def test_output_passes_the_strict_parser(self):
+        clock = FakeClock()
+        slo = obs.SloTracker(clock=clock)
+        slo.observe(0.01)
+        text = obs.render_openmetrics(
+            _populated_registry(clock), slo=slo, now=clock()
+        )
+        families = obs.parse_openmetrics(text)
+        assert families["query_count"] == "counter"
+        assert families["build_series_per_sec"] == "gauge"
+        assert families["query_seconds"] == "summary"
+        assert families["query_requests"] == "counter"
+        assert families["query_requests_rate"] == "gauge"
+        assert families["query_latency_seconds"] == "summary"
+        assert families["slo_healthy"] == "gauge"
+
+    def test_counter_samples_carry_total_suffix(self):
+        clock = FakeClock()
+        text = obs.render_openmetrics(_populated_registry(clock))
+        assert "query_count_total 12" in text.splitlines()
+        assert text.endswith("# EOF\n")
+
+    def test_windowed_histogram_exports_three_quantiles(self):
+        clock = FakeClock()
+        text = obs.render_openmetrics(_populated_registry(clock))
+        for q in ("0.5", "0.95", "0.99"):
+            assert f'query_latency_seconds{{quantile="{q}"}}' in text
+
+    def test_name_collision_keeps_first_family(self):
+        registry = obs.MetricsRegistry()
+        registry.counter("a.b").add(1)
+        registry.counter("a:b").add(2)  # sanitizes to a distinct name
+        registry.counter("a-b").add(3)  # collides with a.b -> a_b
+        text = obs.render_openmetrics(registry)
+        # Both a.b and a-b sanitize to a_b; exactly one family survives
+        # (render order, i.e. sorted name order) and the output stays
+        # parseable instead of declaring a duplicate family.
+        assert text.count("# TYPE a_b counter") == 1
+        assert "a_b_total 3" in text
+        obs.parse_openmetrics(text)
+
+    def test_sanitize_metric_name(self):
+        assert sanitize_metric_name("query.latency") == "query_latency"
+        assert sanitize_metric_name("9lives") == "_9lives"
+        assert sanitize_metric_name("shard.0.proc.rss") == "shard_0_proc_rss"
+
+
+class TestParseRejects:
+    def test_missing_eof(self):
+        with pytest.raises(ValueError, match="EOF"):
+            obs.parse_openmetrics("# TYPE a gauge\na 1\n")
+
+    def test_counter_sample_without_total_suffix(self):
+        text = "# TYPE a counter\na 1\n# EOF"
+        with pytest.raises(ValueError, match="_total"):
+            obs.parse_openmetrics(text)
+
+    def test_sample_without_family(self):
+        with pytest.raises(ValueError, match="no preceding"):
+            obs.parse_openmetrics("orphan 1\n# EOF")
+
+    def test_duplicate_family(self):
+        text = "# TYPE a gauge\n# TYPE a gauge\na 1\n# EOF"
+        with pytest.raises(ValueError, match="duplicate"):
+            obs.parse_openmetrics(text)
+
+    def test_blank_line(self):
+        with pytest.raises(ValueError, match="blank"):
+            obs.parse_openmetrics("# TYPE a gauge\n\na 1\n# EOF")
+
+    def test_bad_type(self):
+        with pytest.raises(ValueError, match="bad type"):
+            obs.parse_openmetrics("# TYPE a histogram\n# EOF")
+
+
+class TestAtomicWrite:
+    def test_replaces_without_leftover_staging(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        write_text_atomic(path, "one\n")
+        write_text_atomic(path, "two\n")
+        assert path.read_text() == "two\n"
+        assert os.listdir(tmp_path) == ["metrics.prom"]
+
+
+class TestTelemetrySink:
+    def _sink(self, tmp_path, clock):
+        registry = _populated_registry(clock)
+        journal = obs.EventJournal(clock=clock)
+        slo = obs.SloTracker(clock=clock)
+        slo.observe(0.01)
+        sink = obs.TelemetrySink(
+            tmp_path / "spool", registry, journal=journal, slo=slo,
+            clock=clock,
+        )
+        return sink, journal
+
+    def test_flush_writes_a_complete_spool(self, tmp_path):
+        clock = FakeClock()
+        sink, journal = self._sink(tmp_path, clock)
+        journal.emit("build_phase", phase="tree")
+        sink.flush()
+        spool = tmp_path / "spool"
+        obs.parse_openmetrics((spool / METRICS_PROM).read_text())
+        snapshot = json.loads((spool / METRICS_JSON).read_text())
+        assert snapshot["flushes"] == 1
+        assert snapshot["pid"] == os.getpid()
+        assert snapshot["ts"] == clock()
+        assert snapshot["summary"]["counters"]["query.count"] == 12
+        assert snapshot["slo"]["healthy"] is True
+        events = (spool / EVENTS_JSONL).read_text().splitlines()
+        assert json.loads(events[0])["type"] == "build_phase"
+
+    def test_events_are_drained_incrementally(self, tmp_path):
+        clock = FakeClock()
+        sink, journal = self._sink(tmp_path, clock)
+        journal.emit("build_phase", phase="tree")
+        sink.flush()
+        sink.flush()  # nothing new: no duplicate lines
+        journal.emit("build_phase", phase="write")
+        sink.flush()
+        lines = (tmp_path / "spool" / EVENTS_JSONL).read_text().splitlines()
+        assert [json.loads(line)["attrs"]["phase"] for line in lines] == [
+            "tree", "write",
+        ]
+
+    def test_sampler_readings_are_appended(self, tmp_path):
+        if not obs.proc_available():
+            pytest.skip("no /proc on this platform")
+        clock = FakeClock()
+        registry = obs.MetricsRegistry()
+        sampler = obs.ResourceSampler(registry)
+        sampler.watch("", os.getpid())
+        sink = obs.TelemetrySink(
+            tmp_path / "spool", registry, sampler=sampler, clock=clock
+        )
+        sink.flush()
+        records = (
+            tmp_path / "spool" / RESOURCES_JSONL
+        ).read_text().splitlines()
+        reading = json.loads(records[0])
+        assert reading["ts"] == clock()
+        assert reading["samples"][""]["rss_bytes"] > 0
+
+    def test_close_stops_loop_and_flushes_once_more(self, tmp_path):
+        clock = FakeClock()
+        sink, _ = self._sink(tmp_path, clock)
+        with sink:
+            pass  # enter starts the thread, exit closes
+        assert sink._thread is None
+        snapshot = json.loads(
+            (tmp_path / "spool" / METRICS_JSON).read_text()
+        )
+        assert snapshot["flushes"] >= 1
+
+    def test_no_torn_reads_between_flushes(self, tmp_path):
+        clock = FakeClock()
+        sink, _ = self._sink(tmp_path, clock)
+        sink.flush()
+        spool = tmp_path / "spool"
+        before = (spool / METRICS_PROM).read_text()
+        sink.flush()
+        after = (spool / METRICS_PROM).read_text()
+        for text in (before, after):
+            obs.parse_openmetrics(text)
+        leftovers = [n for n in os.listdir(spool) if n.startswith(".")]
+        assert leftovers == []

@@ -84,7 +84,80 @@ class TestInstruments:
         registry.reset()
         assert registry.summary() == {
             "counters": {}, "gauges": {}, "histograms": {},
+            "windowed_counters": {}, "windowed_histograms": {},
         }
+
+
+class TestHistogramDeterminism:
+    """Regression: summaries must be deterministic and the sorted-view
+    cache must never serve stale percentiles after a write."""
+
+    def test_percentile_from_sorted_matches_numpy_default(self):
+        from repro.obs import percentile_from_sorted
+
+        rng = np.random.default_rng(13)
+        values = np.sort(rng.normal(size=997))
+        for q in (0.0, 25.0, 50.0, 95.0, 99.0, 100.0):
+            assert percentile_from_sorted(values, q) == pytest.approx(
+                np.percentile(values, q), rel=1e-12
+            )
+        assert percentile_from_sorted([], 50.0) == 0.0
+        assert percentile_from_sorted([7.0], 95.0) == 7.0
+
+    def test_summary_is_independent_of_observation_order(self):
+        rng = np.random.default_rng(29)
+        values = rng.normal(size=200)
+        forward = MetricsRegistry().histogram("f")
+        shuffled = MetricsRegistry().histogram("s")
+        for v in values:
+            forward.observe(float(v))
+        permuted = values.copy()
+        rng.shuffle(permuted)
+        for v in permuted:
+            shuffled.observe(float(v))
+        assert forward.summary() == shuffled.summary()
+
+    def test_repeated_summaries_are_identical(self):
+        hist = MetricsRegistry().histogram("h")
+        for v in (3.0, 1.0, 2.0):
+            hist.observe(v)
+        assert hist.summary() == hist.summary()
+
+    def test_observe_invalidates_the_sorted_cache(self):
+        hist = MetricsRegistry().histogram("h")
+        hist.observe(10.0)
+        assert hist.summary()["p95"] == 10.0  # populates the cache
+        hist.observe(20.0)  # a stale cache would keep reporting 10.0
+        summary = hist.summary()
+        assert summary["max"] == 20.0
+        assert summary["p95"] == pytest.approx(19.5)
+        assert summary["count"] == 2
+
+    def test_extend_invalidates_the_sorted_cache(self):
+        hist = MetricsRegistry().histogram("h")
+        hist.observe(1.0)
+        assert hist.summary()["max"] == 1.0
+        hist.extend([5.0, 3.0])
+        summary = hist.summary()
+        assert summary["max"] == 5.0
+        assert summary["count"] == 3
+
+    def test_empty_extend_keeps_the_cache(self):
+        hist = MetricsRegistry().histogram("h")
+        hist.observe(1.0)
+        hist.summary()
+        hist.extend([])
+        assert hist.summary()["count"] == 1
+
+    def test_cache_is_reused_between_reads(self):
+        hist = MetricsRegistry().histogram("h")
+        for v in range(50):
+            hist.observe(float(v))
+        first = hist._sorted_snapshot()
+        second = hist._sorted_snapshot()
+        assert first is second, "unchanged distribution must not re-sort"
+        hist.observe(50.0)
+        assert hist._sorted_snapshot() is not first
 
 
 class TestRecordProfile:

@@ -1,0 +1,119 @@
+"""The `repro monitor` dashboard as a pure function of a spool."""
+
+import io
+import json
+
+from repro import obs
+from repro.obs.exporter import EVENTS_JSONL, RESOURCES_JSONL
+from repro.obs.monitor import load_spool, sparkline
+
+
+class FakeClock:
+    def __init__(self, now=1_000_000.0):
+        self.now = float(now)
+
+    def __call__(self):
+        return self.now
+
+
+def _make_spool(tmp_path, clock):
+    """A realistic spool: hub observations flushed through a real sink."""
+    hub = obs.TelemetryHub(clock=clock)
+    for i in range(10):
+        hub.observe_query(0.01 * (i + 1), coverage=1.0)
+    hub.observe_query(0.9, coverage=0.5, degraded=True)
+    hub.registry.counter("cache.leaf.hits").add(90)
+    hub.registry.counter("cache.leaf.misses").add(10)
+    hub.registry.gauge("proc.rss_bytes").set(100 * 1024 * 1024)
+    hub.registry.gauge("shard.0.proc.rss_bytes").set(50 * 1024 * 1024)
+    hub.journal.emit("worker_restart", worker=0, kind="query",
+                     dead_pid=111, new_pid=222)
+    hub.journal.emit("shard_dropped", shard=1, reason="boom")
+    directory = tmp_path / "spool"
+    sink = obs.TelemetrySink(
+        directory, hub.registry, journal=hub.journal, slo=hub.slo,
+        clock=clock,
+    )
+    # Two flushes with fake resource history for the sparkline.
+    sink.flush()
+    with open(directory / RESOURCES_JSONL, "a", encoding="utf-8") as fh:
+        for rss in (90, 95, 100, 120):
+            fh.write(json.dumps(
+                {"ts": clock(), "samples": {"": {"rss_bytes": rss << 20}}}
+            ) + "\n")
+    return directory
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series_is_flat(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_ramp_spans_the_blocks(self):
+        line = sparkline(list(range(8)))
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+        assert len(line) == 8
+
+    def test_width_clips_to_newest(self):
+        assert len(sparkline(list(range(100)), width=10)) == 10
+
+
+class TestLoadSpool:
+    def test_missing_directory_is_empty_not_an_error(self, tmp_path):
+        spool = load_spool(tmp_path / "nope")
+        assert spool == {"snapshot": None, "events": [], "resources": []}
+
+    def test_torn_tail_line_is_skipped(self, tmp_path):
+        directory = tmp_path / "spool"
+        directory.mkdir()
+        with open(directory / EVENTS_JSONL, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps({"type": "build_phase", "attrs": {}}) + "\n")
+            fh.write('{"type": "worker_res')  # torn mid-append
+        events = load_spool(directory)["events"]
+        assert len(events) == 1
+
+
+class TestRenderDashboard:
+    def test_waiting_message_without_snapshot(self, tmp_path):
+        text = obs.render_dashboard(tmp_path)
+        assert "waiting for telemetry" in text
+
+    def test_full_dashboard_sections(self, tmp_path):
+        clock = FakeClock()
+        directory = _make_spool(tmp_path, clock)
+        text = obs.render_dashboard(directory, now=clock())
+        assert "qps" in text
+        assert "p50" in text and "p95" in text and "p99" in text
+        assert "coverage mean" in text
+        assert "degraded answers 1" in text
+        assert "slo [" in text
+        assert "hit rate 90.00%" in text
+        assert "shard 0: restarts=1" in text
+        assert "shard 1: restarts=0 dropped=1" in text
+        assert "rss" in text and "100.0MiB" in text
+        assert any(block in text for block in "▁▂▃▄▅▆▇█")
+        assert "worker_restart" in text and "shard_dropped" in text
+
+    def test_event_tail_bounds_the_listing(self, tmp_path):
+        clock = FakeClock()
+        directory = _make_spool(tmp_path, clock)
+        text = obs.render_dashboard(directory, now=clock(), event_tail=1)
+        assert "worker_restart" not in text
+        assert "shard_dropped" in text
+
+
+class TestRunMonitor:
+    def test_one_iteration_writes_the_dashboard(self, tmp_path):
+        clock = FakeClock()
+        directory = _make_spool(tmp_path, clock)
+        stream = io.StringIO()
+        rc = obs.run_monitor(
+            directory, interval=0.0, iterations=1, clear=False,
+            stream=stream,
+        )
+        assert rc == 0
+        assert "repro monitor" in stream.getvalue()
+        assert "qps" in stream.getvalue()

@@ -1,0 +1,90 @@
+"""/proc resource sampling for the coordinator and shard workers."""
+
+import os
+
+import pytest
+
+from repro import obs
+from repro.obs.sampler import sample_process
+
+needs_proc = pytest.mark.skipif(
+    not obs.proc_available(), reason="no /proc on this platform"
+)
+
+
+class TestSampleProcess:
+    @needs_proc
+    def test_own_process_reading(self):
+        sample = sample_process()
+        assert sample is not None
+        assert sample["rss_bytes"] > 0
+        assert sample["cpu_seconds"] >= 0.0
+        assert sample["threads"] >= 1
+        assert sample["open_fds"] >= 3  # stdio at minimum
+
+    @needs_proc
+    def test_explicit_pid_matches_self(self):
+        assert sample_process(os.getpid())["rss_bytes"] > 0
+
+    def test_dead_pid_returns_none(self):
+        # Max pid is bounded well below this on any Linux.
+        assert sample_process(2**31 - 7) is None
+
+
+class TestResourceSampler:
+    def test_prefix_for(self):
+        assert obs.ResourceSampler.prefix_for("") == "proc"
+        assert obs.ResourceSampler.prefix_for("shard.3") == "shard.3.proc"
+
+    @needs_proc
+    def test_sample_once_publishes_gauges_per_label(self):
+        registry = obs.MetricsRegistry()
+        sampler = obs.ResourceSampler(registry)
+        sampler.watch("", os.getpid())
+        sampler.watch("shard.0", os.getpid())
+        readings = sampler.sample_once()
+        assert set(readings) == {"", "shard.0"}
+        gauges = registry.summary()["gauges"]
+        assert gauges["proc.rss_bytes"] > 0
+        assert gauges["shard.0.proc.rss_bytes"] > 0
+        assert gauges["proc.rss_bytes"] == gauges["shard.0.proc.rss_bytes"]
+
+    @needs_proc
+    def test_dead_pid_is_dropped_silently(self):
+        registry = obs.MetricsRegistry()
+        sampler = obs.ResourceSampler(registry)
+        sampler.watch("shard.1", 2**31 - 7)
+        sampler.watch("", os.getpid())
+        readings = sampler.sample_once()
+        assert "shard.1" not in readings
+        assert "shard.1" not in sampler.watched
+        assert "" in sampler.watched, "live pids stay watched"
+
+    def test_watch_unwatch(self):
+        sampler = obs.ResourceSampler(obs.MetricsRegistry())
+        sampler.watch("shard.0", 1234)
+        assert sampler.watched == {"shard.0": 1234}
+        sampler.unwatch("shard.0")
+        assert sampler.watched == {}
+
+    @needs_proc
+    def test_background_loop_starts_and_stops(self):
+        sampler = obs.ResourceSampler(
+            obs.MetricsRegistry(), interval=0.01
+        )
+        sampler.watch("", os.getpid())
+        sampler.start()
+        sampler.start()  # idempotent
+        try:
+            deadline = 100
+            while "proc.rss_bytes" not in sampler.registry.summary()[
+                "gauges"
+            ] and deadline:
+                deadline -= 1
+                import time
+
+                time.sleep(0.01)
+            assert sampler.registry.summary()["gauges"]["proc.rss_bytes"] > 0
+        finally:
+            sampler.stop()
+        assert sampler._thread is None
