@@ -1,0 +1,202 @@
+"""Signature pre-filter benchmark: whole-array screening before descent.
+
+Not a paper figure: this pins the perf properties of the in-RAM iSAX
+fingerprint tier (``repro.core.prefilter``) on a small disk-backed
+index —
+
+* easy queries (exact copies of indexed rows) are answered from phase 1
+  alone: the screen prunes every row against the zero BSF, so the
+  refine phases read nothing at all, and
+* on a medium-difficulty workload the filtered pipeline reads a fraction
+  of the raw series the unfiltered pipeline reads and is faster
+  end-to-end, while returning bit-for-bit identical answers.
+
+Both arms query the *same* materialized index — the pre-filter is
+toggled per query through the config — so the comparison isolates the
+screen itself (no build-layout noise).  Run with
+``REPRO_BENCH_JSON=BENCH_prefilter.json`` to dump the measured numbers;
+wall-clock ratios carry ``speedup`` in their key so ``bench-diff``
+skips them across machines.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import HerculesIndex
+from repro.eval.experiments import ExperimentResult
+from repro.eval.methods import hercules_config
+from repro.eval.metrics import run_workload
+from repro.workloads.generators import make_noise_queries, random_walks
+
+from .conftest import record_table, scaled
+
+#: Long series make the refine phases (raw reads + exact distances)
+#: expensive relative to the O(N x segments) screen, as at paper scale.
+_LENGTH = 512
+
+
+class _Toggled:
+    """Query adapter running every knn through one fixed config."""
+
+    def __init__(self, index: HerculesIndex, config):
+        self._index = index
+        self._config = config
+
+    @property
+    def num_series(self) -> int:
+        return self._index.num_series
+
+    def knn(self, query, k=1):
+        return self._index.knn(query, k=k, config=self._config)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return random_walks(scaled(4_000), _LENGTH, seed=7)
+
+
+@pytest.fixture(scope="module")
+def index_dir(tmp_path_factory, data):
+    directory = tmp_path_factory.mktemp("bench-prefilter") / "hercules"
+    # Single-threaded build and querying keep the leaf layout and the
+    # per-query counters deterministic across runs, so the JSON artifact
+    # diffs cleanly against the committed baseline.
+    config = hercules_config(
+        data.shape[0], num_threads=1, prefilter=True, prefilter_bits=8
+    )
+    HerculesIndex.build(data, config, directory=directory).close()
+    return directory
+
+
+def _timed_workload(method, queries, k, num_series, repeats=3):
+    """(best wall seconds, last WorkloadResult) over ``repeats`` runs."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = run_workload(method, queries, k=k, num_series=num_series)
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def test_prefilter_screen(index_dir, data):
+    index = HerculesIndex.open(index_dir)
+    try:
+        assert index.prefilter_active
+        unfiltered = index.config.with_options(prefilter=False)
+        num_series = data.shape[0]
+
+        result = ExperimentResult(
+            figure="bench_prefilter",
+            headers=[
+                "scenario",
+                "pruned",
+                "candidate_series",
+                "series_read",
+                "ms_per_query",
+            ],
+        )
+
+        # -- easy queries: exact copies of indexed rows --------------------
+        # Phase 1 lands on the stored row (distance 0), so the screen's
+        # cutoff is zero and nothing survives: the refine phases never
+        # read a leaf.
+        step = max(num_series // 10, 1)
+        easy_queries = data[::step][:10].copy()
+        easy_seconds, easy = _timed_workload(
+            index, easy_queries, 1, num_series
+        )
+        easy_reads = sum(p.series_accessed for p in easy.profiles)
+        result.rows.append(
+            [
+                "easy/prefilter",
+                f"{easy.avg_prefilter_pruned_fraction:.2%}",
+                sum(p.candidate_series for p in easy.profiles),
+                easy_reads,
+                easy_seconds / len(easy_queries) * 1e3,
+            ]
+        )
+
+        # -- medium workload: filtered vs unfiltered on the same tree ------
+        medium_queries = make_noise_queries(data, 12, 0.5, seed=11)
+        filt_seconds, filt = _timed_workload(
+            index, medium_queries, 10, num_series
+        )
+        plain_seconds, plain = _timed_workload(
+            _Toggled(index, unfiltered), medium_queries, 10, num_series
+        )
+        filt_reads = sum(p.series_accessed for p in filt.profiles)
+        plain_reads = sum(p.series_accessed for p in plain.profiles)
+        speedup = plain_seconds / filt_seconds
+        result.rows.append(
+            [
+                "medium/prefilter",
+                f"{filt.avg_prefilter_pruned_fraction:.2%}",
+                sum(p.candidate_series for p in filt.profiles),
+                filt_reads,
+                filt_seconds / len(medium_queries) * 1e3,
+            ]
+        )
+        result.rows.append(
+            [
+                "medium/unfiltered",
+                "-",
+                sum(p.candidate_series for p in plain.profiles),
+                plain_reads,
+                plain_seconds / len(medium_queries) * 1e3,
+            ]
+        )
+
+        result.raw = {
+            "easy": easy,
+            "medium_filtered": filt,
+            "medium_unfiltered": plain,
+            "easy_pruned_fraction": easy.avg_prefilter_pruned_fraction,
+            "medium_pruned_fraction": filt.avg_prefilter_pruned_fraction,
+            "medium_reads_filtered": int(filt_reads),
+            "medium_reads_unfiltered": int(plain_reads),
+            "end_to_end_speedup": speedup,
+            "signature_bytes": int(index.signatures.memory_bytes),
+        }
+        record_table(
+            "Signature pre-filter: whole-array screening before descent",
+            result,
+        )
+
+        # -- parity: the screen must never change an answer ----------------
+        for query in medium_queries:
+            filtered_answer = index.knn(query, k=10)
+            plain_answer = index.knn(query, k=10, config=unfiltered)
+            assert np.array_equal(
+                filtered_answer.distances, plain_answer.distances
+            )
+            assert np.array_equal(
+                filtered_answer.positions, plain_answer.positions
+            )
+
+        # The perf properties this PR claims, pinned as assertions.
+        assert easy.avg_prefilter_pruned_fraction >= 0.90, (
+            f"easy queries pruned only "
+            f"{easy.avg_prefilter_pruned_fraction:.2%} of the array"
+        )
+        for profile in easy.profiles:
+            assert profile.candidate_series == 0, (
+                "easy query still refined "
+                f"{profile.candidate_series} series"
+            )
+            assert profile.path == "approx-only"
+        # A valid lower bound can only remove work, never add it.
+        assert filt_reads <= plain_reads
+        assert filt_reads <= plain_reads * 0.75, (
+            f"filtered pipeline still read {filt_reads} of "
+            f"{plain_reads} series"
+        )
+        assert speedup >= 1.0, (
+            f"prefilter made the workload slower ({speedup:.2f}x)"
+        )
+    finally:
+        index.close()

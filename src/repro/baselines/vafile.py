@@ -27,6 +27,7 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro.core.prefilter import SignatureArray
 from repro.core.query import QueryAnswer, QueryProfile
 from repro.obs import timed_profile
 from repro.core.results import ResultSet
@@ -34,6 +35,8 @@ from repro.distance.euclidean import early_abandon_squared
 from repro.errors import ConfigError
 from repro.storage.dataset import Dataset
 from repro.summarization.dft import DftBasis
+from repro.summarization.paa import paa
+from repro.summarization.sax import SaxSpace
 from repro.types import DISTANCE_DTYPE
 
 
@@ -47,6 +50,15 @@ class VAFileConfig:
     total_bits: int = 64
     #: Refinement block size for skip-sequential candidate visits.
     refine_block: int = 64
+    #: Filter-file flavour: ``"dft"`` is the classic VA+ filter (DFT
+    #: features, equi-depth bins); ``"sax"`` is the fair-contender mode
+    #: that reuses Hercules' vectorized whole-array signature screen
+    #: (SAX words over ``num_features`` PAA segments at ``sax_bits``
+    #: cardinality), so baseline comparisons reflect equal kernel
+    #: quality.
+    filter_kind: str = "dft"
+    #: Per-segment cardinality of the SAX filter, in bits.
+    sax_bits: int = 4
 
     def __post_init__(self) -> None:
         if self.num_features < 1:
@@ -58,6 +70,14 @@ class VAFileConfig:
             )
         if self.refine_block < 1:
             raise ConfigError(f"refine_block must be >= 1, got {self.refine_block}")
+        if self.filter_kind not in ("dft", "sax"):
+            raise ConfigError(
+                f"filter_kind must be 'dft' or 'sax', got {self.filter_kind!r}"
+            )
+        if not 1 <= self.sax_bits <= 8:
+            raise ConfigError(
+                f"sax_bits must be in [1, 8], got {self.sax_bits}"
+            )
 
 
 class VAFileIndex:
@@ -73,6 +93,7 @@ class VAFileIndex:
         edges: list[np.ndarray],
         cells: np.ndarray,
         build_seconds: float,
+        signatures: Optional[SignatureArray] = None,
     ) -> None:
         self.dataset = dataset
         self.config = config
@@ -81,6 +102,9 @@ class VAFileIndex:
         self.edges = edges
         #: ``cells[i, d]``: bin index of series i in dimension d.
         self.cells = cells
+        #: Fair-contender filter (``filter_kind="sax"``): the same
+        #: whole-array signature screen Hercules' pre-filter tier runs.
+        self.signatures = signatures
         self.num_series = dataset.num_series
         self.build_seconds = build_seconds
 
@@ -104,6 +128,28 @@ class VAFileIndex:
 
         started = time.perf_counter()
         basis = DftBasis(dataset.series_length, config.num_features)
+        if config.filter_kind == "sax":
+            space = SaxSpace(segments=config.num_features)
+            symbols = np.empty(
+                (dataset.num_series, config.num_features), dtype=np.uint8
+            )
+            for start, batch in dataset.iter_batches(8192):
+                symbols[start : start + batch.shape[0]] = space.symbolize(
+                    paa(batch, config.num_features)
+                )
+            signatures = SignatureArray.from_full_symbols(
+                symbols, space, config.sax_bits
+            )
+            build_seconds = time.perf_counter() - started
+            return cls(
+                dataset,
+                config,
+                basis,
+                edges=[],
+                cells=signatures.reduced.astype(np.int32),
+                build_seconds=build_seconds,
+                signatures=signatures,
+            )
         features = np.empty(
             (dataset.num_series, config.num_features), dtype=DISTANCE_DTYPE
         )
@@ -187,7 +233,17 @@ class VAFileIndex:
                 f"built over {meta['num_series']}"
             )
         basis = DftBasis(meta["series_length"], config.num_features)
-        return cls(dataset, config, basis, edges, cells, build_seconds=0.0)
+        signatures = None
+        if config.filter_kind == "sax":
+            signatures = SignatureArray(
+                cells.astype(np.uint8),
+                SaxSpace(segments=config.num_features),
+                config.sax_bits,
+            )
+        return cls(
+            dataset, config, basis, edges, cells, build_seconds=0.0,
+            signatures=signatures,
+        )
 
     # -- querying --------------------------------------------------------------
 
@@ -195,11 +251,22 @@ class VAFileIndex:
         query64 = np.asarray(query, dtype=DISTANCE_DTYPE)
         results = ResultSet(k)
         profile = QueryProfile()
+        path = (
+            "vafile-sax-skipseq"
+            if self.signatures is not None
+            else "vafile-skipseq"
+        )
         with timed_profile(
-            profile, path="vafile-skipseq", io_stats=self.dataset.stats, k=k
+            profile, path=path, io_stats=self.dataset.stats, k=k
         ):
-            q_feat = self.basis.transform(query64)
-            bounds = self._cell_lower_bounds(q_feat)
+            if self.signatures is not None:
+                # Fair-contender mode: the whole-array signature screen.
+                bounds = self.signatures.lower_bounds(
+                    paa(query64, self.config.num_features), query64.shape[0]
+                )
+            else:
+                q_feat = self.basis.transform(query64)
+                bounds = self._cell_lower_bounds(q_feat)
 
             # Phase 1: seed the BSF with real distances of the k most
             # promising candidates (smallest cell lower bounds).
@@ -213,6 +280,9 @@ class VAFileIndex:
             profile.sax_pruning = (
                 1.0 - candidates.shape[0] / self.num_series if self.num_series else 1.0
             )
+            if self.signatures is not None:
+                profile.prefilter_screened = self.num_series
+                profile.prefilter_survivors = int(candidates.shape[0])
             seeded = set(int(p) for p in seed)
             remaining = np.array(
                 [p for p in candidates if int(p) not in seeded], dtype=np.int64

@@ -201,6 +201,8 @@ def _cmd_build(args: argparse.Namespace) -> int:
         claim_size=args.claim_size,
         num_shards=args.shards,
         shard_workers=args.shard_workers,
+        prefilter=args.prefilter,
+        prefilter_bits=args.prefilter_bits,
         **supervision_overrides,
     )
     with _maybe_telemetry(args), _maybe_trace(args), \
@@ -667,12 +669,15 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             cache_bytes=_cache_bytes(args),
             num_shards=args.shards,
             shard_workers=args.shard_workers,
+            prefilter=args.prefilter,
+            prefilter_bits=args.prefilter_bits,
         )
         rows = []
         for name in ALL_METHODS:
             built = methods[name]
             result = run_workload(built.method, queries, k=args.k)
             hit_rate = result.avg_cache_hit_rate
+            pruned = result.avg_prefilter_pruned_fraction
             rows.append(
                 [
                     name,
@@ -681,6 +686,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
                     result.avg_modeled_io_seconds * 1e3,
                     f"{result.avg_data_accessed:.2%}",
                     f"{result.avg_abandoned_fraction:.2%}",
+                    "-" if pruned is None else f"{pruned:.2%}",
                     "-" if hit_rate is None else f"{hit_rate:.2%}",
                 ]
             )
@@ -695,6 +701,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             "modeled_io_ms",
             "data_accessed",
             "abandoned",
+            "prefilter",
             "cache_hit",
         ],
         rows,
@@ -831,6 +838,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes building shards in parallel "
                             "(default: min(shards, cpu_count); 0/1: build "
                             "shards sequentially in-process)")
+    build.add_argument("--prefilter", action="store_true",
+                       help="materialize the in-RAM signature pre-filter "
+                            "tier (signatures.bin): exact queries screen "
+                            "the whole array with one vectorized lower-"
+                            "bound pass before any tree descent")
+    build.add_argument("--prefilter-bits", type=int, default=4,
+                       help="iSAX bits per segment kept in each signature "
+                            "(1-8, default 4; more bits prune more but "
+                            "cost segments*bits/8 bytes per series)")
     build.add_argument("--max-worker-restarts", type=int, default=None,
                        help="replacement build workers the supervisor may "
                             "spawn after dead-worker detection (default: 2)")
@@ -945,6 +961,12 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--shard-workers", type=int, default=None,
                          help="worker processes for the sharded Hercules "
                               "build (default: min(shards, cpu_count))")
+    compare.add_argument("--prefilter", action="store_true",
+                         help="enable the signature pre-filter tier on the "
+                              "methods that have one (Hercules whole-array "
+                              "screen; VA+file fair-contender SAX filter)")
+    compare.add_argument("--prefilter-bits", type=int, default=4,
+                         help="signature bits per segment (1-8, default 4)")
     compare.add_argument("--trace", type=Path, default=None,
                          help="write a Chrome-trace JSON of the run to FILE")
     _add_telemetry_flags(compare)

@@ -138,6 +138,18 @@ class HerculesConfig:
     #: exact answers.  0.0 (default) keeps search exact.
     epsilon: float = 0.0
 
+    # -- in-RAM signature pre-filter -----------------------------------------
+    #: Build (and at query time use) the bit-packed iSAX signature array:
+    #: a memory-resident whole-array LB_SAX screen that gates which
+    #: leaves are descended and which rows are refined.  Answers stay
+    #: bit-for-bit identical to the unfiltered pipeline.
+    prefilter: bool = False
+    #: Per-segment cardinality of the signatures, in bits.  More bits
+    #: prune harder but cost ``segments·bits/8`` bytes of RAM per series.
+    prefilter_bits: int = 4
+    #: Run the cheap Hamming pre-screen before the exact table gather.
+    prefilter_hamming: bool = True
+
     def __post_init__(self) -> None:
         if self.leaf_capacity < 2:
             raise ConfigError(f"leaf_capacity must be >= 2, got {self.leaf_capacity}")
@@ -186,6 +198,10 @@ class HerculesConfig:
             )
         if self.epsilon < 0.0:
             raise ConfigError(f"epsilon must be >= 0, got {self.epsilon}")
+        if not 1 <= self.prefilter_bits <= 8:
+            raise ConfigError(
+                f"prefilter_bits must be in [1, 8], got {self.prefilter_bits}"
+            )
         if self.num_shards < 1:
             raise ConfigError(
                 f"num_shards must be >= 1, got {self.num_shards}"

@@ -34,6 +34,11 @@ from repro import obs
 from repro.core.config import HerculesConfig
 from repro.core.construction import build_tree, new_build_context
 from repro.core.node import Node
+from repro.core.prefilter import (
+    SIGNATURES_FILENAME,
+    SIGNATURES_FORMAT_VERSION,
+    SignatureArray,
+)
 from repro.core.query import (
     QueryAnswer,
     approximate_knn,
@@ -110,12 +115,14 @@ class HerculesIndex:
         num_series: int,
         build_report: Optional[BuildReport] = None,
         owns_directory: bool = False,
+        signatures: Optional[SignatureArray] = None,
     ) -> None:
         self.root = root
         self.config = config
         self.directory = directory
         self._lrd = lrd
         self._lsd_words = lsd_words
+        self._signatures = signatures
         self.num_series = num_series
         self.build_report = build_report
         self._owns_directory = owns_directory
@@ -251,6 +258,9 @@ class HerculesIndex:
             num_series=result.num_series,
             build_report=report,
             owns_directory=owns_directory,
+            signatures=_load_signatures(
+                directory, sax_space, config, result.num_series
+            ),
         )
 
     @classmethod
@@ -306,6 +316,7 @@ class HerculesIndex:
                         LRD_FILENAME: manifest_mod.LRD_FORMAT_VERSION,
                         LSD_FILENAME: manifest_mod.LSD_FORMAT_VERSION,
                         HTREE_FILENAME: htree.FORMAT_VERSION,
+                        SIGNATURES_FILENAME: SIGNATURES_FORMAT_VERSION,
                     },
                 )
         htree_path = directory / HTREE_FILENAME
@@ -338,6 +349,9 @@ class HerculesIndex:
             lrd=lrd,
             lsd_words=lsd_words,
             num_series=num_series,
+            signatures=_load_signatures(
+                directory, sax_space, config, num_series
+            ),
         )
 
     # -- querying --------------------------------------------------------------
@@ -370,6 +384,7 @@ class HerculesIndex:
             num_leaves=len(self._leaves),
             num_series=self.num_series,
             results=results,
+            signatures=self._signatures if effective.prefilter else None,
         )
 
     def knn_batch(
@@ -477,6 +492,16 @@ class HerculesIndex:
         """Leaves in inorder (= LRDFile order)."""
         return list(self._leaves)
 
+    @property
+    def signatures(self) -> Optional[SignatureArray]:
+        """The in-RAM signature array (None when the tier is off)."""
+        return self._signatures
+
+    @property
+    def prefilter_active(self) -> bool:
+        """Whether queries will run the whole-array signature screen."""
+        return self.config.prefilter and self._signatures is not None
+
     # -- lifecycle ----------------------------------------------------------------
 
     def close(self) -> None:
@@ -546,6 +571,39 @@ def _check_cross_invariants(
                 f"[{position}, {position + leaf.size}) outside LRDFile "
                 f"with {num_series} series"
             )
+
+
+def _load_signatures(
+    directory: Path,
+    sax_space: SaxSpace,
+    config: HerculesConfig,
+    num_series: int,
+) -> Optional[SignatureArray]:
+    """The signature array of a prefiltered index, if one can serve.
+
+    Returns None (and the query pipeline falls back to the unfiltered
+    path, answers unchanged) when the configuration has the tier off or
+    when a legacy directory predates the artifact.
+    """
+    if not config.prefilter:
+        return None
+    path = directory / SIGNATURES_FILENAME
+    if not path.exists():
+        logger.warning(
+            "index at %s is configured with the signature pre-filter but "
+            "has no %s (legacy pre-prefilter directory): opening with the "
+            "pre-filter disabled, queries take the unfiltered path",
+            directory,
+            SIGNATURES_FILENAME,
+        )
+        return None
+    signatures = SignatureArray.load(path, sax_space)
+    if signatures.num_series != num_series:
+        raise StorageError(
+            f"{path} holds {signatures.num_series} signatures but the "
+            f"index records {num_series} series: mixed generations"
+        )
+    return signatures
 
 
 def _load_lsd(directory: Path, sax_space: SaxSpace) -> np.ndarray:

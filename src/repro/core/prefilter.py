@@ -1,0 +1,295 @@
+"""In-RAM iSAX fingerprint pre-filter: whole-array screening before descent.
+
+Filter-and-refine designs (VA+file, the in-memory SIMD summary scans of
+ParIS+) show that a cheap, memory-resident first stage can prune the
+vast majority of candidates before any tree descent or disk touch.  This
+module adds that tier to Hercules: a bit-packed **signature array** of
+per-series iSAX words — every series' full-resolution SAX symbols
+reduced to a small uniform cardinality (``prefilter_bits`` per segment)
+— materialized at build time as a checksummed manifest artifact
+(``signatures.bin``) and loaded whole into memory on ``open``.
+
+A query runs one vectorized LB_SAX (mindist) pass over the *entire*
+array against the live BSF², using the VA-file lookup-table trick: per
+segment a ``2^bits``-entry table of squared gaps from the query's PAA
+value to each reduced-symbol region is built once (O(2^bits)), then the
+N signatures index into it, keeping the scan at O(N·segments) regardless
+of cardinality.  An optional Hamming pre-screen lower-bounds that table
+sum with one uint8 mismatch matmul and restricts the exact gather to its
+survivors.
+
+Soundness: a reduced-cardinality region contains the full-resolution
+region, so the screen's bound is ≤ the full-resolution LB_SAX ≤ the true
+Euclidean distance.  Pruning with any valid lower bound against the
+monotonically decreasing BSF never changes exact answers — the screened
+pipeline is parity-gated bit-for-bit against the unfiltered one.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.summarization.sax import SaxSpace
+from repro.types import DISTANCE_DTYPE, SYMBOL_DTYPE
+
+__all__ = [
+    "SIGNATURES_FILENAME",
+    "SIGNATURES_FORMAT_VERSION",
+    "SignatureArray",
+    "pack_signatures",
+    "reduce_symbols",
+    "unpack_signatures",
+]
+
+SIGNATURES_FILENAME = "signatures.bin"
+SIGNATURES_FORMAT_VERSION = 1
+
+_MAGIC = b"HSIG"
+#: magic + (format_version, bits, segments, alphabet, num_series) as u32.
+_HEADER = struct.Struct("<4sIIIII")
+
+
+def reduce_symbols(
+    full_symbols: np.ndarray, space: SaxSpace, bits: int
+) -> np.ndarray:
+    """Full-resolution SAX symbols reduced to ``bits`` of cardinality.
+
+    The reduced value is the top ``bits`` bits of each symbol — exactly
+    the iSAX prefix an :class:`~repro.summarization.isax.IsaxWord` at
+    uniform cardinality ``bits`` would carry.
+    """
+    if not 1 <= bits <= space.bits_per_symbol:
+        raise ValueError(
+            f"bits must be in [1, {space.bits_per_symbol}], got {bits}"
+        )
+    sym = np.asarray(full_symbols)
+    shift = space.bits_per_symbol - bits
+    return (sym >> shift).astype(SYMBOL_DTYPE)
+
+
+def pack_signatures(reduced: np.ndarray, bits: int) -> np.ndarray:
+    """Bit-pack reduced symbols row-major, MSB-first, padded per row.
+
+    Each row packs ``segments * bits`` bits into ``ceil(.../8)`` bytes,
+    so rows stay byte-aligned and the file is seekable by row.
+    """
+    reduced = np.asarray(reduced, dtype=np.uint8)
+    shifts = np.arange(bits - 1, -1, -1, dtype=np.uint8)
+    # (rows, segments, bits) of 0/1, MSB of each symbol first.
+    expanded = (reduced[:, :, None] >> shifts[None, None, :]) & 1
+    flat = expanded.reshape(reduced.shape[0], -1)
+    return np.packbits(flat, axis=1)
+
+
+def unpack_signatures(
+    packed: np.ndarray, segments: int, bits: int
+) -> np.ndarray:
+    """Invert :func:`pack_signatures` back to a reduced-symbol matrix."""
+    packed = np.asarray(packed, dtype=np.uint8)
+    flat = np.unpackbits(packed, axis=1)[:, : segments * bits]
+    expanded = flat.reshape(packed.shape[0], segments, bits)
+    weights = (1 << np.arange(bits - 1, -1, -1, dtype=np.uint16))
+    return (expanded * weights[None, None, :]).sum(axis=2).astype(SYMBOL_DTYPE)
+
+
+class SignatureArray:
+    """The memory-resident signature array of one index (or shard).
+
+    Holds the N×segments reduced-symbol matrix plus the precomputed
+    breakpoint-edge indices of each reduced symbol's region, so a query
+    pays only the per-segment table build and the gathers.
+    """
+
+    def __init__(self, reduced: np.ndarray, space: SaxSpace, bits: int) -> None:
+        reduced = np.ascontiguousarray(reduced, dtype=np.uint8)
+        if reduced.ndim != 2 or reduced.shape[1] != space.segments:
+            raise ValueError(
+                f"expected a (N, {space.segments}) reduced-symbol matrix, "
+                f"got shape {reduced.shape}"
+            )
+        self.reduced = reduced
+        self.space = space
+        self.bits = bits
+        self.num_series = reduced.shape[0]
+        cardinality = 1 << bits
+        full = space.alphabet_size
+        # Region of reduced symbol v: full symbols [v*w, (v+1)*w) with
+        # w = 2^(B-bits); the value region is bounded by the extended
+        # breakpoints at those indices (clamped for non-power-of-two
+        # alphabets, where the last region is narrower).
+        width = 1 << (space.bits_per_symbol - bits)
+        values = np.arange(cardinality, dtype=np.int64)
+        self._lower_idx = np.minimum(values * width, full)
+        self._upper_idx = np.minimum((values + 1) * width, full)
+        self._edges = np.concatenate(
+            ([-np.inf], space.breakpoints, [np.inf])
+        ).astype(DISTANCE_DTYPE)
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_full_symbols(
+        cls, full_symbols: np.ndarray, space: SaxSpace, bits: int
+    ) -> "SignatureArray":
+        """Build from a full-resolution LSD symbol matrix."""
+        return cls(reduce_symbols(full_symbols, space, bits), space, bits)
+
+    # -- persistence ----------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the checksummable ``signatures.bin`` artifact (fsynced)."""
+        path = Path(path)
+        header = _HEADER.pack(
+            _MAGIC,
+            SIGNATURES_FORMAT_VERSION,
+            self.bits,
+            self.space.segments,
+            self.space.alphabet_size,
+            self.num_series,
+        )
+        payload = pack_signatures(self.reduced, self.bits)
+        with open(path, "wb") as handle:
+            handle.write(header)
+            handle.write(payload.tobytes())
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    @classmethod
+    def load(cls, path: Union[str, Path], space: SaxSpace) -> "SignatureArray":
+        """Load and decode an artifact written by :meth:`save`.
+
+        The packed payload is memory-mapped and decoded once into the
+        resident reduced-symbol matrix; validation errors raise
+        :class:`~repro.errors.StorageError` naming the file.
+        """
+        path = Path(path)
+        try:
+            raw = np.memmap(path, dtype=np.uint8, mode="r")
+        except (OSError, ValueError) as exc:
+            raise StorageError(f"cannot read signatures at {path}: {exc}") from exc
+        if raw.shape[0] < _HEADER.size:
+            raise StorageError(f"{path}: truncated signature header")
+        magic, version, bits, segments, alphabet, num_series = _HEADER.unpack(
+            raw[: _HEADER.size].tobytes()
+        )
+        if magic != _MAGIC:
+            raise StorageError(f"{path}: bad magic {magic!r}")
+        if version != SIGNATURES_FORMAT_VERSION:
+            raise StorageError(
+                f"{path}: unsupported signature format version {version}"
+            )
+        if segments != space.segments or alphabet != space.alphabet_size:
+            raise StorageError(
+                f"{path}: signatures for a {segments}-segment/{alphabet}-symbol "
+                f"space, index uses {space.segments}/{space.alphabet_size}"
+            )
+        row_bytes = (segments * bits + 7) // 8
+        expected = _HEADER.size + num_series * row_bytes
+        if raw.shape[0] != expected:
+            raise StorageError(
+                f"{path}: payload holds {raw.shape[0] - _HEADER.size} bytes, "
+                f"expected {num_series * row_bytes}"
+            )
+        packed = np.asarray(raw[_HEADER.size :]).reshape(num_series, row_bytes)
+        reduced = unpack_signatures(packed, segments, bits)
+        return cls(reduced, space, bits)
+
+    # -- screening ------------------------------------------------------------
+
+    @property
+    def memory_bytes(self) -> int:
+        """Resident size of the decoded signature matrix."""
+        return self.reduced.nbytes
+
+    def _gap_tables(self, query_paa: np.ndarray) -> np.ndarray:
+        """Per-segment squared-gap lookup tables, shape (segments, 2^bits).
+
+        ``tables[j, v]`` is the squared distance from the query's PAA
+        value in segment j to the value region of reduced symbol v (zero
+        when the value falls inside).
+        """
+        q = np.asarray(query_paa, dtype=DISTANCE_DTYPE)
+        if q.shape != (self.space.segments,):
+            raise ValueError(
+                f"query PAA must have shape ({self.space.segments},), "
+                f"got {q.shape}"
+            )
+        lower = self._edges[self._lower_idx]  # (2^bits,)
+        upper = self._edges[self._upper_idx]
+        gap = np.maximum(
+            np.maximum(lower[None, :] - q[:, None], q[:, None] - upper[None, :]),
+            0.0,
+        )
+        return gap * gap
+
+    def _gap_sq_sums(
+        self, tables: np.ndarray, rows: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Σ_j tables[j, reduced[i, j]] for every row (or the given rows)."""
+        reduced = self.reduced if rows is None else self.reduced[rows]
+        total = np.zeros(reduced.shape[0], dtype=DISTANCE_DTYPE)
+        for j in range(self.space.segments):
+            total += tables[j, reduced[:, j]]
+        return total
+
+    def lower_bounds(
+        self, query_paa: np.ndarray, series_length: int
+    ) -> np.ndarray:
+        """LB_SAX at reduced cardinality for every series (linear space).
+
+        Matches ``SaxSpace.mindist`` evaluated on the reduced regions:
+        always ≤ the full-resolution mindist ≤ the true distance.
+        """
+        tables = self._gap_tables(query_paa)
+        scale = series_length / self.space.segments
+        return np.sqrt(scale * self._gap_sq_sums(tables))
+
+    def screen(
+        self,
+        query_paa: np.ndarray,
+        bsf_squared: float,
+        series_length: int,
+        prune_factor: float = 1.0,
+        hamming: bool = True,
+    ) -> np.ndarray:
+        """Survivor mask: True where the series may still beat the BSF.
+
+        A row survives iff ``scale·gap²·prune_factor² < bsf_squared`` —
+        entirely in squared space, no square roots.  With ``hamming`` a
+        cheaper sound pre-screen runs first: per segment the weight
+        ``w_j = min over v ≠ query-symbol of tables[j, v]`` (the squared
+        distance from the query's PAA value to the nearest edge of its
+        own reduced cell) lower-bounds every mismatching table entry, so
+        ``Σ_j w_j·mismatch`` lower-bounds the exact table sum and the
+        exact gather runs only over its survivors.
+        """
+        if not np.isfinite(bsf_squared):
+            return np.ones(self.num_series, dtype=bool)
+        tables = self._gap_tables(query_paa)
+        scale = series_length / self.space.segments
+        factor_sq = scale * prune_factor * prune_factor
+        # survive ⇔ factor_sq · total < bsf² ⇔ total < cutoff
+        cutoff = bsf_squared / factor_sq
+        mask = np.zeros(self.num_series, dtype=bool)
+        if hamming and tables.shape[1] > 1:
+            q_reduced = reduce_symbols(
+                self.space.symbolize(np.asarray(query_paa)), self.space, self.bits
+            ).astype(np.uint8)
+            others = np.ma.masked_array(tables, mask=np.zeros_like(tables, bool))
+            others.mask[np.arange(self.space.segments), q_reduced] = True
+            weights = others.min(axis=1).filled(0.0).astype(DISTANCE_DTYPE)
+            mismatch = self.reduced != q_reduced[None, :]
+            lb_ham = mismatch @ weights
+            alive = np.nonzero(lb_ham < cutoff)[0]
+        else:
+            alive = np.arange(self.num_series)
+        if alive.shape[0]:
+            totals = self._gap_sq_sums(tables, rows=alive)
+            mask[alive[totals < cutoff]] = True
+        return mask

@@ -87,6 +87,10 @@ class QueryProfile:
     #: Their ratio is the UCR-suite early-abandoning savings.
     points_compared: int = 0
     points_total: int = 0
+    #: Whole-array signature screen (zero/zero when the pre-filter tier
+    #: is off): series screened and series surviving the LB_SAX pass.
+    prefilter_screened: int = 0
+    prefilter_survivors: int = 0
     #: Raw series read from LRDFile (drives "% of data accessed").
     series_accessed: int = 0
     #: Leaf-cache lookups served with / without a disk read (zero when no
@@ -113,6 +117,14 @@ class QueryProfile:
         if self.points_total <= 0:
             return 0.0
         return 1.0 - self.points_compared / self.points_total
+
+    @property
+    def prefilter_pruned_fraction(self) -> Optional[float]:
+        """Fraction of series the signature screen pruned; None if it
+        did not run."""
+        if self.prefilter_screened <= 0:
+            return None
+        return 1.0 - self.prefilter_survivors / self.prefilter_screened
 
     @property
     def cache_hit_rate(self) -> Optional[float]:
@@ -203,6 +215,9 @@ class _SearchState:
         self.pq: list[tuple[float, int, Node]] = []
         self._tiebreak = itertools.count()
         self.query_paa = paa(self.query, sax_space.segments)
+        #: Survivor mask of the signature screen (None: tier off); phase
+        #: 3 intersects per-leaf row masks with slices of it.
+        self.sig_mask: Optional[np.ndarray] = None
 
     def scaled_squared(self, bound: float) -> float:
         """A linear-space lower bound, ε-scaled and squared for pruning.
@@ -274,6 +289,7 @@ def exact_knn(
     num_leaves: int,
     num_series: int,
     results: Optional[ResultSet] = None,
+    signatures=None,
 ) -> QueryAnswer:
     """Algorithm 10: Exact-kNN.
 
@@ -281,6 +297,15 @@ def exact_knn(
     shard coordinators pass a linked set whose ``bsf_squared`` reflects
     the global best-so-far, tightening every pruning site here without
     any other change to the pipeline.
+
+    ``signatures`` optionally supplies the in-RAM
+    :class:`~repro.core.prefilter.SignatureArray`: after phase 1 has
+    established a finite BSF, one vectorized whole-array LB_SAX screen
+    prunes rows whose ε-scaled bound cannot beat it, dropping leaves
+    with no surviving rows from LCList and intersecting phase 3's
+    per-leaf masks.  Screening with a valid lower bound never changes
+    exact answers — they stay bit-for-bit identical to the unfiltered
+    pipeline.
     """
     started = time.perf_counter()
     io_before = lrd.stats.snapshot()
@@ -301,9 +326,44 @@ def exact_knn(
             sp.set("candidate_leaves", len(lclist))
         state.profile.time_candidates = time.perf_counter() - phase2_started
 
+        # The adaptive path decision below keys off the *tree's* pruning
+        # quality, so it is taken from the pre-screen LCList: both the
+        # filtered and unfiltered pipeline choose the same refine path,
+        # and the screen can only subtract work from it.
         eapca_pr = 1.0 - (len(lclist) / num_leaves if num_leaves else 0.0)
-        state.profile.candidate_leaves = len(lclist)
         state.profile.eapca_pruning = eapca_pr
+
+        # Runs even when phase 2 already emptied LCList: the pass is one
+        # cheap vectorized sweep, and recording screened/survivors for
+        # every filtered query keeps the pruned-fraction metric honest.
+        if signatures is not None:
+            with obs.span("query.prefilter") as sp:
+                state.sig_mask = signatures.screen(
+                    state.query_paa,
+                    state.results.bsf_squared,
+                    state.query.shape[0],
+                    prune_factor=state.prune_factor,
+                    hamming=config.prefilter_hamming,
+                )
+                state.profile.prefilter_screened = signatures.num_series
+                state.profile.prefilter_survivors = int(
+                    np.count_nonzero(state.sig_mask)
+                )
+                # A leaf with no surviving rows is never descended.
+                lclist = [
+                    (leaf, bound)
+                    for leaf, bound in lclist
+                    if state.sig_mask[
+                        leaf.file_position : leaf.file_position + leaf.size
+                    ].any()
+                ]
+                sp.set_attrs(
+                    screened=state.profile.prefilter_screened,
+                    survivors=state.profile.prefilter_survivors,
+                    surviving_leaves=len(lclist),
+                )
+
+        state.profile.candidate_leaves = len(lclist)
 
         refine_started = time.perf_counter()
         if not lclist:
@@ -584,6 +644,10 @@ def _find_candidate_series(
                 scaled = bounds * state.prune_factor
                 scaled_sq = scaled * scaled
                 mask = scaled_sq < bsf_squared
+                if state.sig_mask is not None:
+                    mask &= state.sig_mask[
+                        leaf.file_position : leaf.file_position + leaf.size
+                    ]
                 if mask.any():
                     positions = leaf.file_position + np.nonzero(mask)[0]
                     locals_[thread_id].append((positions, scaled_sq[mask]))

@@ -215,6 +215,8 @@ def _merge_pairs(
         profile.approx_leaves += p.approx_leaves
         profile.candidate_leaves += p.candidate_leaves
         profile.candidate_series += p.candidate_series
+        profile.prefilter_screened += p.prefilter_screened
+        profile.prefilter_survivors += p.prefilter_survivors
         profile.distance_computations += p.distance_computations
         profile.points_compared += p.points_compared
         profile.points_total += p.points_total

@@ -101,6 +101,8 @@ def build_method(
     cache_bytes: int = 0,
     num_shards: int = 1,
     shard_workers: Optional[int] = None,
+    prefilter: bool = False,
+    prefilter_bits: int = 4,
     **overrides,
 ) -> BuiltMethod:
     """Build one method by display name with scaled defaults.
@@ -110,6 +112,10 @@ def build_method(
     (currently Hercules); 0 disables caching.  ``num_shards`` > 1 builds
     Hercules as a shard-parallel index (scatter-gather queries; other
     methods are unaffected), with ``shard_workers`` build processes.
+    ``prefilter`` turns on the in-RAM signature screen for the methods
+    that have one: Hercules' whole-array pre-filter tier, and VA+file's
+    "fair contender" SAX filter (same screen kernel, so the baseline
+    comparison reflects equal kernel quality).
     """
     num_series = (
         dataset.num_series if isinstance(dataset, Dataset) else dataset.shape[0]
@@ -121,6 +127,8 @@ def build_method(
             num_threads,
             num_shards=num_shards,
             shard_workers=shard_workers,
+            prefilter=prefilter,
+            prefilter_bits=prefilter_bits,
             **overrides,
         )
         index = ShardedIndex.build(
@@ -159,6 +167,9 @@ def build_method(
         index = ParisIndex.build(dataset, config)
         return BuiltMethod(name, index, index.build_seconds)
     if name == "VA+file":
+        if prefilter:
+            overrides.setdefault("filter_kind", "sax")
+            overrides.setdefault("sax_bits", prefilter_bits)
         config = VAFileConfig(**overrides)
         index = VAFileIndex.build(dataset, config)
         return BuiltMethod(name, index, index.build_seconds)

@@ -72,6 +72,21 @@ class WorkloadResult:
         return float(np.mean(fractions))
 
     @property
+    def avg_prefilter_pruned_fraction(self) -> float | None:
+        """Mean fraction of series pruned by the whole-array signature
+        screen, over queries where it ran; ``None`` when the pre-filter
+        tier never engaged (tier off, or every BSF stayed infinite).
+        """
+        fractions = [
+            p.prefilter_pruned_fraction
+            for p in self.profiles
+            if p.prefilter_pruned_fraction is not None
+        ]
+        if not fractions:
+            return None
+        return float(np.mean(fractions))
+
+    @property
     def avg_cache_hit_rate(self) -> float | None:
         """Mean leaf-cache hit rate over queries that touched the cache.
 
@@ -140,6 +155,7 @@ class WorkloadResult:
             "avg_distance_computations": self.avg_distance_computations,
             "avg_abandoned_fraction": self.avg_abandoned_fraction,
             "avg_cache_hit_rate": self.avg_cache_hit_rate,
+            "prefilter_pruned_fraction": self.avg_prefilter_pruned_fraction,
             "avg_modeled_io_seconds": self.avg_modeled_io_seconds,
             "avg_modeled_query_seconds": self.avg_modeled_query_seconds,
         }

@@ -38,6 +38,12 @@ def explain_profile(
         f"   ({profile.candidate_leaves} candidate leaves, "
         f"EAPCA pruning {_pct(profile.eapca_pruning)})"
     )
+    if getattr(profile, "prefilter_screened", 0):
+        lines.append(
+            f"  prefilter screen    {profile.prefilter_survivors} of "
+            f"{profile.prefilter_screened} series survive "
+            f"(pruned {_pct(profile.prefilter_pruned_fraction)})"
+        )
     refine = f"  phase 3+4 refine    {_ms(profile.time_refine)}"
     if profile.sax_pruning is not None:
         refine += (
@@ -110,6 +116,7 @@ def explain_workload_summary(registry) -> str:
     row("phase 3+4 refine", "query.refine_seconds", 1e3, " ms")
     row("EAPCA pruning", "query.eapca_pruning")
     row("SAX pruning", "query.sax_pruning")
+    row("prefilter pruning", "query.prefilter.pruned_fraction")
     row("data accessed", "query.data_accessed_fraction")
     row("abandoned fraction", "query.abandoned_fraction")
     row("cache hit rate", "query.cache_hit_rate")

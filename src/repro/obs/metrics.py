@@ -445,6 +445,16 @@ def record_profile(
     registry.counter(f"{prefix}.candidate_series").add(
         profile.candidate_series
     )
+    if profile.prefilter_screened:
+        registry.counter(f"{prefix}.prefilter.screened").add(
+            profile.prefilter_screened
+        )
+        registry.counter(f"{prefix}.prefilter.survivors").add(
+            profile.prefilter_survivors
+        )
+        registry.histogram(f"{prefix}.prefilter.pruned_fraction").observe(
+            profile.prefilter_pruned_fraction
+        )
     if num_series:
         registry.histogram(f"{prefix}.data_accessed_fraction").observe(
             profile.data_accessed_fraction(num_series)

@@ -288,3 +288,71 @@ class TestCrossMethodAgreement:
                 method.knn(query, k=5).distances, reference, atol=1e-6
             )
         dataset.close()
+
+
+class TestVAFileSaxContender:
+    """The fair-contender mode: VA+file over Hercules' signature screen."""
+
+    @pytest.fixture(scope="class")
+    def sax_index(self, corpus):
+        return VAFileIndex.build(
+            corpus,
+            VAFileConfig(num_features=16, filter_kind="sax", sax_bits=6),
+        )
+
+    def test_exact_answers(self, sax_index, corpus, queries):
+        for q in queries:
+            answer = sax_index.knn(q, k=5)
+            np.testing.assert_allclose(
+                answer.distances, brute_force(corpus, q, 5), atol=1e-6
+            )
+
+    def test_agrees_with_dft_filter(self, sax_index, corpus, queries):
+        dft = VAFileIndex.build(
+            corpus, VAFileConfig(num_features=16, total_bits=64)
+        )
+        for q in queries:
+            np.testing.assert_allclose(
+                sax_index.knn(q, k=10).distances,
+                dft.knn(q, k=10).distances,
+                atol=1e-6,
+            )
+
+    def test_profile_reports_the_screen(self, sax_index, corpus, queries):
+        answer = sax_index.knn(queries[0], k=5)
+        assert answer.profile.path == "vafile-sax-skipseq"
+        assert answer.profile.prefilter_screened == corpus.shape[0]
+        assert (
+            answer.profile.prefilter_survivors
+            == answer.profile.candidate_series
+        )
+        assert answer.profile.prefilter_pruned_fraction is not None
+
+    def test_dft_mode_path_unchanged(self, corpus, queries):
+        dft = VAFileIndex.build(
+            corpus, VAFileConfig(num_features=16, total_bits=64)
+        )
+        answer = dft.knn(queries[0], k=5)
+        assert answer.profile.path == "vafile-skipseq"
+        assert answer.profile.prefilter_screened == 0
+
+    def test_save_open_roundtrip(self, sax_index, corpus, queries, tmp_path):
+        sax_index.save(tmp_path)
+        reopened = VAFileIndex.open(tmp_path, corpus)
+        assert reopened.signatures is not None
+        np.testing.assert_array_equal(
+            reopened.signatures.reduced, sax_index.signatures.reduced
+        )
+        for q in queries:
+            ref = sax_index.knn(q, k=3)
+            answer = reopened.knn(q, k=3)
+            np.testing.assert_array_equal(answer.distances, ref.distances)
+            np.testing.assert_array_equal(answer.positions, ref.positions)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError, match="filter_kind"):
+            VAFileConfig(filter_kind="wavelet")
+        with pytest.raises(ConfigError, match="sax_bits"):
+            VAFileConfig(filter_kind="sax", sax_bits=0)
+        with pytest.raises(ConfigError, match="sax_bits"):
+            VAFileConfig(filter_kind="sax", sax_bits=9)

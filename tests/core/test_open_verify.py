@@ -138,3 +138,116 @@ class TestDamageDetection:
         (copy / "lsd.bin").unlink()
         with pytest.raises(StorageError, match="lsd.bin"):
             HerculesIndex.open(copy)
+
+
+@pytest.fixture(scope="module")
+def built_prefiltered(tmp_path_factory):
+    data = make_random_walks(100, 32, seed=29)
+    directory = tmp_path_factory.mktemp("verify-prefilter") / "index"
+    config = HerculesConfig(
+        leaf_capacity=20,
+        num_build_threads=1,
+        flush_threshold=1,
+        prefilter=True,
+        prefilter_bits=4,
+    )
+    index = HerculesIndex.build(data, config, directory=directory)
+    answer = index.knn(data[0], k=2)
+    index.close()
+    return directory, data, answer
+
+
+class TestPrefilterDirectories:
+    """signatures.bin is a first-class artifact: manifested, checksummed,
+    and — uniquely — allowed to be absent in legacy directories."""
+
+    def test_build_commits_the_signatures_artifact(self, built_prefiltered):
+        directory, data, ref = built_prefiltered
+        manifest = manifest_mod.load_manifest(directory)
+        assert set(manifest.artifacts) == {
+            "lrd.bin",
+            "lsd.bin",
+            "htree.bin",
+            "signatures.bin",
+        }
+        with HerculesIndex.open(directory, verify="full") as index:
+            assert index.prefilter_active
+            answer = index.knn(data[0], k=2)
+            np.testing.assert_allclose(answer.distances, ref.distances)
+
+    def test_flipped_signature_byte_detected_at_full(
+        self, built_prefiltered, tmp_path
+    ):
+        import shutil
+
+        directory, _, _ = built_prefiltered
+        copy = tmp_path / "flip-signatures"
+        shutil.copytree(directory, copy)
+        _flip(copy / "signatures.bin")
+        with pytest.raises(ChecksumError, match="signatures.bin"):
+            HerculesIndex.open(copy, verify="full")
+
+    def test_manifested_but_missing_signatures_is_loud(
+        self, built_prefiltered, tmp_path
+    ):
+        import shutil
+
+        directory, _, _ = built_prefiltered
+        copy = tmp_path / "torn"
+        shutil.copytree(directory, copy)
+        (copy / "signatures.bin").unlink()
+        # The manifest still lists the artifact: this is a torn or
+        # tampered directory, not a legacy one — refuse, don't fall back.
+        with pytest.raises(StorageError, match="signatures.bin"):
+            HerculesIndex.open(copy)
+
+    def test_legacy_pre_prefilter_directory_falls_back(
+        self, built_prefiltered, tmp_path, caplog
+    ):
+        import shutil
+
+        directory, data, ref = built_prefiltered
+        legacy = tmp_path / "legacy-prefilter"
+        shutil.copytree(directory, legacy)
+        # A directory written before the tier existed: no manifest entry
+        # and no signature file, but a config that now asks for them.
+        (legacy / manifest_mod.MANIFEST_FILENAME).unlink()
+        (legacy / "signatures.bin").unlink()
+        with caplog.at_level(logging.WARNING, logger="repro.core.index"):
+            index = HerculesIndex.open(legacy)
+        assert any("pre-manifest" in r.message for r in caplog.records)
+        assert any("pre-filter disabled" in r.message for r in caplog.records)
+        assert not index.prefilter_active
+        assert index.signatures is None
+        # Queries take the unfiltered path and still answer exactly.
+        answer = index.knn(data[0], k=2)
+        np.testing.assert_allclose(answer.distances, ref.distances)
+        assert answer.profile.prefilter_screened == 0
+        index.close()
+
+    def test_mixed_generation_signatures_rejected(
+        self, built_prefiltered, tmp_path
+    ):
+        import shutil
+
+        directory, _, _ = built_prefiltered
+        other_data = make_random_walks(60, 32, seed=31)
+        other_dir = tmp_path / "other"
+        HerculesIndex.build(
+            other_data,
+            HerculesConfig(
+                leaf_capacity=20,
+                num_build_threads=1,
+                flush_threshold=1,
+                prefilter=True,
+                prefilter_bits=4,
+            ),
+            directory=other_dir,
+        ).close()
+        mixed = tmp_path / "mixed"
+        shutil.copytree(directory, mixed)
+        shutil.copy(other_dir / "signatures.bin", mixed / "signatures.bin")
+        # verify="off" skips the manifest, so the signature loader's own
+        # row-count cross-check is the last line of defence.
+        with pytest.raises(StorageError, match="mixed generations"):
+            HerculesIndex.open(mixed, verify="off")

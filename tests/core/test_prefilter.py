@@ -1,0 +1,256 @@
+"""Unit tests for the in-RAM signature pre-filter tier (prefilter.py)."""
+
+import numpy as np
+import pytest
+
+from repro.core.prefilter import (
+    SIGNATURES_FILENAME,
+    SignatureArray,
+    _HEADER,
+    _MAGIC,
+    pack_signatures,
+    reduce_symbols,
+    unpack_signatures,
+)
+from repro.errors import StorageError
+from repro.summarization.paa import paa
+from repro.summarization.sax import SaxSpace
+
+from ..conftest import make_random_walks
+
+_SEGMENTS = 8
+_LENGTH = 64
+
+
+@pytest.fixture(scope="module")
+def space() -> SaxSpace:
+    return SaxSpace(segments=_SEGMENTS)
+
+
+@pytest.fixture(scope="module")
+def data() -> np.ndarray:
+    return make_random_walks(300, _LENGTH, seed=91)
+
+
+@pytest.fixture(scope="module")
+def symbols(space, data) -> np.ndarray:
+    return space.symbolize(paa(data, _SEGMENTS))
+
+
+@pytest.fixture(scope="module")
+def query(space) -> np.ndarray:
+    return make_random_walks(1, _LENGTH, seed=92)[0]
+
+
+class TestReduceSymbols:
+    def test_full_width_is_identity(self, space, symbols):
+        np.testing.assert_array_equal(
+            reduce_symbols(symbols, space, 8), symbols
+        )
+
+    def test_keeps_top_bits(self, space):
+        sym = np.array([[0, 127, 128, 255]], dtype=np.uint8)
+        np.testing.assert_array_equal(
+            reduce_symbols(sym, space, 1), [[0, 0, 1, 1]]
+        )
+        np.testing.assert_array_equal(
+            reduce_symbols(sym, space, 2), [[0, 1, 2, 3]]
+        )
+
+    @pytest.mark.parametrize("bits", [0, 9, -1])
+    def test_rejects_out_of_range_bits(self, space, symbols, bits):
+        with pytest.raises(ValueError, match="bits"):
+            reduce_symbols(symbols, space, bits)
+
+
+class TestPackUnpack:
+    @pytest.mark.parametrize("bits", [1, 3, 4, 5, 8])
+    def test_roundtrip(self, bits):
+        rng = np.random.default_rng(bits)
+        reduced = rng.integers(
+            0, 1 << bits, size=(37, 11), dtype=np.uint8
+        )
+        packed = pack_signatures(reduced, bits)
+        assert packed.dtype == np.uint8
+        assert packed.shape == (37, (11 * bits + 7) // 8)
+        np.testing.assert_array_equal(
+            unpack_signatures(packed, 11, bits), reduced
+        )
+
+    def test_rows_are_byte_aligned(self):
+        reduced = np.zeros((4, 3), dtype=np.uint8)
+        packed = pack_signatures(reduced, 3)
+        # 9 bits -> 2 bytes per row, independently addressable.
+        assert packed.shape == (4, 2)
+
+
+class TestSignatureArray:
+    def test_rejects_wrong_shape(self, space):
+        with pytest.raises(ValueError, match="reduced-symbol matrix"):
+            SignatureArray(np.zeros((5, 3), dtype=np.uint8), space, 4)
+        with pytest.raises(ValueError, match="reduced-symbol matrix"):
+            SignatureArray(np.zeros(5, dtype=np.uint8), space, 4)
+
+    def test_from_full_symbols(self, space, symbols):
+        sig = SignatureArray.from_full_symbols(symbols, space, 4)
+        assert sig.num_series == symbols.shape[0]
+        np.testing.assert_array_equal(
+            sig.reduced, reduce_symbols(symbols, space, 4)
+        )
+        assert sig.memory_bytes == sig.reduced.nbytes
+
+    def test_query_paa_shape_validated(self, space, symbols):
+        sig = SignatureArray.from_full_symbols(symbols, space, 4)
+        with pytest.raises(ValueError, match="query PAA"):
+            sig.lower_bounds(np.zeros(_SEGMENTS + 1), _LENGTH)
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path, space, symbols):
+        sig = SignatureArray.from_full_symbols(symbols, space, 5)
+        path = tmp_path / SIGNATURES_FILENAME
+        sig.save(path)
+        loaded = SignatureArray.load(path, space)
+        assert loaded.bits == 5
+        assert loaded.num_series == sig.num_series
+        np.testing.assert_array_equal(loaded.reduced, sig.reduced)
+
+    def _saved(self, tmp_path, space, symbols, bits=4):
+        sig = SignatureArray.from_full_symbols(symbols, space, bits)
+        path = tmp_path / SIGNATURES_FILENAME
+        sig.save(path)
+        return path
+
+    def test_missing_file(self, tmp_path, space):
+        with pytest.raises(StorageError, match="cannot read"):
+            SignatureArray.load(tmp_path / "nope.bin", space)
+
+    def test_truncated_header(self, tmp_path, space, symbols):
+        path = self._saved(tmp_path, space, symbols)
+        path.write_bytes(path.read_bytes()[: _HEADER.size - 3])
+        with pytest.raises(StorageError, match="truncated signature header"):
+            SignatureArray.load(path, space)
+
+    def test_bad_magic(self, tmp_path, space, symbols):
+        path = self._saved(tmp_path, space, symbols)
+        raw = bytearray(path.read_bytes())
+        raw[:4] = b"NOPE"
+        path.write_bytes(bytes(raw))
+        with pytest.raises(StorageError, match="bad magic"):
+            SignatureArray.load(path, space)
+
+    def test_unsupported_version(self, tmp_path, space, symbols):
+        path = self._saved(tmp_path, space, symbols)
+        raw = bytearray(path.read_bytes())
+        raw[4] = 99
+        path.write_bytes(bytes(raw))
+        with pytest.raises(StorageError, match="version"):
+            SignatureArray.load(path, space)
+
+    def test_space_mismatch(self, tmp_path, space, symbols):
+        path = self._saved(tmp_path, space, symbols)
+        with pytest.raises(StorageError, match="segment"):
+            SignatureArray.load(path, SaxSpace(segments=_SEGMENTS * 2))
+
+    def test_truncated_payload(self, tmp_path, space, symbols):
+        path = self._saved(tmp_path, space, symbols)
+        path.write_bytes(path.read_bytes()[:-5])
+        with pytest.raises(StorageError, match="payload"):
+            SignatureArray.load(path, space)
+
+    def test_errors_name_the_file(self, tmp_path, space, symbols):
+        path = self._saved(tmp_path, space, symbols)
+        raw = bytearray(path.read_bytes())
+        raw[:4] = b"NOPE"
+        path.write_bytes(bytes(raw))
+        with pytest.raises(StorageError, match=SIGNATURES_FILENAME):
+            SignatureArray.load(path, space)
+
+    def test_header_matches_documented_layout(self, tmp_path, space, symbols):
+        path = self._saved(tmp_path, space, symbols, bits=4)
+        magic, version, bits, segments, alphabet, count = _HEADER.unpack(
+            path.read_bytes()[: _HEADER.size]
+        )
+        assert magic == _MAGIC
+        assert (version, bits) == (1, 4)
+        assert (segments, alphabet) == (_SEGMENTS, space.alphabet_size)
+        assert count == symbols.shape[0]
+
+
+class TestLowerBounds:
+    def _true_distances(self, data, query):
+        diff = data.astype(np.float64) - query.astype(np.float64)
+        return np.sqrt((diff * diff).sum(axis=1))
+
+    @pytest.mark.parametrize("bits", [1, 2, 4, 8])
+    def test_bounds_below_true_distance(self, space, data, symbols, query, bits):
+        sig = SignatureArray.from_full_symbols(symbols, space, bits)
+        bounds = sig.lower_bounds(paa(query, _SEGMENTS), _LENGTH)
+        assert (bounds <= self._true_distances(data, query) + 1e-9).all()
+
+    @pytest.mark.parametrize("bits", [1, 2, 4])
+    def test_reduced_bounds_below_full_resolution(
+        self, space, symbols, query, bits
+    ):
+        q_paa = paa(query, _SEGMENTS)
+        sig = SignatureArray.from_full_symbols(symbols, space, bits)
+        full = space.mindist(q_paa, symbols, _LENGTH)
+        assert (sig.lower_bounds(q_paa, _LENGTH) <= full + 1e-9).all()
+
+    def test_full_width_matches_sax_mindist(self, space, symbols, query):
+        q_paa = paa(query, _SEGMENTS)
+        sig = SignatureArray.from_full_symbols(symbols, space, 8)
+        np.testing.assert_allclose(
+            sig.lower_bounds(q_paa, _LENGTH),
+            space.mindist(q_paa, symbols, _LENGTH),
+            atol=1e-9,
+        )
+
+
+class TestScreen:
+    @pytest.fixture(scope="class")
+    def sig(self, space, symbols):
+        return SignatureArray.from_full_symbols(symbols, space, 4)
+
+    def test_infinite_bsf_keeps_everything(self, sig, query):
+        mask = sig.screen(paa(query, _SEGMENTS), np.inf, _LENGTH)
+        assert mask.all()
+
+    def test_zero_bsf_prunes_everything(self, sig, query):
+        mask = sig.screen(paa(query, _SEGMENTS), 0.0, _LENGTH)
+        assert not mask.any()
+
+    def test_never_prunes_a_beating_series(self, sig, data, query):
+        diff = data.astype(np.float64) - query.astype(np.float64)
+        true = np.sqrt((diff * diff).sum(axis=1))
+        bsf = float(np.median(true))
+        mask = sig.screen(paa(query, _SEGMENTS), bsf * bsf, _LENGTH)
+        # Soundness: any series strictly inside the BSF must survive.
+        assert mask[true < bsf].all()
+
+    def test_hamming_prescreen_is_exact(self, sig, data):
+        for seed in range(5):
+            query = make_random_walks(1, _LENGTH, seed=1000 + seed)[0]
+            q_paa = paa(query, _SEGMENTS)
+            for bsf_sq in (0.5, 2.0, 25.0):
+                np.testing.assert_array_equal(
+                    sig.screen(q_paa, bsf_sq, _LENGTH, hamming=True),
+                    sig.screen(q_paa, bsf_sq, _LENGTH, hamming=False),
+                )
+
+    def test_prune_factor_only_tightens(self, sig, query):
+        q_paa = paa(query, _SEGMENTS)
+        plain = sig.screen(q_paa, 4.0, _LENGTH, prune_factor=1.0)
+        eager = sig.screen(q_paa, 4.0, _LENGTH, prune_factor=1.3)
+        # epsilon-scaled screening may only remove survivors.
+        assert not (eager & ~plain).any()
+
+    def test_survivors_match_bound_cutoff(self, sig, query):
+        q_paa = paa(query, _SEGMENTS)
+        bsf = 1.7
+        mask = sig.screen(q_paa, bsf * bsf, _LENGTH)
+        bounds = sig.lower_bounds(q_paa, _LENGTH)
+        # The squared-space screen is the linear-space comparison
+        # bounds < bsf (modulo the one rounding ulp of the sqrt).
+        assert (bounds[mask] < bsf + 1e-9).all()
+        assert (bounds[~mask] >= bsf - 1e-9).all()

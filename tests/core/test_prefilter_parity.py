@@ -1,0 +1,185 @@
+"""Parity gates for the signature pre-filter: answers never change.
+
+Every test queries the *same* materialized index with the pre-filter
+toggled through the query-time config, so distances AND positions must
+match bit-for-bit (positions are LRD file positions — comparing across
+independent builds would be confounded by layout).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import HerculesConfig, HerculesIndex, ShardedIndex
+
+from ..conftest import make_random_walks
+
+_LENGTH = 64
+
+
+def _config(**overrides):
+    base = dict(
+        leaf_capacity=20,
+        num_build_threads=1,
+        flush_threshold=1,
+        prefilter=True,
+        prefilter_bits=5,
+    )
+    base.update(overrides)
+    return HerculesConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return make_random_walks(400, _LENGTH, seed=17)
+
+
+@pytest.fixture(scope="module")
+def queries(data):
+    rng = np.random.default_rng(3)
+    noisy = data[:6] + 0.3 * rng.standard_normal((6, _LENGTH))
+    hard = rng.standard_normal((3, _LENGTH))
+    copies = data[100:103]
+    return np.vstack([noisy, hard, copies]).astype(np.float32)
+
+
+@pytest.fixture(scope="module")
+def index(data, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("prefilter-parity") / "index"
+    built = HerculesIndex.build(data, _config(), directory=directory)
+    yield built
+    built.close()
+
+
+@pytest.fixture(scope="module")
+def unfiltered(index):
+    return index.config.with_options(prefilter=False)
+
+
+class TestExactParity:
+    @pytest.mark.parametrize("k", [1, 5, 25])
+    def test_bit_for_bit(self, index, unfiltered, queries, k):
+        for query in queries:
+            filtered = index.knn(query, k=k)
+            plain = index.knn(query, k=k, config=unfiltered)
+            np.testing.assert_array_equal(
+                filtered.distances, plain.distances
+            )
+            np.testing.assert_array_equal(
+                filtered.positions, plain.positions
+            )
+
+    def test_screen_engages_only_when_enabled(self, index, unfiltered, queries):
+        for query in queries:
+            filtered = index.knn(query, k=5)
+            plain = index.knn(query, k=5, config=unfiltered)
+            assert filtered.profile.prefilter_screened == index.num_series
+            assert (
+                0
+                <= filtered.profile.prefilter_survivors
+                <= index.num_series
+            )
+            assert filtered.profile.prefilter_pruned_fraction is not None
+            assert plain.profile.prefilter_screened == 0
+            assert plain.profile.prefilter_pruned_fraction is None
+
+    def test_screen_only_subtracts_work(self, index, unfiltered, queries):
+        for query in queries:
+            filtered = index.knn(query, k=5)
+            plain = index.knn(query, k=5, config=unfiltered)
+            # Same refine path (the decision is taken pre-screen), so a
+            # valid lower bound can only remove reads, never add them.
+            assert filtered.profile.path == plain.profile.path
+            assert (
+                filtered.profile.series_accessed
+                <= plain.profile.series_accessed
+            )
+            assert (
+                filtered.profile.candidate_leaves
+                <= plain.profile.candidate_leaves
+            )
+
+
+class TestOtherModes:
+    def test_progressive_converges_to_unfiltered_exact(
+        self, index, unfiltered, queries
+    ):
+        for query in queries[:4]:
+            exact = index.knn(query, k=3, config=unfiltered)
+            final = None
+            for step in index.knn_progressive(query, k=3):
+                final = step
+            np.testing.assert_array_equal(final.distances, exact.distances)
+            np.testing.assert_array_equal(final.positions, exact.positions)
+
+    def test_approximate_unaffected(self, index, queries):
+        # The approximate phase never consults signatures; its answers
+        # are real distances of really-stored rows either way.
+        for query in queries[:4]:
+            answer = index.knn_approx(query, k=3)
+            for dist, pos in zip(answer.distances, answer.positions):
+                row = index.get_series(int(pos)).astype(np.float64)
+                true = float(
+                    np.sqrt(((row - query.astype(np.float64)) ** 2).sum())
+                )
+                assert dist == pytest.approx(true, abs=1e-6)
+
+    def test_epsilon_guarantee_holds_filtered(self, index, unfiltered, queries):
+        # Under epsilon-approximate pruning the screen scales its bound
+        # by the same prune factor; answers must stay within (1+eps).
+        eps = 0.1
+        approx_cfg = index.config.with_options(epsilon=eps)
+        for query in queries:
+            exact = index.knn(query, k=5, config=unfiltered)
+            loose = index.knn(query, k=5, config=approx_cfg)
+            assert (
+                loose.distances <= (1.0 + eps) * exact.distances + 1e-9
+            ).all()
+
+
+class TestShardedParity:
+    @pytest.fixture(scope="class", params=[1, 2, 4], ids=["n1", "n2", "n4"])
+    def sharded(self, request, data, tmp_path_factory):
+        directory = (
+            tmp_path_factory.mktemp(f"prefilter-shards{request.param}")
+            / "index"
+        )
+        built = ShardedIndex.build(
+            data,
+            _config(num_shards=request.param, shard_workers=0),
+            directory=directory,
+        )
+        yield built
+        built.close()
+
+    def test_bit_for_bit(self, sharded, data, queries):
+        plain_cfg = sharded.config.with_options(prefilter=False)
+        for query in queries:
+            filtered = sharded.knn(query, k=5)
+            plain = sharded.knn(query, k=5, config=plain_cfg)
+            np.testing.assert_array_equal(
+                filtered.distances, plain.distances
+            )
+            np.testing.assert_array_equal(
+                filtered.positions, plain.positions
+            )
+
+    def test_counters_merge_across_shards(self, sharded, data, queries):
+        answer = sharded.knn(queries[0], k=5)
+        # Every shard screens its whole partition; the merged profile
+        # sums to the full dataset.
+        assert answer.profile.prefilter_screened == data.shape[0]
+        assert answer.profile.prefilter_pruned_fraction is not None
+        # num_shards=1 builds a plain index; only the truly sharded
+        # answers carry per-shard breakdowns to sum over.
+        for _, shard_answer in getattr(answer, "shard_answers", ()):
+            assert shard_answer.profile.prefilter_screened > 0
+
+    def test_matches_single_index_distances(self, sharded, index, queries):
+        # Layout differs between a sharded and a single build, so compare
+        # distances (value identity), not file positions.
+        for query in queries:
+            np.testing.assert_allclose(
+                sharded.knn(query, k=5).distances,
+                index.knn(query, k=5).distances,
+                atol=1e-9,
+            )

@@ -1,0 +1,149 @@
+"""Property-based tests of the LB_SAX lower-bound guarantee (hypothesis).
+
+The signature pre-filter tier, the SAX phase-3 screen, and the ParIS+
+baseline all prune with ``mindist`` lower bounds — exactness of every
+pipeline rests on the guarantee that for any query, any data, and any
+cardinality
+
+    IsaxWord.mindist  <=  full-resolution SaxSpace.mindist  <=  true ED,
+
+including degenerate shapes: zero-bit (wildcard) segments, single-segment
+words, and mixed per-segment refinements.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.prefilter import SignatureArray
+from repro.summarization.isax import IsaxWord, isax_from_symbols
+from repro.summarization.paa import paa
+from repro.summarization.sax import SaxSpace
+
+from ..conftest import make_random_walks
+
+_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_TOL = 1e-9
+
+
+def shape_strategy():
+    """(segments, points-per-segment, series count, seed) tuples."""
+    return st.tuples(
+        st.sampled_from([1, 2, 4, 8, 16]),  # segments
+        st.integers(2, 8),                  # points per segment
+        st.integers(3, 24),                 # series count
+        st.integers(0, 2**20),              # data seed
+    )
+
+
+def _make(shape):
+    segments, per_segment, count, seed = shape
+    length = segments * per_segment
+    space = SaxSpace(segments=segments)
+    data = make_random_walks(count, length, seed=seed).astype(np.float64)
+    query = make_random_walks(1, length, seed=seed + 1)[0].astype(np.float64)
+    symbols = space.symbolize(paa(data, segments))
+    q_paa = paa(query, segments)
+    true = np.sqrt(((data - query) ** 2).sum(axis=1))
+    return space, length, symbols, q_paa, true
+
+
+@given(shape_strategy())
+@_SETTINGS
+def test_sax_mindist_lower_bounds_euclidean(shape):
+    space, length, symbols, q_paa, true = _make(shape)
+    lb = space.mindist(q_paa, symbols, length)
+    assert (lb <= true + _TOL).all()
+
+
+@given(shape_strategy(), st.integers(0, 8))
+@_SETTINGS
+def test_uniform_word_chain(shape, bits):
+    """Coarse word mindist <= full-resolution mindist <= true distance."""
+    space, length, symbols, q_paa, true = _make(shape)
+    full = np.atleast_1d(space.mindist(q_paa, symbols, length))
+    for i, row in enumerate(symbols):
+        word = isax_from_symbols(row, bits)
+        coarse = word.mindist(q_paa, space, length)
+        assert coarse <= full[i] + _TOL
+        assert coarse <= true[i] + _TOL
+
+
+@given(shape_strategy(), st.data())
+@_SETTINGS
+def test_mixed_bit_widths_lower_bound(shape, data_strategy):
+    """Random per-segment refinements (0-bit wildcards included)."""
+    space, length, symbols, q_paa, true = _make(shape)
+    widths = data_strategy.draw(
+        st.lists(
+            st.integers(0, 8),
+            min_size=space.segments,
+            max_size=space.segments,
+        )
+    )
+    for i, row in enumerate(symbols):
+        word = IsaxWord(
+            symbols=tuple(
+                int(s) >> (8 - b) if b else 0 for s, b in zip(row, widths)
+            ),
+            bits=tuple(widths),
+        )
+        assert word.contains(row)
+        assert word.mindist(q_paa, space, length) <= true[i] + _TOL
+
+
+@given(shape_strategy(), st.integers(0, 7), st.data())
+@_SETTINGS
+def test_refinement_tightens(shape, bits, data_strategy):
+    """Children bound at least as tightly as the parent; the child that
+    contains the series still lower-bounds its true distance."""
+    space, length, symbols, q_paa, true = _make(shape)
+    segment = data_strategy.draw(st.integers(0, space.segments - 1))
+    for i, row in enumerate(symbols):
+        parent = isax_from_symbols(row, bits)
+        parent_lb = parent.mindist(q_paa, space, length)
+        low, high = parent.refine(segment)
+        for child in (low, high):
+            assert child.mindist(q_paa, space, length) >= parent_lb - _TOL
+        mine = parent.child_for(row, segment)
+        assert mine.contains(row)
+        assert mine.mindist(q_paa, space, length) <= true[i] + _TOL
+
+
+@given(
+    st.integers(2, 8),      # points in the single segment
+    st.integers(3, 16),     # series count
+    st.integers(0, 2**20),  # seed
+    st.integers(1, 8),      # bits
+)
+@_SETTINGS
+def test_single_segment_words(per_segment, count, seed, bits):
+    space, length, symbols, q_paa, true = _make((1, per_segment, count, seed))
+    for i, row in enumerate(symbols):
+        word = isax_from_symbols(row, bits)
+        assert word.segments == 1
+        assert word.mindist(q_paa, space, length) <= true[i] + _TOL
+
+
+@given(shape_strategy(), st.integers(1, 8))
+@_SETTINGS
+def test_signature_array_matches_scalar_words(shape, bits):
+    """The vectorized screen kernel equals the scalar iSAX reference."""
+    space, length, symbols, q_paa, true = _make(shape)
+    sig = SignatureArray.from_full_symbols(symbols, space, bits)
+    bounds = sig.lower_bounds(q_paa, length)
+    expected = np.array(
+        [
+            isax_from_symbols(row, bits).mindist(q_paa, space, length)
+            for row in symbols
+        ]
+    )
+    np.testing.assert_allclose(bounds, expected, atol=1e-9)
+    assert (bounds <= true + _TOL).all()
