@@ -1,0 +1,167 @@
+"""Batched multi-query engine benchmark: one plan for a whole workload.
+
+Not a paper figure: this pins the perf properties of
+``repro.core.batch_query`` — answering a Q-query workload as one plan
+(shared leaf reads, a single (Q x N) signature screen, matrix-shaped
+refinement kernels) instead of Q independent searches —
+
+* at Q = 64 the batched workload completes at >= 2x the serial loop's
+  throughput on the same index,
+* the batch physically loads far fewer leaf blocks than the serial
+  runs touch in total (the leaf-share factor), and
+* every per-query answer is bit-for-bit the serial answer.
+
+Both arms query the *same* materialized index, single-threaded, so the
+work counters are deterministic and the JSON artifact diffs cleanly
+against the committed baseline.  Run with
+``REPRO_BENCH_JSON=BENCH_batch.json`` to dump the measured numbers;
+wall-clock ratios carry ``speedup`` in their key so ``bench-diff``
+skips them across machines.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import HerculesIndex
+from repro.eval.experiments import ExperimentResult
+from repro.eval.methods import hercules_config
+from repro.eval.metrics import run_workload
+from repro.workloads.generators import make_noise_queries, random_walks
+
+from .conftest import record_table, scaled
+
+#: Long series and a large k make refinement (raw reads + exact
+#: distances) the dominant cost, which is where shared scans and the
+#: matrix kernel win; the medium-noise workload keeps lower-bound
+#: pruning realistic rather than degenerate.
+_LENGTH = 256
+_NUM_QUERIES = 64
+_K = 100
+
+
+@pytest.fixture(scope="module")
+def data():
+    return random_walks(scaled(4_000), _LENGTH, seed=13)
+
+
+@pytest.fixture(scope="module")
+def queries(data):
+    """Medium-difficulty queries with realistic locality: noisy copies
+    of indexed rows cluster around the same subtrees, so consecutive
+    workload queries genuinely share leaves."""
+    return make_noise_queries(data, _NUM_QUERIES, 0.5, seed=11)
+
+
+@pytest.fixture(scope="module")
+def index_dir(tmp_path_factory, data):
+    directory = tmp_path_factory.mktemp("bench-batch") / "hercules"
+    config = hercules_config(
+        data.shape[0], num_threads=1, prefilter=True, prefilter_bits=8
+    )
+    HerculesIndex.build(data, config, directory=directory).close()
+    return directory
+
+
+def _timed_workload(method, queries, k, num_series, batched, repeats=3):
+    """(best wall seconds, last WorkloadResult) over ``repeats`` runs."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = run_workload(
+            method, queries, k=k, num_series=num_series, batched=batched
+        )
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def test_batched_workload(index_dir, data, queries):
+    index = HerculesIndex.open(index_dir)
+    try:
+        num_series = data.shape[0]
+        serial_seconds, serial = _timed_workload(
+            index, queries, _K, num_series, batched=False
+        )
+        batch_seconds, batched = _timed_workload(
+            index, queries, _K, num_series, batched=True
+        )
+        speedup = serial_seconds / batch_seconds
+
+        # One more batch for the sharing stats and the parity gate.
+        batch = index.knn_batch(queries, k=_K)
+        stats = batch.stats
+
+        serial_reads = sum(p.series_accessed for p in serial.profiles)
+        batch_reads = sum(p.series_accessed for p in batched.profiles)
+
+        result = ExperimentResult(
+            figure="bench_batch",
+            headers=[
+                "scenario",
+                "queries",
+                "leaf_reads",
+                "leaf_uses",
+                "share",
+                "ms_per_query",
+            ],
+        )
+        result.rows.append(
+            [
+                "serial",
+                _NUM_QUERIES,
+                "-",
+                "-",
+                "-",
+                serial_seconds / _NUM_QUERIES * 1e3,
+            ]
+        )
+        result.rows.append(
+            [
+                "batched",
+                _NUM_QUERIES,
+                stats.unique_leaf_reads,
+                stats.leaf_uses,
+                f"{stats.leaf_share_factor:.2f}x",
+                batch_seconds / _NUM_QUERIES * 1e3,
+            ]
+        )
+        result.raw = {
+            "serial": serial,
+            "batched": batched,
+            "workload_speedup": speedup,
+            "leaf_share_factor": stats.leaf_share_factor,
+            "unique_lrd_reads": int(stats.unique_leaf_reads),
+            "leaf_uses": int(stats.leaf_uses),
+            "kernel_rows_per_read": stats.kernel_rows_per_read,
+            "screen_ms_per_query": stats.screen_seconds_per_query * 1e3,
+        }
+        record_table(
+            "Batched multi-query engine: shared scans vs the serial loop",
+            result,
+        )
+
+        # -- parity: batching must never change an answer ------------------
+        for qi, answer in enumerate(batch):
+            reference = index.knn(queries[qi], k=_K)
+            assert np.array_equal(reference.distances, answer.distances)
+            assert np.array_equal(reference.positions, answer.positions)
+
+        # The perf properties this PR claims, pinned as assertions.
+        assert stats.leaf_share_factor > 1.0, (
+            f"no leaf sharing at Q={_NUM_QUERIES} "
+            f"({stats.unique_leaf_reads} reads, {stats.leaf_uses} uses)"
+        )
+        assert batch_reads <= serial_reads, (
+            "batched profiles report more work than serial "
+            f"({batch_reads} vs {serial_reads} series)"
+        )
+        assert speedup >= 2.0, (
+            f"batched workload only {speedup:.2f}x the serial loop "
+            f"at Q={_NUM_QUERIES}"
+        )
+    finally:
+        index.close()

@@ -287,19 +287,22 @@ def _run_query(args: argparse.Namespace) -> int:
         index.config = config
         if hub is not None:
             index.bind_metrics(hub.registry)
+    if getattr(args, "batch", False) and args.approximate:
+        print(
+            "error: --batch applies to exact/epsilon search only "
+            "(drop --approximate)",
+            file=sys.stderr,
+        )
+        index.close()
+        return 2
     with _maybe_trace(args), Dataset.open(args.queries, index.series_length) as queries:
         count = queries.num_series if args.count is None else min(
             args.count, queries.num_series
         )
         total = 0.0
         degraded = 0
-        for i in range(count):
-            query = queries.read_series(i)
-            if args.approximate:
-                answer = index.knn_approx(query, k=args.k)
-            else:
-                answer = index.knn(query, k=args.k, config=config)
-            total += answer.profile.time_total
+
+        def report(i, answer):
             if hub is not None:
                 if isinstance(answer, ShardedQueryAnswer):
                     record_sharded_profile(hub.registry, answer)
@@ -320,7 +323,37 @@ def _run_query(args: argparse.Namespace) -> int:
                 f"accessed={answer.profile.data_accessed_fraction(index.num_series):.2%} "
                 f"({answer.profile.time_total * 1e3:.1f} ms)"
             )
-            degraded += _print_degradation(answer, f"query {i}")
+            return _print_degradation(answer, f"query {i}")
+
+        if getattr(args, "batch", False):
+            import numpy as np
+
+            block = np.stack(
+                [queries.read_series(i) for i in range(count)]
+            )
+            batch = index.knn_batch(block, k=args.k, config=config)
+            for i, answer in enumerate(batch):
+                total += answer.profile.time_total
+                degraded += report(i, answer)
+            stats = batch.stats
+            if hub is not None:
+                obs.record_batch_stats(hub.registry, stats)
+            print(
+                f"batch: {stats.unique_leaf_reads} leaf reads serving "
+                f"{stats.leaf_uses} uses "
+                f"(leaf-sharing {stats.leaf_share_factor:.2f}x, "
+                f"{stats.kernel_rows_per_read:.1f} kernel rows/read, "
+                f"screen {stats.screen_seconds_per_query * 1e3:.2f} ms/query)"
+            )
+        else:
+            for i in range(count):
+                query = queries.read_series(i)
+                if args.approximate:
+                    answer = index.knn_approx(query, k=args.k)
+                else:
+                    answer = index.knn(query, k=args.k, config=config)
+                total += answer.profile.time_total
+                degraded += report(i, answer)
     print(f"answered {count} queries in {total:.3f}s")
     if degraded:
         print(f"WARNING: {degraded} of {count} answers were degraded")
@@ -675,7 +708,12 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         rows = []
         for name in ALL_METHODS:
             built = methods[name]
-            result = run_workload(built.method, queries, k=args.k)
+            batched = getattr(args, "batch", False) and hasattr(
+                built.method, "knn_batch"
+            )
+            result = run_workload(
+                built.method, queries, k=args.k, batched=batched
+            )
             hit_rate = result.avg_cache_hit_rate
             pruned = result.avg_prefilter_pruned_fraction
             rows.append(
@@ -868,6 +906,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="epsilon-approximate search factor")
     query.add_argument("--approximate", action="store_true",
                        help="approximate-only search (phase 1)")
+    query.add_argument("--batch", action="store_true",
+                       help="answer the whole query set with the batched "
+                            "engine (shared-leaf scans, one-pass screening); "
+                            "answers are identical to serial execution")
     query.add_argument("--cache-mb", type=float, default=0.0,
                        help="leaf-block LRU cache budget in MiB (0: disabled; "
                             "split evenly across shards of a sharded index)")
@@ -967,6 +1009,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "screen; VA+file fair-contender SAX filter)")
     compare.add_argument("--prefilter-bits", type=int, default=4,
                          help="signature bits per segment (1-8, default 4)")
+    compare.add_argument("--batch", action="store_true",
+                         help="run each method's workload through its batched "
+                              "engine where it has one (knn_batch); answers "
+                              "and counters match serial execution")
     compare.add_argument("--trace", type=Path, default=None,
                          help="write a Chrome-trace JSON of the run to FILE")
     _add_telemetry_flags(compare)

@@ -6,6 +6,7 @@ the shard-parallel engine (:class:`ShardedIndex` / :func:`open_index`)
 that scales construction and query answering past the GIL.
 """
 
+from repro.core.batch_query import BatchAnswer, BatchStats
 from repro.core.config import HerculesConfig
 from repro.core.index import BuildReport, HerculesIndex
 from repro.core.query import QueryAnswer, QueryProfile
@@ -20,6 +21,8 @@ from repro.core.sharding import (
 )
 
 __all__ = [
+    "BatchAnswer",
+    "BatchStats",
     "HerculesConfig",
     "HerculesIndex",
     "BuildReport",

@@ -1,0 +1,625 @@
+"""Batched multi-query execution: shared-leaf scans and matrix kernels.
+
+A workload of Q queries answered one at a time re-descends the tree, re-
+reads the same hot leaves, and runs Q independent (1×n) kernel passes.
+This engine plans and executes the whole query set together so every
+expensive touch is amortized across the queries that need it:
+
+* **Phase 0 — one-pass screening.**  After the per-query descents have
+  seeded finite BSFs, ONE vectorized (Q×N) LB_SAX screen runs over the
+  in-RAM signature array against the per-query BSF² vector
+  (:meth:`~repro.core.prefilter.SignatureArray.screen_batch`: one gather
+  + one matmul over tables cached on the array, instead of Q passes).
+* **Shared-leaf refinement.**  Descent produces a leaf→{query set}
+  access plan; each surviving leaf is read from ``SeriesFile``/
+  ``LeafCache`` exactly once and refined with a single blocked
+  (Q_leaf × rows) matrix kernel
+  (:func:`~repro.distance.euclidean.early_abandon_squared_multi`)
+  sharing the row load across queries, with per-query live BSF²
+  cutoffs.  Per-query result sets update from the shared distance
+  block.
+* **Batch-scoped read memoization.**  All leaf reads of the batch —
+  including the approximate-descent scans — go through one
+  :class:`_BlockStore`, so a leaf touched by many queries is loaded
+  once per batch regardless of cache configuration.
+
+**Parity.**  Queries are independent search problems: each keeps its own
+:class:`~repro.core.results.ResultSet`, BSF², and profile, and the
+engine only re-orders *when* each query's work runs, never the per-query
+order itself (leaves are processed in file-position order, exactly as
+the serial pipeline does).  For exact search (ε = 0) answers are
+order-independent, and the shared matrix kernel re-evaluates survivors
+with the same whole-row arithmetic as the single-query kernel — batch
+answers are value-identical to serial ones.  For ε-approximate search,
+where pruning decisions depend on the BSF at each check, the engine
+falls back to a per-query refinement that replicates the serial check
+cadence operation-for-operation (the leaf reads still flow through the
+shared store, so the I/O sharing survives); answers again match the
+single-query path bit for bit.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro import obs
+from repro.core.config import HerculesConfig
+from repro.core.node import Node
+from repro.core.query import (
+    _REFINE_BATCH,
+    QueryAnswer,
+    _approx_knn,
+    _find_candidate_leaves,
+    _SearchState,
+)
+from repro.core.results import ResultSet
+from repro.distance.euclidean import (
+    early_abandon_squared,
+    early_abandon_squared_multi,
+)
+from repro.storage.files import SeriesFile
+from repro.summarization.sax import SaxSpace
+from repro.types import DISTANCE_DTYPE
+
+__all__ = ["BatchAnswer", "BatchStats", "exact_knn_batch"]
+
+
+@dataclass
+class BatchStats:
+    """Batch-level execution metrics of one :func:`exact_knn_batch` call."""
+
+    num_queries: int = 0
+    #: Physical leaf-block loads performed for the whole batch.
+    unique_leaf_reads: int = 0
+    #: Per-query leaf-block touches served by those loads — descent
+    #: scans plus refinement reads, summed over queries.
+    #: ``leaf_share_factor`` > 1 means leaves were shared across
+    #: queries instead of re-read per query.
+    leaf_uses: int = 0
+    #: Candidate rows the refinement kernels evaluated, summed over
+    #: queries (each shared read serves ``kernel_rows_per_read`` rows).
+    kernel_rows: int = 0
+    #: Wall seconds of the one-pass signature screen (0 with the
+    #: pre-filter tier off).
+    screen_seconds: float = 0.0
+    #: Wall seconds of the whole batch call.
+    total_seconds: float = 0.0
+
+    @property
+    def leaf_share_factor(self) -> float:
+        """Per-query leaf refinements per physical leaf read."""
+        if self.unique_leaf_reads <= 0:
+            return 0.0
+        return self.leaf_uses / self.unique_leaf_reads
+
+    @property
+    def kernel_rows_per_read(self) -> float:
+        """Kernel row evaluations amortized over each physical read."""
+        if self.unique_leaf_reads <= 0:
+            return 0.0
+        return self.kernel_rows / self.unique_leaf_reads
+
+    @property
+    def screen_seconds_per_query(self) -> float:
+        if self.num_queries <= 0:
+            return 0.0
+        return self.screen_seconds / self.num_queries
+
+
+class BatchAnswer:
+    """Per-query :class:`QueryAnswer` sequence plus batch-level stats.
+
+    Behaves like the list of answers the serial loop used to return
+    (iteration, indexing, ``len``), with :attr:`stats` riding along.
+    """
+
+    def __init__(self, answers: List[QueryAnswer], stats: BatchStats) -> None:
+        self.answers = answers
+        self.stats = stats
+
+    def __len__(self) -> int:
+        return len(self.answers)
+
+    def __getitem__(self, index):
+        return self.answers[index]
+
+    def __iter__(self):
+        return iter(self.answers)
+
+
+class _BlockStore:
+    """Batch-scoped leaf-block memo: each block is loaded at most once.
+
+    Sits in front of the ``SeriesFile`` (and its optional LeafCache):
+    the first query needing a block loads it; every later use within
+    the batch is served from the memo, whatever the cache budget is.
+    """
+
+    def __init__(self, lrd: SeriesFile) -> None:
+        self._lrd = lrd
+        self._blocks: dict = {}
+        self.loads = 0
+        self.shared_hits = 0
+        #: Per-query block touches served (every :meth:`leaf_block`
+        #: call, plus the extra users of one multi-query kernel pass
+        #: via :meth:`count_shared_uses`) — the numerator of the batch
+        #: leaf-share factor.
+        self.uses = 0
+
+    def leaf_block(self, leaf: Node) -> np.ndarray:
+        key = (leaf.file_position, leaf.size)
+        self.uses += 1
+        block = self._blocks.get(key)
+        if block is None:
+            block = self._lrd.read_range(leaf.file_position, leaf.size)
+            self._blocks[key] = block
+            self.loads += 1
+        else:
+            self.shared_hits += 1
+        return block
+
+    def count_shared_uses(self, extra: int) -> None:
+        """Credit ``extra`` additional queries served by the last read."""
+        self.uses += extra
+
+    def resident(self, leaf: Node) -> bool:
+        return (leaf.file_position, leaf.size) in self._blocks
+
+
+class _BatchSearchState(_SearchState):
+    """Per-query search state whose leaf reads flow through the store."""
+
+    def __init__(self, store: _BlockStore, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._store = store
+        # The per-query cache delta is meaningless when Q interleaved
+        # queries share one cache; per-query sharing is counted on the
+        # store instead and written into the profile at the end.
+        self._cache_before = None
+        self.store_hits = 0
+        self.store_misses = 0
+
+    def read_leaf(self, leaf: Node) -> np.ndarray:
+        self.profile.series_accessed += leaf.size
+        return self._leaf_block(leaf)
+
+    def leaf_rows(self, leaf: Node, rows: np.ndarray) -> np.ndarray:
+        """Rows of one leaf block (accounting left to the caller)."""
+        return self._leaf_block(leaf)[rows]
+
+    def _leaf_block(self, leaf: Node) -> np.ndarray:
+        before = self._store.loads
+        block = self._store.leaf_block(leaf)
+        if self._store.loads == before:
+            self.store_hits += 1
+        else:
+            self.store_misses += 1
+        return block
+
+
+@dataclass
+class _RefineSpec:
+    """One query's refinement work, in serial (file-position) order."""
+
+    #: "leaves" — scan whole leaves with a live-BSF re-check (the
+    #: skip-sequential and NoSAX paths); "series" — refine per-leaf
+    #: candidate rows surviving LB_SAX (the full four-phase path);
+    #: "none" — phase 1 already answered the query.
+    kind: str = "none"
+    #: (leaf, phase-2 bound) pairs for "leaves".
+    leaves: list = field(default_factory=list)
+    #: (leaf, rows-within-leaf, ε-scaled squared LB_SAX) for "series".
+    series: list = field(default_factory=list)
+
+
+def _plan_refinement(
+    state: _BatchSearchState,
+    lclist: list,
+    config: HerculesConfig,
+    num_leaves: int,
+    num_series: int,
+) -> _RefineSpec:
+    """The serial pipeline's access-path decision, emitted as a plan.
+
+    Mirrors :func:`repro.core.query.exact_knn` exactly: the same path is
+    chosen from the same pre-screen pruning ratios, and phase 3 produces
+    the same candidate rows in the same (file-position) order the
+    single-threaded serial pass would.
+    """
+    spec = _RefineSpec()
+    state.profile.candidate_leaves = len(lclist)
+    if not lclist:
+        state.profile.path = "approx-only"
+        return spec
+    if (
+        config.adaptive_thresholds
+        and state.profile.eapca_pruning < config.eapca_th
+    ):
+        state.profile.path = "eapca-skipseq"
+        spec.kind = "leaves"
+        spec.leaves = list(lclist)
+        return spec
+    if not config.use_sax:
+        state.profile.path = "nosax-leaves"
+        spec.kind = "leaves"
+        spec.leaves = list(lclist)
+        return spec
+
+    # Phase 3 (FindCandidateSeries), canonical single-thread order:
+    # BSF² is fixed for the whole pass, leaves visited in file order.
+    bsf_squared = state.results.bsf_squared
+    length = state.query.shape[0]
+    series: list = []
+    total = 0
+    for leaf, _bound in lclist:
+        words = state.lsd_words[
+            leaf.file_position : leaf.file_position + leaf.size
+        ]
+        bounds = state.sax_space.mindist(state.query_paa, words, length)
+        scaled = bounds * state.prune_factor
+        scaled_sq = scaled * scaled
+        mask = scaled_sq < bsf_squared
+        if state.sig_mask is not None:
+            mask &= state.sig_mask[
+                leaf.file_position : leaf.file_position + leaf.size
+            ]
+        if mask.any():
+            rows = np.nonzero(mask)[0]
+            series.append((leaf, rows, scaled_sq[rows]))
+            total += rows.shape[0]
+    sax_pr = 1.0 - (total / num_series if num_series else 0.0)
+    state.profile.candidate_series = total
+    state.profile.sax_pruning = sax_pr
+    if config.adaptive_thresholds and sax_pr < config.sax_th:
+        state.profile.path = "sax-skipseq"
+        spec.kind = "leaves"
+        spec.leaves = list(lclist)
+        return spec
+    state.profile.path = "full-four-phase"
+    spec.kind = "series"
+    spec.series = series
+    return spec
+
+
+def _refine_shared(
+    states: List[_BatchSearchState],
+    specs: List[_RefineSpec],
+    store: _BlockStore,
+    stats: BatchStats,
+) -> None:
+    """Exact-search refinement over the leaf→{query set} plan.
+
+    Leaves are visited once each, in file-position order; all queries
+    needing a leaf are refined from one block with a single multi-query
+    kernel call under per-query live BSF² cutoffs.  Sound for exact
+    search: a per-candidate live re-check can only *skip more* than the
+    serial per-chunk re-check, and any skipped candidate has
+    LB ≥ BSF ≥ its final value, so it could never have entered a result
+    set.
+    """
+    tasks: dict = {}
+    for qi, spec in enumerate(specs):
+        if spec.kind == "leaves":
+            for leaf, bound in spec.leaves:
+                tasks.setdefault(leaf.file_position, (leaf, []))[1].append(
+                    (qi, bound, None, None)
+                )
+        elif spec.kind == "series":
+            for leaf, rows, bounds_sq in spec.series:
+                tasks.setdefault(leaf.file_position, (leaf, []))[1].append(
+                    (qi, None, rows, bounds_sq)
+                )
+
+    for file_position in sorted(tasks):
+        leaf, users = tasks[file_position]
+        active = []
+        for qi, bound, rows, bounds_sq in users:
+            state = states[qi]
+            bsf_squared = state.results.bsf_squared
+            if rows is None:
+                # Whole-leaf user: the serial skip-sequential re-check.
+                if state.scaled_squared(bound) >= bsf_squared:
+                    continue
+                active.append((qi, None))
+            else:
+                alive = bounds_sq < bsf_squared
+                if not alive.any():
+                    continue
+                active.append((qi, rows[alive]))
+        if not active:
+            continue
+
+        was_resident = store.resident(leaf)
+        block = store.leaf_block(leaf)
+        store.count_shared_uses(len(active) - 1)
+        length = block.shape[1]
+        queries = np.stack([states[qi].query for qi, _rows in active])
+        cutoffs = np.array(
+            [states[qi].results.bsf_squared for qi, _rows in active],
+            dtype=DISTANCE_DTYPE,
+        )
+        row_masks = np.zeros((len(active), leaf.size), dtype=bool)
+        for i, (_qi, rows) in enumerate(active):
+            if rows is None:
+                row_masks[i] = True
+            else:
+                row_masks[i, rows] = True
+        distances, points = early_abandon_squared_multi(
+            queries, block, cutoffs, row_masks=row_masks
+        )
+
+        for i, (qi, rows) in enumerate(active):
+            state = states[qi]
+            if rows is None:
+                row_count = leaf.size
+                positions = leaf.file_position + np.arange(
+                    leaf.size, dtype=np.int64
+                )
+                row_distances = distances[i]
+            else:
+                row_count = rows.shape[0]
+                positions = leaf.file_position + rows.astype(np.int64)
+                row_distances = distances[i, rows]
+            state.results.update_batch_squared(row_distances, positions)
+            state.profile.series_accessed += row_count
+            state.profile.distance_computations += row_count
+            state.profile.points_compared += int(points[i])
+            state.profile.points_total += row_count * length
+            if i == 0 and not was_resident:
+                state.store_misses += 1
+            else:
+                state.store_hits += 1
+            stats.kernel_rows += row_count
+
+
+def _refine_serial_cadence(
+    state: _BatchSearchState, spec: _RefineSpec, store: _BlockStore,
+    stats: BatchStats,
+) -> None:
+    """ε-approximate refinement: the serial pipeline, operation for
+    operation, with reads served from the shared store.
+
+    With ε > 0 a pruning decision depends on the BSF at the moment of
+    the check, so the batch must replicate the single-query check
+    cadence exactly — per-leaf re-checks for the leaf-scan paths,
+    :data:`_REFINE_BATCH`-chunked re-checks for the four-phase path —
+    to keep answers bit-identical.  Leaf sharing survives through the
+    store: the first query touching a leaf loads it, the rest hit.
+    """
+    length = state.query.shape[0]
+    if spec.kind == "leaves":
+        for leaf, bound in spec.leaves:
+            if state.scaled_squared(bound) >= state.results.bsf_squared:
+                continue
+            # scan_leaf is the serial per-leaf refinement verbatim; its
+            # read flows through the overridden read_leaf → the store.
+            state.scan_leaf(leaf)
+            stats.kernel_rows += leaf.size
+        return
+    if spec.kind != "series":
+        return
+
+    # Flatten to the serial pipeline's concatenated candidate arrays.
+    leaf_index: list = []
+    row_arrays: list = []
+    bound_arrays: list = []
+    for leaf, rows, bounds_sq in spec.series:
+        leaf_index.extend([leaf] * rows.shape[0])
+        row_arrays.append(rows)
+        bound_arrays.append(bounds_sq)
+    if not row_arrays:
+        return
+    rows_flat = np.concatenate(row_arrays)
+    bounds_flat = np.concatenate(bound_arrays)
+    for start in range(0, rows_flat.shape[0], _REFINE_BATCH):
+        chunk_rows = rows_flat[start : start + _REFINE_BATCH]
+        chunk_lb_sq = bounds_flat[start : start + _REFINE_BATCH]
+        chunk_leaves = leaf_index[start : start + _REFINE_BATCH]
+        alive = chunk_lb_sq < state.results.bsf_squared
+        if not alive.any():
+            continue
+        keep = np.nonzero(alive)[0]
+        # Gather the kept rows from store-memoized blocks, grouped by
+        # leaf in order — the same values (and the same row order) the
+        # serial pipeline's coalesced read_positions would produce.
+        data_parts: list = []
+        position_parts: list = []
+        j = 0
+        kept = keep.tolist()
+        while j < len(kept):
+            leaf = chunk_leaves[kept[j]]
+            end = j
+            while end < len(kept) and chunk_leaves[kept[end]] is leaf:
+                end += 1
+            rows_in_leaf = np.array(
+                [int(chunk_rows[kept[m]]) for m in range(j, end)],
+                dtype=np.int64,
+            )
+            data_parts.append(state.leaf_rows(leaf, rows_in_leaf))
+            position_parts.append(leaf.file_position + rows_in_leaf)
+            j = end
+        data = np.concatenate(data_parts, axis=0)
+        positions = np.concatenate(position_parts)
+        squared, compared = early_abandon_squared(
+            state.query, data, state.results.bsf_squared
+        )
+        state.profile.series_accessed += keep.shape[0]
+        state.profile.distance_computations += keep.shape[0]
+        state.profile.points_compared += compared
+        state.profile.points_total += keep.shape[0] * length
+        state.results.update_batch_squared(squared, positions)
+        stats.kernel_rows += keep.shape[0]
+
+
+def exact_knn_batch(
+    queries: np.ndarray,
+    k: int,
+    config: HerculesConfig,
+    root: Node,
+    lrd: SeriesFile,
+    lsd_words: np.ndarray,
+    sax_space: SaxSpace,
+    num_leaves: int,
+    num_series: int,
+    results: Optional[List[ResultSet]] = None,
+    signatures=None,
+) -> BatchAnswer:
+    """Plan and execute a whole query set together.
+
+    Each query's answer is value-identical to what
+    :func:`repro.core.query.exact_knn` returns for it alone.  The
+    engine runs single-threaded — the parallelism lives in the batch
+    dimension of the kernels, not in worker threads — so answers are
+    deterministic for a fixed index regardless of
+    ``config.num_query_threads``.
+
+    ``results`` optionally supplies one result set per query (shard
+    coordinators pass linked sets broadcasting the per-query global
+    BSF² vector).  Per-query wall-time attribution inside the shared
+    phases is amortized: the screen and shared-refinement walls are
+    split evenly across the queries that took part.
+    """
+    arr = np.asarray(queries, dtype=DISTANCE_DTYPE)
+    if arr.ndim != 2:
+        raise ValueError(
+            f"expected a (Q, series_length) query matrix, got shape {arr.shape}"
+        )
+    num_queries = arr.shape[0]
+    stats = BatchStats(num_queries=num_queries)
+    if num_queries == 0:
+        return BatchAnswer([], stats)
+    if results is not None and len(results) != num_queries:
+        raise ValueError(
+            f"got {len(results)} result sets for {num_queries} queries"
+        )
+
+    started = time.perf_counter()
+    store = _BlockStore(lrd)
+    states: List[_BatchSearchState] = []
+    lclists: list = []
+
+    with obs.span("query.batch", queries=num_queries, k=k) as batch_span:
+        # -- per-query descent (phases 1 + 2); reads memoized ------------
+        with obs.span("query.batch.descend"):
+            for qi in range(num_queries):
+                phase_started = time.perf_counter()
+                state = _BatchSearchState(
+                    store,
+                    arr[qi],
+                    k,
+                    config,
+                    lrd,
+                    lsd_words,
+                    sax_space,
+                    num_leaves,
+                    num_series,
+                    results=results[qi] if results is not None else None,
+                )
+                _approx_knn(state, root)
+                state.profile.time_approx = (
+                    time.perf_counter() - phase_started
+                )
+                phase_started = time.perf_counter()
+                lclist = _find_candidate_leaves(state)
+                state.profile.time_candidates = (
+                    time.perf_counter() - phase_started
+                )
+                state.profile.eapca_pruning = 1.0 - (
+                    len(lclist) / num_leaves if num_leaves else 0.0
+                )
+                states.append(state)
+                lclists.append(lclist)
+
+        # -- phase 0: ONE whole-workload signature screen ----------------
+        if signatures is not None:
+            screen_started = time.perf_counter()
+            with obs.span("query.batch.screen") as sp:
+                paa_block = np.stack([s.query_paa for s in states])
+                bsf_vector = np.array(
+                    [s.results.bsf_squared for s in states],
+                    dtype=DISTANCE_DTYPE,
+                )
+                masks = signatures.screen_batch(
+                    paa_block,
+                    bsf_vector,
+                    arr.shape[1],
+                    prune_factor=states[0].prune_factor,
+                )
+                survivors_total = 0
+                for qi, state in enumerate(states):
+                    state.sig_mask = masks[qi]
+                    state.profile.prefilter_screened = signatures.num_series
+                    survivors = int(np.count_nonzero(masks[qi]))
+                    state.profile.prefilter_survivors = survivors
+                    survivors_total += survivors
+                    lclists[qi] = [
+                        (leaf, bound)
+                        for leaf, bound in lclists[qi]
+                        if masks[qi][
+                            leaf.file_position : leaf.file_position + leaf.size
+                        ].any()
+                    ]
+                sp.set_attrs(
+                    screened=signatures.num_series * num_queries,
+                    survivors=survivors_total,
+                )
+            stats.screen_seconds = time.perf_counter() - screen_started
+
+        # -- access-path planning (phase 3 where the path needs it) ------
+        refine_started = time.perf_counter()
+        specs = [
+            _plan_refinement(
+                states[qi], lclists[qi], config, num_leaves, num_series
+            )
+            for qi in range(num_queries)
+        ]
+
+        # -- shared-leaf refinement --------------------------------------
+        loads_before = store.loads
+        with obs.span("query.batch.refine") as sp:
+            if states[0].prune_factor == 1.0:
+                _refine_shared(states, specs, store, stats)
+            else:
+                for qi in range(num_queries):
+                    _refine_serial_cadence(
+                        states[qi], specs[qi], store, stats
+                    )
+            sp.set_attrs(
+                unique_leaf_reads=store.loads - loads_before,
+                leaf_uses=store.uses,
+            )
+        refine_seconds = time.perf_counter() - refine_started
+
+        # -- finalize ----------------------------------------------------
+        stats.unique_leaf_reads = store.loads
+        stats.leaf_uses = store.uses
+        stats.total_seconds = time.perf_counter() - started
+        answers: List[QueryAnswer] = []
+        refine_share = refine_seconds / num_queries
+        screen_share = stats.screen_seconds / num_queries
+        for state in states:
+            distances, positions = state.results.items()
+            state.profile.time_refine = refine_share
+            state.profile.time_total = (
+                state.profile.time_approx
+                + state.profile.time_candidates
+                + screen_share
+                + refine_share
+            )
+            state.profile.cache_hits = state.store_hits
+            state.profile.cache_misses = state.store_misses
+            obs.observe_search(state.profile.time_total)
+            answers.append(
+                QueryAnswer(distances, positions, state.profile)
+            )
+        batch_span.set_attrs(
+            unique_leaf_reads=stats.unique_leaf_reads,
+            leaf_uses=stats.leaf_uses,
+            leaf_share_factor=stats.leaf_share_factor,
+            kernel_rows=stats.kernel_rows,
+        )
+    return BatchAnswer(answers, stats)

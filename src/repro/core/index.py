@@ -31,6 +31,7 @@ from typing import Optional, Union
 import numpy as np
 
 from repro import obs
+from repro.core.batch_query import BatchAnswer, exact_knn_batch
 from repro.core.config import HerculesConfig
 from repro.core.construction import build_tree, new_build_context
 from repro.core.node import Node
@@ -392,17 +393,40 @@ class HerculesIndex:
         queries: np.ndarray,
         k: int = 1,
         config: Optional[HerculesConfig] = None,
-    ) -> list[QueryAnswer]:
-        """Answer several queries one after another (warm-cache workload).
+        results=None,
+    ) -> BatchAnswer:
+        """Answer a whole query set together (batched execution engine).
 
-        Matches the paper's procedure: queries run asynchronously (each
-        must finish before the next is known), caches staying warm
-        between consecutive queries.
+        Plans the workload as one unit: a single (Q×N) signature screen
+        against the per-query BSF² vector, a leaf→{query set} access
+        plan reading every surviving leaf once, and multi-query matrix
+        kernels sharing each leaf's rows across the queries that need
+        it.  Per-query answers are value-identical to calling
+        :meth:`knn` once per query; the returned
+        :class:`~repro.core.batch_query.BatchAnswer` iterates like the
+        per-query answer list and carries batch-level
+        :class:`~repro.core.batch_query.BatchStats` (leaf-share factor,
+        kernel rows per read, screen time).
+
+        ``results`` optionally supplies one result set per query — the
+        shard scatter-gather coordinator passes linked sets so each
+        query here prunes against its own global BSF².
         """
-        arr = np.asarray(queries)
-        if arr.ndim != 2:
-            raise ValueError(f"expected a 2-D query batch, got ndim={arr.ndim}")
-        return [self.knn(query, k=k, config=config) for query in arr]
+        self._check_open()
+        effective = config if config is not None else self.config
+        return exact_knn_batch(
+            queries,
+            k,
+            effective,
+            self.root,
+            self._lrd,
+            self._lsd_words,
+            self.sax_space,
+            num_leaves=len(self._leaves),
+            num_series=self.num_series,
+            results=results,
+            signatures=self._signatures if effective.prefilter else None,
+        )
 
     def knn_approx(
         self,

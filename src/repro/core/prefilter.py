@@ -130,6 +130,19 @@ class SignatureArray:
         self._edges = np.concatenate(
             ([-np.inf], space.breakpoints, [np.inf])
         ).astype(DISTANCE_DTYPE)
+        # Cached per-(bits, space) table machinery: the region edge
+        # values every gap table is built from, and the flattened
+        # (segment, symbol) gather index of the signature matrix.  Both
+        # depend only on the array itself, so they are materialized once
+        # at load instead of once per ``screen()`` call.
+        self._lower_edges = self._edges[self._lower_idx]  # (2^bits,)
+        self._upper_edges = self._edges[self._upper_idx]
+        segment_base = (
+            np.arange(space.segments, dtype=np.int64) * cardinality
+        )
+        self._flat_index = (
+            segment_base[None, :] + reduced.astype(np.int64)
+        )  # (N, segments): row i gathers tables.ravel()[flat_index[i]]
 
     # -- construction ---------------------------------------------------------
 
@@ -220,11 +233,30 @@ class SignatureArray:
                 f"query PAA must have shape ({self.space.segments},), "
                 f"got {q.shape}"
             )
-        lower = self._edges[self._lower_idx]  # (2^bits,)
-        upper = self._edges[self._upper_idx]
+        lower = self._lower_edges  # cached at load, (2^bits,)
+        upper = self._upper_edges
         gap = np.maximum(
             np.maximum(lower[None, :] - q[:, None], q[:, None] - upper[None, :]),
             0.0,
+        )
+        return gap * gap
+
+    def _gap_tables_batch(self, queries_paa: np.ndarray) -> np.ndarray:
+        """Gap tables for a whole query block, shape (Q, segments, 2^bits).
+
+        One vectorized build over the cached region edges — the batched
+        analog of :meth:`_gap_tables`, bit-identical per query.
+        """
+        qs = np.asarray(queries_paa, dtype=DISTANCE_DTYPE)
+        if qs.ndim != 2 or qs.shape[1] != self.space.segments:
+            raise ValueError(
+                f"queries PAA must have shape (Q, {self.space.segments}), "
+                f"got {qs.shape}"
+            )
+        lower = self._lower_edges[None, None, :]
+        upper = self._upper_edges[None, None, :]
+        gap = np.maximum(
+            np.maximum(lower - qs[:, :, None], qs[:, :, None] - upper), 0.0
         )
         return gap * gap
 
@@ -292,4 +324,65 @@ class SignatureArray:
         if alive.shape[0]:
             totals = self._gap_sq_sums(tables, rows=alive)
             mask[alive[totals < cutoff]] = True
+        return mask
+
+    def screen_batch(
+        self,
+        queries_paa: np.ndarray,
+        bsf_squared: np.ndarray,
+        series_length: int,
+        prune_factor: float = 1.0,
+        chunk_rows: int = 0,
+    ) -> np.ndarray:
+        """One whole-workload screen: a (Q, N) survivor mask in one pass.
+
+        The batched analog of :meth:`screen`: all Q gap tables are built
+        in one vectorized op over the cached region edges, then the
+        cached flat gather index pulls every (query, series, segment)
+        entry in one fancy-indexing gather per row chunk and a matmul
+        with the all-ones segment vector reduces it to the (Q, N) exact
+        table sums — one gather + one matmul instead of Q independent
+        passes.  ``bsf_squared`` is the per-query BSF² vector; rows with
+        an infinite BSF survive wholesale without being screened.
+
+        The bound computed per (query, series) pair is the same sound
+        LB_SAX the serial screen uses, so batch answers stay value-
+        identical to serial ones; ``chunk_rows`` (0 = auto) bounds the
+        transient gather to a fixed memory budget.
+        """
+        qs = np.asarray(queries_paa, dtype=DISTANCE_DTYPE)
+        bsf = np.asarray(bsf_squared, dtype=DISTANCE_DTYPE)
+        if qs.ndim != 2 or bsf.shape != (qs.shape[0],):
+            raise ValueError(
+                f"expected (Q, segments) PAA block and (Q,) BSF² vector, "
+                f"got {qs.shape} and {bsf.shape}"
+            )
+        num_queries = qs.shape[0]
+        mask = np.ones((num_queries, self.num_series), dtype=bool)
+        active = np.nonzero(np.isfinite(bsf))[0]
+        if active.shape[0] == 0 or self.num_series == 0:
+            return mask
+        tables = self._gap_tables_batch(qs[active])
+        flat_tables = np.ascontiguousarray(
+            tables.reshape(active.shape[0], -1)
+        )
+        scale = series_length / self.space.segments
+        factor_sq = scale * prune_factor * prune_factor
+        cutoffs = bsf[active] / factor_sq  # (A,)
+        segments = self.space.segments
+        if chunk_rows <= 0:
+            # Bound the transient (A, rows, segments) gather to ~32 MB.
+            budget = 4 * 1024 * 1024
+            chunk_rows = max(256, budget // max(1, active.shape[0] * segments))
+        ones = np.ones(segments, dtype=DISTANCE_DTYPE)
+        survive = np.empty((active.shape[0], self.num_series), dtype=bool)
+        for start in range(0, self.num_series, chunk_rows):
+            end = min(start + chunk_rows, self.num_series)
+            idx = self._flat_index[start:end].ravel()
+            gathered = flat_tables[:, idx].reshape(
+                active.shape[0], end - start, segments
+            )
+            totals = gathered @ ones  # (A, rows)
+            survive[:, start:end] = totals < cutoffs[:, None]
+        mask[active] = survive
         return mask

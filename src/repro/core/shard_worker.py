@@ -80,6 +80,7 @@ logger = logging.getLogger(__name__)
 __all__ = [
     "GatherOutcome",
     "ProcessBsf",
+    "ProcessBsfVector",
     "ShardQueryPool",
     "SupervisionReport",
     "build_shards_in_processes",
@@ -91,6 +92,10 @@ __all__ = [
 
 #: Grace period after terminate() before escalating to kill().
 _ESCALATION_GRACE = 5.0
+
+#: Cells in the pool's shared per-query BSF² vector; batches larger than
+#: this are chunked by the coordinator (one scatter per chunk).
+_BSF_VECTOR_CAPACITY = 256
 
 
 def mp_context():
@@ -175,6 +180,81 @@ class ProcessBsf:
     def reset(self) -> None:
         with self._lock:
             self._value.value = math.inf
+
+
+class _BsfCell:
+    """One query's view into a :class:`ProcessBsfVector` slot.
+
+    Duck-typed to the :class:`~repro.core.results.SharedBsf` contract
+    (``get``/``publish``/``reset``) so a
+    :class:`~repro.core.results.LinkedResultSet` can link to one slot of
+    the batch vector exactly as it links to a scalar cell.
+    """
+
+    __slots__ = ("_vector", "_index")
+
+    def __init__(self, vector: "ProcessBsfVector", index: int) -> None:
+        self._vector = vector
+        self._index = index
+
+    def get(self) -> float:
+        return self._vector.get(self._index)
+
+    def publish(self, value: float) -> None:
+        self._vector.publish(self._index, value)
+
+    def reset(self) -> None:
+        self._vector.reset_cell(self._index)
+
+
+class ProcessBsfVector:
+    """A process-shared vector of per-query BSF² cells (batch broadcast).
+
+    The batched scatter needs one global bound *per query in flight*:
+    a single :class:`ProcessBsf` would let query A's tight bound prune
+    query B's candidates, which is wrong.  One ``RawArray`` of doubles
+    under one process-shared lock keeps the whole vector in a single
+    shared mapping created once at pool start (pipes never carry BSF
+    traffic); workers address individual slots through :meth:`cell`
+    views.  Capacity is fixed at creation — coordinators chunk larger
+    batches.
+    """
+
+    __slots__ = ("_values", "_lock", "capacity")
+
+    def __init__(self, ctx=None, capacity: int = _BSF_VECTOR_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        ctx = ctx if ctx is not None else mp_context()
+        self.capacity = capacity
+        self._values = ctx.RawArray(ctypes.c_double, [math.inf] * capacity)
+        self._lock = ctx.Lock()
+
+    def get(self, index: int) -> float:
+        with self._lock:
+            return self._values[index]
+
+    def publish(self, index: int, value: float) -> None:
+        with self._lock:
+            if value < self._values[index]:
+                self._values[index] = value
+
+    def reset_cell(self, index: int) -> None:
+        with self._lock:
+            self._values[index] = math.inf
+
+    def reset(self) -> None:
+        """Reset every cell (the coordinator calls this per scatter)."""
+        with self._lock:
+            for index in range(self.capacity):
+                self._values[index] = math.inf
+
+    def cell(self, index: int) -> _BsfCell:
+        if not 0 <= index < self.capacity:
+            raise IndexError(
+                f"BSF cell {index} outside capacity {self.capacity}"
+            )
+        return _BsfCell(self, index)
 
 
 # ---------------------------------------------------------------------------
@@ -516,6 +596,7 @@ def query_worker_main(
     cache_bytes_per_shard: int,
     verify: str,
     bsf_link: ProcessBsf,
+    bsf_vector: Optional[ProcessBsfVector] = None,
 ) -> None:
     """Entry point of one persistent query worker process.
 
@@ -528,6 +609,12 @@ def query_worker_main(
       per-shard failures are *collected*, not fatal, so one bad shard
       does not void its siblings' work, and a retry can target just the
       failed subset via ``shard_ids``;
+    * ``("query_batch", queries, k, config_fields_or_None,
+      shard_ids_or_None)`` → ``("ok", [(shard_id, batch_answer), ...],
+      errors)`` — ONE round-trip answers the whole batch on every owned
+      shard through :meth:`~repro.core.index.HerculesIndex.knn_batch`,
+      each query pruning against its own slot of the shared
+      :class:`ProcessBsfVector`;
     * ``("close",)`` (or EOF) → clean shutdown.
 
     Every request prunes through a fresh
@@ -556,6 +643,9 @@ def query_worker_main(
                 kind = message[0]
                 if kind == "close":
                     break
+                if kind == "query_batch":
+                    _serve_query_batch(conn, indexes, bsf_vector, message)
+                    continue
                 if kind != "query":  # pragma: no cover - protocol guard
                     conn.send(("error", f"unknown request {kind!r}"))
                     continue
@@ -599,6 +689,48 @@ def query_worker_main(
         for _, _, index in indexes:
             index.close()
         conn.close()
+
+
+def _serve_query_batch(conn, indexes, bsf_vector, message) -> None:
+    """Answer one ``("query_batch", ...)`` request on every owned shard.
+
+    Each query in the batch links to its own cell of the shared BSF²
+    vector, so bounds broadcast across processes per query — never
+    between queries.  Per-query I/O is unattributable inside a shared
+    scan, so profiles ship with ``io=None`` (the merge tolerates it) and
+    the per-shard I/O counters are reset for the next request.
+    """
+    from repro.core.results import ResultSet
+
+    try:
+        _, queries, k, config_fields, only = message
+        config = HerculesConfig(**config_fields) if config_fields else None
+        num_queries = int(queries.shape[0])
+        out = []
+        shard_errors = []
+        for shard_id, row_base, index in indexes:
+            if only is not None and shard_id not in only:
+                continue
+            try:
+                if bsf_vector is not None and num_queries <= bsf_vector.capacity:
+                    results = [
+                        LinkedResultSet(k, bsf_vector.cell(qi))
+                        for qi in range(num_queries)
+                    ]
+                else:  # pragma: no cover - coordinator chunks to capacity
+                    results = [ResultSet(k) for _ in range(num_queries)]
+                batch = index.knn_batch(
+                    queries, k=k, config=config, results=results
+                )
+                for answer in batch:
+                    answer.positions = answer.positions + row_base
+                index.query_io.reset()
+                out.append((shard_id, batch))
+            except Exception:
+                shard_errors.append((shard_id, traceback.format_exc()))
+        conn.send(("ok", out, shard_errors))
+    except BaseException:
+        conn.send(("error", traceback.format_exc()))
 
 
 @dataclass
@@ -649,6 +781,7 @@ class ShardQueryPool:
     ) -> None:
         self._ctx = mp_context()
         self.bsf = ProcessBsf(self._ctx)
+        self.bsf_vector = ProcessBsfVector(self._ctx)
         self._cache_bytes = cache_bytes_per_shard
         self._verify = verify
         self._join_timeout = join_timeout
@@ -684,6 +817,7 @@ class ShardQueryPool:
                 self._cache_bytes,
                 self._verify,
                 self.bsf,
+                self.bsf_vector,
             ),
             daemon=True,
         )
@@ -770,6 +904,55 @@ class ShardQueryPool:
             mode,
             dataclasses.asdict(config) if config is not None else None,
             l_max,
+            None,
+        )
+        started = time.monotonic()
+        outcome = GatherOutcome()
+        for conn in self._conns:
+            try:
+                conn.send(payload)
+            except (BrokenPipeError, OSError):
+                pass  # death is handled during this worker's gather
+        for i in range(len(self._conns)):
+            self._gather_worker(i, payload, policy, started, outcome)
+        outcome.pairs.sort(key=lambda pair: pair[0])
+        return outcome
+
+    @property
+    def batch_capacity(self) -> int:
+        """Queries one batched scatter can carry (BSF vector slots)."""
+        return self.bsf_vector.capacity
+
+    def query_batch(
+        self,
+        queries: np.ndarray,
+        k: int,
+        config: Optional[HerculesConfig] = None,
+        policy: Optional[RetryPolicy] = None,
+    ) -> GatherOutcome:
+        """Scatter a whole query batch: ONE round-trip per worker.
+
+        Mirrors :meth:`query`, but the payload carries the (Q, n) block
+        and gathered pairs are ``(shard_id, BatchAnswer)``.  The batch
+        must fit :attr:`batch_capacity` (the coordinator chunks larger
+        workloads); per-query BSF² bounds broadcast through the shared
+        :class:`ProcessBsfVector`, reset here before the scatter.
+        Failure handling — retries, restarts, ``only``-subset resends —
+        is the same machinery the single-query path uses.
+        """
+        queries = np.ascontiguousarray(queries)
+        if queries.shape[0] > self.batch_capacity:
+            raise ValueError(
+                f"batch of {queries.shape[0]} exceeds the pool's "
+                f"{self.batch_capacity}-query scatter capacity"
+            )
+        policy = policy if policy is not None else RetryPolicy()
+        self.bsf_vector.reset()
+        payload = (
+            "query_batch",
+            queries,
+            int(k),
+            dataclasses.asdict(config) if config is not None else None,
             None,
         )
         started = time.monotonic()

@@ -51,6 +51,7 @@ from typing import Optional, Union
 import numpy as np
 
 from repro import obs
+from repro.core.batch_query import BatchAnswer, BatchStats
 from repro.core.config import HerculesConfig
 from repro.core.index import BuildReport, HerculesIndex
 from repro.core.query import QueryAnswer, QueryProfile
@@ -593,15 +594,76 @@ class ShardedIndex:
         k: int = 1,
         config: Optional[HerculesConfig] = None,
         partial_results: Optional[bool] = None,
-    ) -> list[ShardedQueryAnswer]:
-        """Answer queries one after another (warm-cache workload)."""
+    ) -> BatchAnswer:
+        """Exact k-NN for a whole query batch: one scatter per shard.
+
+        Each shard answers the complete batch through its own
+        :meth:`HerculesIndex.knn_batch` (shared-leaf scans, matrix
+        kernels) in a single dispatch — one pool round-trip per worker
+        per batch instead of one per query — and per-query BSF² bounds
+        broadcast across shards through a vector of shared cells, so a
+        tight bound found by any shard prunes that query everywhere
+        without ever crossing queries.  The merged result is per-query
+        value-identical to :meth:`knn` run serially; batches larger than
+        the pool's BSF-vector capacity are chunked transparently.
+
+        Returns a :class:`~repro.core.batch_query.BatchAnswer` whose
+        entries are :class:`ShardedQueryAnswer`s (list-compatible with
+        the serial loop this replaces) and whose ``stats`` aggregate the
+        shards' leaf-sharing metrics.  Failure policy matches
+        :meth:`knn`, applied batch-wide: a dropped shard degrades every
+        query in the batch (same coverage), a refused degradation
+        raises for the whole batch.
+        """
+        self._check_open()
         arr = np.asarray(queries)
         if arr.ndim != 2:
             raise ValueError(f"expected a 2-D query batch, got ndim={arr.ndim}")
-        return [
-            self.knn(query, k=k, config=config, partial_results=partial_results)
-            for query in arr
-        ]
+        effective = config if config is not None else self.config
+        policy = effective.retry_policy()
+        allow_partial = (
+            partial_results
+            if partial_results is not None
+            else effective.partial_results
+        )
+        if arr.shape[0] == 0:
+            return BatchAnswer([], BatchStats())
+        limit = (
+            self._pool.batch_capacity
+            if self._pool is not None
+            else arr.shape[0]
+        )
+        answers: list = []
+        stats = BatchStats(num_queries=arr.shape[0])
+        for start in range(0, arr.shape[0], limit):
+            chunk = arr[start : start + limit]
+            batch = self._query_batch(chunk, k, config, policy, allow_partial)
+            answers.extend(batch.answers)
+            stats.unique_leaf_reads += batch.stats.unique_leaf_reads
+            stats.leaf_uses += batch.stats.leaf_uses
+            stats.kernel_rows += batch.stats.kernel_rows
+            stats.screen_seconds += batch.stats.screen_seconds
+            stats.total_seconds += batch.stats.total_seconds
+        return BatchAnswer(answers, stats)
+
+    def _query_batch(
+        self,
+        arr: np.ndarray,
+        k: int,
+        config: Optional[HerculesConfig],
+        policy: RetryPolicy,
+        allow_partial: bool,
+    ) -> BatchAnswer:
+        """Scatter one capacity-bounded chunk; settle into answers."""
+        started = time.perf_counter()
+        if self._pool is not None:
+            outcome = self._pool.query_batch(arr, k, config=config, policy=policy)
+        else:
+            outcome = self._scatter_threads_batch(
+                arr, k, config=config, policy=policy
+            )
+        wall = time.perf_counter() - started
+        return self._settle_batch(arr.shape[0], k, outcome, allow_partial, wall)
 
     def knn_approx(
         self,
@@ -660,6 +722,79 @@ class ShardedIndex:
         equal to the searched row fraction.  Losing *every* shard always
         raises — an empty answer is not a degraded answer.
         """
+        coverage = self._degrade_or_raise(outcome, allow_partial)
+        obs.observe_query(
+            wall, coverage=coverage, degraded=bool(outcome.shard_errors)
+        )
+        return _merge_pairs(
+            k,
+            outcome.pairs,
+            self.num_leaves,
+            self.num_series,
+            wall,
+            coverage=coverage,
+            shard_errors=tuple(
+                (sid, _first_line(reason))
+                for sid, reason in outcome.shard_errors
+            ),
+            retries=outcome.retries,
+        )
+
+    def _settle_batch(
+        self,
+        num_queries: int,
+        k: int,
+        outcome: GatherOutcome,
+        allow_partial: bool,
+        wall: float,
+    ) -> BatchAnswer:
+        """Per-query merge of a batched gather (pairs hold BatchAnswers).
+
+        The degradation policy is applied once for the whole chunk —
+        every query shares the scatter's coverage and dropped-shard set.
+        Each query is then merged exactly as the serial path merges it
+        (:func:`_merge_pairs` over that query's per-shard answers); wall
+        time is amortized evenly, and the chunk's dispatch retries are
+        attributed to the first query so workload-level retry counts
+        stay accurate.  Shard-level :class:`BatchStats` (leaf reads and
+        uses, kernel rows, screen time) sum across shards.
+        """
+        coverage = self._degrade_or_raise(outcome, allow_partial)
+        degraded = bool(outcome.shard_errors)
+        shard_errors = tuple(
+            (sid, _first_line(reason))
+            for sid, reason in outcome.shard_errors
+        )
+        per_query_wall = wall / num_queries if num_queries else 0.0
+        merged = []
+        for qi in range(num_queries):
+            obs.observe_query(
+                per_query_wall, coverage=coverage, degraded=degraded
+            )
+            merged.append(
+                _merge_pairs(
+                    k,
+                    [(sid, batch[qi]) for sid, batch in outcome.pairs],
+                    self.num_leaves,
+                    self.num_series,
+                    per_query_wall,
+                    coverage=coverage,
+                    shard_errors=shard_errors,
+                    retries=outcome.retries if qi == 0 else 0,
+                )
+            )
+        stats = BatchStats(num_queries=num_queries, total_seconds=wall)
+        for _, batch in outcome.pairs:
+            stats.unique_leaf_reads += batch.stats.unique_leaf_reads
+            stats.leaf_uses += batch.stats.leaf_uses
+            stats.kernel_rows += batch.stats.kernel_rows
+            stats.screen_seconds += batch.stats.screen_seconds
+        return BatchAnswer(merged, stats)
+
+    def _degrade_or_raise(
+        self, outcome: GatherOutcome, allow_partial: bool
+    ) -> float:
+        """Apply the failure policy; returns coverage or raises."""
         if outcome.shard_errors:
             names = sorted(sid for sid, _ in outcome.shard_errors)
             detail = "; ".join(
@@ -705,22 +840,7 @@ class ShardedIndex:
                 dropped=[sid for sid, _ in outcome.shard_errors],
                 retries=outcome.retries,
             )
-        obs.observe_query(
-            wall, coverage=coverage, degraded=bool(outcome.shard_errors)
-        )
-        return _merge_pairs(
-            k,
-            outcome.pairs,
-            self.num_leaves,
-            self.num_series,
-            wall,
-            coverage=coverage,
-            shard_errors=tuple(
-                (sid, _first_line(reason))
-                for sid, reason in outcome.shard_errors
-            ),
-            retries=outcome.retries,
-        )
+        return coverage
 
     def _coverage(self, pairs: list) -> float:
         """Fraction of indexed series the answering shards hold."""
@@ -756,34 +876,107 @@ class ShardedIndex:
         """
         policy = policy if policy is not None else RetryPolicy()
         link = SharedBsf()
+
+        def attempt(shard_id: int, parent) -> tuple:
+            shard = self.shards[shard_id]
+            base = self.row_bases[shard_id]
+            with obs.span("query.shard", parent=parent, shard=shard_id):
+                io_before = shard.query_io.snapshot()
+                results = LinkedResultSet(k, link)
+                if mode == "approx":
+                    answer = shard.knn_approx(
+                        query, k=k, l_max=l_max, results=results
+                    )
+                else:
+                    answer = shard.knn(
+                        query, k=k, config=config, results=results
+                    )
+                answer.profile.io = shard.query_io.snapshot() - io_before
+                answer.positions = answer.positions + base
+                return (shard_id, answer)
+
+        return self._run_scatter(
+            attempt,
+            policy,
+            "query.sharded",
+            k=k,
+            shards=len(self.shards),
+            mode=mode,
+        )
+
+    def _scatter_threads_batch(
+        self,
+        queries: np.ndarray,
+        k: int,
+        config: Optional[HerculesConfig] = None,
+        policy: Optional[RetryPolicy] = None,
+    ) -> GatherOutcome:
+        """One thread per shard, each answering the *whole* batch.
+
+        Every query gets its own :class:`SharedBsf` cell; each shard
+        thread links one :class:`LinkedResultSet` per query to the
+        matching cell, so bounds broadcast across shards per query
+        without ever leaking between queries.  Retry/deadline handling
+        is the shared scatter scaffolding — a retried shard re-runs its
+        whole batch against the (already tightened) bound vector, which
+        only strengthens pruning and never the answers.
+        """
+        policy = policy if policy is not None else RetryPolicy()
+        num_queries = int(queries.shape[0])
+        links = [SharedBsf() for _ in range(num_queries)]
+
+        def attempt(shard_id: int, parent) -> tuple:
+            shard = self.shards[shard_id]
+            base = self.row_bases[shard_id]
+            with obs.span(
+                "query.shard",
+                parent=parent,
+                shard=shard_id,
+                queries=num_queries,
+            ):
+                results = [
+                    LinkedResultSet(k, links[qi]) for qi in range(num_queries)
+                ]
+                batch = shard.knn_batch(
+                    queries, k=k, config=config, results=results
+                )
+                for answer in batch:
+                    answer.positions = answer.positions + base
+                return (shard_id, batch)
+
+        return self._run_scatter(
+            attempt,
+            policy,
+            "query.batch.sharded",
+            k=k,
+            shards=len(self.shards),
+            queries=num_queries,
+        )
+
+    def _run_scatter(
+        self,
+        attempt,
+        policy: RetryPolicy,
+        span_name: str,
+        **span_attrs,
+    ) -> GatherOutcome:
+        """Thread-per-shard fan-out with retries, deadline, and gather.
+
+        ``attempt(shard_id, parent_span)`` performs one dispatch and
+        returns the ``(shard_id, payload)`` pair to gather; only
+        storage/OS faults are retryable (a bad argument propagates
+        immediately).  The whole-call ``policy.deadline`` bounds the
+        join: a thread still running past it is abandoned and its shard
+        reported as timed out.
+        """
         pairs: list = [None] * len(self.shards)
         errors: list = [None] * len(self.shards)
         fatal: list[BaseException] = []
         outcome = GatherOutcome()
         retry_lock = threading.Lock()
         started = time.monotonic()
-        with obs.span(
-            "query.sharded", k=k, shards=len(self.shards), mode=mode
-        ):
+        with obs.span(span_name, **span_attrs):
             parent = obs.current_span()
-
-            def attempt_once(shard_id: int) -> None:
-                shard = self.shards[shard_id]
-                base = self.row_bases[shard_id]
-                with obs.span("query.shard", parent=parent, shard=shard_id):
-                    io_before = shard.query_io.snapshot()
-                    results = LinkedResultSet(k, link)
-                    if mode == "approx":
-                        answer = shard.knn_approx(
-                            query, k=k, l_max=l_max, results=results
-                        )
-                    else:
-                        answer = shard.knn(
-                            query, k=k, config=config, results=results
-                        )
-                    answer.profile.io = shard.query_io.snapshot() - io_before
-                    answer.positions = answer.positions + base
-                    pairs[shard_id] = (shard_id, answer)
 
             def out_of_time(attempt_started: float) -> bool:
                 now = time.monotonic()
@@ -796,17 +989,17 @@ class ShardedIndex:
                 )
 
             def run(shard_id: int) -> None:
-                for attempt in range(1, policy.attempts + 1):
+                for attempt_no in range(1, policy.attempts + 1):
                     attempt_started = time.monotonic()
                     try:
-                        attempt_once(shard_id)
+                        pairs[shard_id] = attempt(shard_id, parent)
                         return
                     except (StorageError, ShardError, OSError) as exc:
                         errors[shard_id] = (
                             f"{type(exc).__name__}: {exc} "
-                            f"(after {attempt} attempts)"
+                            f"(after {attempt_no} attempts)"
                         )
-                        if attempt >= policy.attempts or out_of_time(
+                        if attempt_no >= policy.attempts or out_of_time(
                             attempt_started
                         ):
                             return
@@ -816,10 +1009,12 @@ class ShardedIndex:
                             "shard.retry",
                             parent=parent,
                             shard=shard_id,
-                            attempt=attempt,
+                            attempt=attempt_no,
                         ):
                             time.sleep(
-                                policy.delay(attempt, key=f"shard-{shard_id}")
+                                policy.delay(
+                                    attempt_no, key=f"shard-{shard_id}"
+                                )
                             )
                     except BaseException as exc:  # not a shard fault
                         fatal.append(exc)

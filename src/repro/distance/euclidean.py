@@ -122,6 +122,99 @@ def early_abandon_squared(
     return distances, points_compared
 
 
+def early_abandon_squared_multi(
+    queries: np.ndarray,
+    candidates: np.ndarray,
+    cutoffs_squared: np.ndarray,
+    block: int = DEFAULT_ABANDON_BLOCK,
+    row_masks: np.ndarray = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Matrix-screened squared ED for a whole query block.
+
+    The multi-query analog of :func:`early_abandon_squared`: one pass
+    over the candidate matrix serves every query, so each candidate row
+    is loaded once and shared across the query dimension.  Instead of
+    per-point abandoning (a Python-level block loop per query), the
+    whole (num_queries x count) distance matrix is *screened* with one
+    BLAS matmul via ``|q|² + |c|² - 2 q·c``, and only the pairs whose
+    screened value beats that query's cutoff (plus a rounding-slack
+    margin, so the matmul's float error can never drop a true survivor)
+    are re-evaluated whole-row — the identical summation order the
+    single-query kernel uses, so every reported value is bit-for-bit
+    the one :func:`early_abandon_squared` would report.  Each query
+    carries its own cutoff; ``row_masks`` (shape
+    ``(num_queries, count)``; False rows are never evaluated for that
+    query and report ``inf``) optionally restricts the candidate set up
+    front.  ``block`` is accepted for signature compatibility with the
+    single-query kernel and ignored — the matmul screen touches every
+    point once instead of abandoning column blocks.
+
+    Returns
+    -------
+    (distances, points_compared):
+        ``distances`` is float64 of shape ``(num_queries, count)`` with
+        ``inf`` for screened-out or masked-out (query, candidate)
+        pairs; ``points_compared`` is an int64 vector of per-query
+        point comparison counts (every masked-in point — the matmul
+        screen has no abandoning savings to report).
+    """
+    qs = np.asarray(queries, dtype=DISTANCE_DTYPE)
+    cands = np.asarray(candidates, dtype=DISTANCE_DTYPE)
+    if cands.ndim == 1:
+        cands = cands.reshape(1, -1)
+    if qs.ndim != 2 or cands.shape[1] != qs.shape[1]:
+        raise ValueError(
+            f"queries shape {qs.shape} incompatible with candidates {cands.shape}"
+        )
+    cutoffs = np.asarray(cutoffs_squared, dtype=DISTANCE_DTYPE)
+    num_queries = qs.shape[0]
+    count, n = cands.shape
+    if cutoffs.shape != (num_queries,):
+        raise ValueError(
+            f"expected {num_queries} cutoffs, got shape {cutoffs.shape}"
+        )
+    if row_masks is not None and row_masks.shape != (num_queries, count):
+        raise ValueError(
+            f"row_masks shape {row_masks.shape} incompatible with "
+            f"({num_queries}, {count})"
+        )
+    if block <= 0:
+        raise ValueError(f"block must be positive, got {block}")
+    distances = np.full((num_queries, count), np.inf, dtype=DISTANCE_DTYPE)
+    points_compared = np.zeros(num_queries, dtype=np.int64)
+    if count == 0 or num_queries == 0:
+        return distances, points_compared
+
+    # A NaN cutoff means "nothing can be screened out", matching the
+    # single-query kernel's non-finite-cutoff path.
+    cutoffs = np.where(np.isnan(cutoffs), np.inf, cutoffs)
+    qs_norms = np.einsum("ij,ij->i", qs, qs)
+    cand_norms = np.einsum("ij,ij->i", cands, cands)
+    # One matmul screens every (query, candidate) pair.  The screen is
+    # only a gate — a pair may pass with a slightly-off value, never
+    # the reported one.  The slack keeps the gate conservative: the
+    # matmul form's rounding error is bounded orders of magnitude below
+    # 1e-7 of the operand norms at any realistic series length, so a
+    # pair whose true distance beats the cutoff always passes.
+    screened = qs_norms[:, None] + cand_norms[None, :] - 2.0 * (qs @ cands.T)
+    slack = 1e-7 * (qs_norms[:, None] + cand_norms[None, :]) + 1e-12
+    keep = screened <= cutoffs[:, None] + slack
+    if row_masks is not None:
+        keep &= row_masks
+        points_compared[:] = row_masks.sum(axis=1) * n
+    else:
+        points_compared[:] = count * n
+    for qi in range(num_queries):
+        rows = np.nonzero(keep[qi])[0]
+        if rows.shape[0]:
+            # Same whole-row re-evaluation as the single-query kernel:
+            # the screen decided who pays full price, the row kernel
+            # decides the exact value.
+            diff = cands[rows] - qs[qi]
+            distances[qi, rows] = np.einsum("ij,ij->i", diff, diff)
+    return distances, points_compared
+
+
 def knn_from_distances(distances: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
     """Indices and values of the ``k`` smallest distances, sorted ascending.
 

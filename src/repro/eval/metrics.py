@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.query import QueryProfile
-from repro.obs import record_profile
+from repro.obs import record_batch_stats, record_profile
 
 
 @dataclass
@@ -186,12 +186,21 @@ def run_workload(
     workload: str = "",
     num_series: int | None = None,
     registry=None,
+    batched: bool = False,
 ) -> WorkloadResult:
     """Run every query through ``method.knn`` and collect the profiles.
 
     Queries run one after another ("asynchronously" in the paper's sense:
     each must finish before the next is known), with caches staying warm
     between consecutive queries exactly as in the paper's procedure.
+
+    ``batched=True`` instead hands the whole workload to
+    ``method.knn_batch`` at once — the batched engine's shared-leaf
+    scans and one-pass screening amortize work across queries, and its
+    per-query answers are value-identical to the serial loop.  Per-query
+    profiles are collected the same way; when the batch reports
+    execution stats (a :class:`~repro.core.batch_query.BatchAnswer`)
+    they land in the registry under ``query.batch.*``.
 
     ``registry`` (a :class:`repro.obs.MetricsRegistry`) receives per-query
     metrics via :func:`repro.obs.record_profile` when given.
@@ -205,6 +214,18 @@ def run_workload(
         ),
         build_seconds=getattr(method, "build_seconds", 0.0) or _build_seconds(method),
     )
+    if batched:
+        batch = method.knn_batch(np.asarray(queries), k=k)
+        for answer in batch:
+            if registry is not None:
+                record_profile(
+                    registry, answer.profile, num_series=result.num_series
+                )
+            result.profiles.append(answer.profile)
+        stats = getattr(batch, "stats", None)
+        if registry is not None and stats is not None:
+            record_batch_stats(registry, stats)
+        return result
     io_stats = getattr(method, "query_io", None)
     for query in queries:
         before = io_stats.snapshot() if io_stats is not None else None

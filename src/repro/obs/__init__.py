@@ -46,6 +46,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     percentile_from_sorted,
+    record_batch_stats,
     record_build,
     record_io,
     record_profile,
@@ -108,6 +109,7 @@ __all__ = [
     "parse_openmetrics",
     "percentile_from_sorted",
     "proc_available",
+    "record_batch_stats",
     "record_build",
     "record_io",
     "record_profile",

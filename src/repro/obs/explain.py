@@ -150,6 +150,17 @@ def explain_workload_summary(registry) -> str:
     if paths:
         chosen = ", ".join(f"{k}={v}" for k, v in sorted(paths.items()))
         lines.append(f"  access paths: {chosen}")
+    batches = counters.get("query.batch.count", 0)
+    if batches:
+        batch_queries = counters.get("query.batch.queries", 0)
+        reads = counters.get("query.batch.unique_leaf_reads", 0)
+        uses = counters.get("query.batch.leaf_uses", 0)
+        share = uses / reads if reads else 0.0
+        lines.append(
+            f"  batch execution: {batch_queries} queries in {batches} "
+            f"batch(es), {reads} leaf reads serving {uses} uses "
+            f"(leaf-sharing ratio {share:.2f}x)"
+        )
     retries = counters.get("shard.retries", 0)
     degraded = counters.get("query.degraded", 0)
     dropped = counters.get("shard.dropped", 0)

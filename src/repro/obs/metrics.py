@@ -466,3 +466,35 @@ def record_profile(
         registry.histogram(f"{prefix}.modeled_io_seconds").observe(
             profile.modeled_io_seconds()
         )
+
+
+def record_batch_stats(
+    registry: MetricsRegistry, stats, prefix: str = "query.batch"
+) -> None:
+    """Feed one batch execution's :class:`BatchStats` into the registry.
+
+    Duck-typed (any object with the
+    :class:`~repro.core.batch_query.BatchStats` fields works — obs never
+    imports core).  Counters accumulate raw work so batches sum across a
+    workload; the derived sharing ratios land in histograms, one
+    observation per batch.
+    """
+    registry.counter(f"{prefix}.count").inc()
+    registry.counter(f"{prefix}.queries").add(stats.num_queries)
+    registry.counter(f"{prefix}.unique_leaf_reads").add(
+        stats.unique_leaf_reads
+    )
+    registry.counter(f"{prefix}.leaf_uses").add(stats.leaf_uses)
+    registry.counter(f"{prefix}.kernel_rows").add(stats.kernel_rows)
+    registry.histogram(f"{prefix}.seconds").observe(stats.total_seconds)
+    if stats.unique_leaf_reads:
+        registry.histogram(f"{prefix}.leaf_share_factor").observe(
+            stats.leaf_share_factor
+        )
+        registry.histogram(f"{prefix}.kernel_rows_per_read").observe(
+            stats.kernel_rows_per_read
+        )
+    if stats.screen_seconds:
+        registry.histogram(f"{prefix}.screen_seconds_per_query").observe(
+            stats.screen_seconds_per_query
+        )

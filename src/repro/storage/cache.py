@@ -99,6 +99,9 @@ class LeafCache:
         self.budget_bytes = budget_bytes
         self._lock = threading.Lock()
         self._entries: "OrderedDict[Hashable, np.ndarray]" = OrderedDict()
+        #: Per-key singleflight: key -> Event set when the in-flight
+        #: load finishes (see :meth:`get_or_load`).
+        self._inflight: dict = {}
         self._current_bytes = 0
         self._hits = 0
         self._misses = 0
@@ -124,6 +127,59 @@ class LeafCache:
             name = "hits" if entry is not None else "misses"
             registry.counter(f"{self._metric_prefix}.{name}").inc()
         return entry
+
+    def get_or_load(self, key: Hashable, loader) -> np.ndarray:
+        """The cached block for ``key``, loading it at most once.
+
+        Closes the redundant-read window of the get/put protocol: two
+        threads missing the same key concurrently used to both run the
+        disk read.  Here the first miss becomes the *leader* — it runs
+        ``loader()`` and admits the result — while followers wait on a
+        per-key in-flight event and then take the cache hit.  A loader
+        failure wakes the followers, and the next one retries the load
+        itself; a block the budget refuses simply degrades to per-caller
+        loads, exactly the old behavior.
+        """
+        while True:
+            leader = False
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    self._entries.move_to_end(key)
+                    self._hits += 1
+                    registry = self._registry
+                else:
+                    registry = self._registry
+                    flight = self._inflight.get(key)
+                    if flight is None:
+                        # This thread leads the load for everyone.
+                        flight = threading.Event()
+                        self._inflight[key] = flight
+                        self._misses += 1
+                        leader = True
+            if entry is not None:
+                if registry is not None:
+                    registry.counter(f"{self._metric_prefix}.hits").inc()
+                return entry
+            if not leader:
+                # Follower: the leader will admit the block (or fail);
+                # either way the event fires and the loop re-checks.
+                flight.wait()
+                continue
+            if registry is not None:
+                registry.counter(f"{self._metric_prefix}.misses").inc()
+            try:
+                block = loader()
+            except BaseException:
+                with self._lock:
+                    self._inflight.pop(key, None)
+                flight.set()
+                raise
+            self.put(key, block)
+            with self._lock:
+                self._inflight.pop(key, None)
+            flight.set()
+            return block
 
     def put(self, key: Hashable, block: np.ndarray) -> bool:
         """Admit ``block`` under ``key``; False when it exceeds the budget.

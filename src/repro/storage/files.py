@@ -254,19 +254,20 @@ class SeriesFile:
                 f"read_range({position}, {count}) outside file with "
                 f"{self.num_series} series"
             )
+        def load() -> np.ndarray:
+            raw = self._file.read(
+                position * self.record_size, count * self.record_size
+            )
+            return np.frombuffer(raw, dtype=SERIES_DTYPE).reshape(
+                count, self.series_length
+            )
+
         cache = self.cache
-        if cache is not None:
-            key = (position, count)
-            block = cache.get(key)
-            if block is not None:
-                return block
-        raw = self._file.read(position * self.record_size, count * self.record_size)
-        block = np.frombuffer(raw, dtype=SERIES_DTYPE).reshape(
-            count, self.series_length
-        )
-        if cache is not None:
-            cache.put(key, block)
-        return block
+        if cache is None:
+            return load()
+        # Singleflight: concurrent misses of the same block run one disk
+        # read; the other threads wait on it and take the hit.
+        return cache.get_or_load((position, count), load)
 
     def read_series(self, position: int) -> np.ndarray:
         """Read one series (a single random access in the worst case)."""

@@ -1,0 +1,252 @@
+"""Parity gates for the batched multi-query engine: answers never change.
+
+``knn_batch`` must be value-identical, per query, to the serial
+``knn`` loop it replaces — distances AND positions, bit for bit —
+across every execution mode: exact and ε-approximate search, the
+signature pre-filter on and off, plain and sharded indexes (thread and
+process-pool scatter), and degenerate batches (singletons, duplicated
+queries, identical-query batches).
+
+Positions are LRD file positions, so every comparison queries the same
+materialized index with only the execution strategy changing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BatchAnswer,
+    BatchStats,
+    HerculesConfig,
+    HerculesIndex,
+    ShardedIndex,
+)
+
+from ..conftest import make_random_walks
+
+_LENGTH = 64
+_NUM_SERIES = 500
+
+
+def _config(**overrides):
+    base = dict(
+        leaf_capacity=20,
+        num_build_threads=1,
+        flush_threshold=1,
+        prefilter=True,
+        prefilter_bits=5,
+    )
+    base.update(overrides)
+    return HerculesConfig(**base)
+
+
+def _make_queries(data, count, seed=3):
+    """A mix of noisy copies, hard randoms, and exact duplicates."""
+    rng = np.random.default_rng(seed)
+    noisy = data[:count] + 0.3 * rng.standard_normal((count, _LENGTH))
+    hard = rng.standard_normal((max(count // 3, 1), _LENGTH))
+    copies = data[100 : 100 + max(count // 3, 1)]
+    return np.vstack([noisy, hard, copies])[:count].astype(np.float32)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return make_random_walks(_NUM_SERIES, _LENGTH, seed=17)
+
+
+@pytest.fixture(scope="module")
+def queries(data):
+    return _make_queries(data, 64)
+
+
+@pytest.fixture(scope="module")
+def index(data, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("batch-parity") / "index"
+    built = HerculesIndex.build(data, _config(), directory=directory)
+    yield built
+    built.close()
+
+
+def _assert_batch_matches_serial(index, queries, k, config=None):
+    batch = index.knn_batch(queries, k=k, config=config)
+    assert len(batch) == queries.shape[0]
+    for qi, answer in enumerate(batch):
+        serial = index.knn(queries[qi], k=k, config=config)
+        np.testing.assert_array_equal(serial.distances, answer.distances)
+        np.testing.assert_array_equal(serial.positions, answer.positions)
+    return batch
+
+
+class TestPlainExactParity:
+    @pytest.mark.parametrize("num_queries", [1, 2, 64])
+    @pytest.mark.parametrize("k", [1, 10, 100])
+    def test_bit_for_bit(self, index, queries, num_queries, k):
+        _assert_batch_matches_serial(index, queries[:num_queries], k)
+
+    @pytest.mark.parametrize("k", [1, 10])
+    def test_prefilter_off(self, index, queries, k):
+        config = index.config.with_options(prefilter=False)
+        batch = _assert_batch_matches_serial(
+            index, queries[:16], k, config=config
+        )
+        for answer in batch:
+            assert answer.profile.prefilter_screened == 0
+
+    def test_batch_path_matches_serial_path(self, index, queries):
+        """The access-path decision itself must replicate serial."""
+        batch = index.knn_batch(queries[:16], k=5)
+        for qi, answer in enumerate(batch):
+            serial = index.knn(queries[qi], k=5)
+            assert answer.profile.path == serial.profile.path
+
+
+class TestEpsilonParity:
+    """ε > 0 pruning depends on the BSF at each check: the batch engine
+    must replicate the serial check cadence operation for operation."""
+
+    @pytest.mark.parametrize("prefilter", [True, False])
+    @pytest.mark.parametrize("k", [1, 10])
+    def test_bit_for_bit(self, index, queries, prefilter, k):
+        config = index.config.with_options(
+            epsilon=0.15, prefilter=prefilter
+        )
+        _assert_batch_matches_serial(index, queries[:16], k, config=config)
+
+    def test_large_epsilon(self, index, queries):
+        config = index.config.with_options(epsilon=1.0)
+        _assert_batch_matches_serial(index, queries[:8], k=5, config=config)
+
+
+class TestDegenerateBatches:
+    def test_singleton_batch(self, index, queries):
+        _assert_batch_matches_serial(index, queries[:1], k=5)
+
+    def test_duplicate_queries(self, index, queries):
+        batch_queries = np.vstack([queries[:4], queries[:4], queries[:4]])
+        _assert_batch_matches_serial(index, batch_queries, k=5)
+
+    def test_identical_query_batch(self, index, queries):
+        batch_queries = np.repeat(queries[:1], 8, axis=0)
+        batch = _assert_batch_matches_serial(index, batch_queries, k=5)
+        first = batch[0]
+        for answer in batch:
+            np.testing.assert_array_equal(first.distances, answer.distances)
+            np.testing.assert_array_equal(first.positions, answer.positions)
+
+    def test_indexed_series_as_queries(self, index, data):
+        """Zero-distance self matches survive batching."""
+        batch = _assert_batch_matches_serial(
+            index, data[200:208].astype(np.float32), k=1
+        )
+        for answer in batch:
+            assert answer.distances[0] == 0.0
+
+    def test_empty_batch(self, index):
+        batch = index.knn_batch(np.empty((0, _LENGTH), dtype=np.float32))
+        assert len(batch) == 0
+        assert isinstance(batch, BatchAnswer)
+
+    def test_rejects_1d_input(self, index, queries):
+        with pytest.raises(ValueError, match="2-D|matrix"):
+            index.knn_batch(queries[0])
+
+
+class TestBatchSurface:
+    def test_list_compatibility(self, index, queries):
+        batch = index.knn_batch(queries[:4], k=3)
+        assert len(batch) == 4
+        assert list(iter(batch))[2] is batch[2]
+
+    def test_stats_accounting(self, index, queries):
+        batch = index.knn_batch(queries[:32], k=5)
+        stats = batch.stats
+        assert isinstance(stats, BatchStats)
+        assert stats.num_queries == 32
+        assert stats.unique_leaf_reads > 0
+        # Every load is itself a use, so the share factor is >= 1; with
+        # 32 queries over one small index, leaves must actually be
+        # shared.
+        assert stats.leaf_uses >= stats.unique_leaf_reads
+        assert stats.leaf_share_factor > 1.0
+        assert stats.total_seconds > 0.0
+
+    def test_shared_reads_beat_serial_reads(self, index, queries):
+        """The batch must physically read fewer blocks than Q serial
+        runs touch in total (that is the point of the engine)."""
+        batch = index.knn_batch(queries[:32], k=5)
+        assert batch.stats.unique_leaf_reads < batch.stats.leaf_uses
+
+    def test_result_length_mismatch_rejected(self, index, queries):
+        from repro.core import ResultSet
+
+        with pytest.raises(ValueError, match="result sets"):
+            index.knn_batch(queries[:4], k=3, results=[ResultSet(3)])
+
+
+class TestShardedParity:
+    """Sharded comparisons run exact mode only: even the *serial*
+    sharded path is nondeterministic under ε (racy shared BSF)."""
+
+    @pytest.fixture(scope="class", params=[2, 4])
+    def sharded(self, data, tmp_path_factory, request):
+        directory = tmp_path_factory.mktemp(
+            f"batch-shards-{request.param}"
+        ) / "index"
+        built = ShardedIndex.build(
+            data,
+            _config(num_shards=request.param, shard_workers=0),
+            directory=directory,
+        )
+        yield built
+        built.close()
+
+    @pytest.mark.parametrize("num_queries", [2, 16])
+    @pytest.mark.parametrize("k", [1, 10])
+    def test_threads_bit_for_bit(self, sharded, queries, num_queries, k):
+        _assert_batch_matches_serial(sharded, queries[:num_queries], k)
+
+    def test_threads_duplicate_queries(self, sharded, queries):
+        batch_queries = np.repeat(queries[:2], 4, axis=0)
+        _assert_batch_matches_serial(sharded, batch_queries, k=5)
+
+    def test_stats_aggregate_across_shards(self, sharded, queries):
+        batch = sharded.knn_batch(queries[:16], k=5)
+        assert batch.stats.num_queries == 16
+        assert batch.stats.unique_leaf_reads > 0
+        assert batch.stats.leaf_share_factor > 1.0
+
+    def test_single_shard_is_plain_engine(self, data, tmp_path, queries):
+        built = ShardedIndex.build(
+            data, _config(num_shards=1), directory=tmp_path / "one"
+        )
+        try:
+            assert isinstance(built, HerculesIndex)
+            _assert_batch_matches_serial(built, queries[:8], k=5)
+        finally:
+            built.close()
+
+
+class TestPoolParity:
+    def test_pool_bit_for_bit(self, data, queries, tmp_path):
+        from repro.core import open_index
+
+        directory = tmp_path / "pooled"
+        built = ShardedIndex.build(
+            data,
+            _config(num_shards=2, shard_workers=0),
+            directory=directory,
+        )
+        serial = [built.knn(q, k=5) for q in queries[:12]]
+        built.close()
+        pooled = open_index(directory, workers=2)
+        try:
+            batch = pooled.knn_batch(queries[:12], k=5)
+            for qi, answer in enumerate(batch):
+                np.testing.assert_array_equal(
+                    serial[qi].distances, answer.distances
+                )
+                np.testing.assert_array_equal(
+                    serial[qi].positions, answer.positions
+                )
+        finally:
+            pooled.close()

@@ -176,3 +176,65 @@ class TestRunWorkloadRegistry:
         for profile in result.profiles:
             assert profile.io is not None
             assert profile.io.bytes_read == 40 * 16 * 4
+
+
+class TestRunWorkloadBatched:
+    def test_batched_matches_serial_and_records_stats(self, tmp_path):
+        from repro.core import HerculesConfig, HerculesIndex
+        from repro.obs import MetricsRegistry
+
+        data = make_random_walks(300, 32, seed=35)
+        index = HerculesIndex.build(
+            data,
+            HerculesConfig(
+                leaf_capacity=16, num_build_threads=1, flush_threshold=1
+            ),
+            directory=tmp_path / "idx",
+        )
+        try:
+            queries = data[:12] + 0.01
+            serial = run_workload(index, queries, k=3)
+            registry = MetricsRegistry()
+            batched = run_workload(
+                index, queries, k=3, registry=registry, batched=True
+            )
+            assert batched.query_count == serial.query_count == 12
+            # Work counters land per query either way.
+            summary = registry.summary()
+            assert summary["counters"]["query.count"] == 12
+            # The batch engine reports its sharing stats once per batch.
+            assert summary["counters"]["query.batch.count"] == 1
+            assert summary["counters"]["query.batch.queries"] == 12
+            assert summary["counters"]["query.batch.unique_leaf_reads"] > 0
+            assert (
+                summary["counters"]["query.batch.leaf_uses"]
+                >= summary["counters"]["query.batch.unique_leaf_reads"]
+            )
+        finally:
+            index.close()
+
+    def test_batched_method_without_stats_is_tolerated(self):
+        from repro.obs import MetricsRegistry
+
+        class ListBatch:
+            name = "list-batch"
+            num_series = 10
+
+            def knn_batch(self, queries, k=1):
+                from repro.core.query import QueryAnswer, QueryProfile
+                import numpy as np
+
+                return [
+                    QueryAnswer(
+                        np.zeros(k), np.zeros(k, dtype=np.int64), QueryProfile()
+                    )
+                    for _ in range(queries.shape[0])
+                ]
+
+        registry = MetricsRegistry()
+        data = make_random_walks(4, 16, seed=36)
+        result = run_workload(
+            ListBatch(), data, k=1, registry=registry, batched=True
+        )
+        assert result.query_count == 4
+        assert "query.batch.count" not in registry.summary()["counters"]
